@@ -1,0 +1,55 @@
+"""Ablation benchmarks: isolate each mechanism the paper credits.
+
+Not figures from the paper — these quantify the design choices its text
+discusses: the Accelerated window setting (§IV-A), the token priority
+method (§III-D/E), the role of switch buffering (§I), and jumbo frames
+(§IV-B).
+"""
+
+from repro.bench.ablations import (
+    accelerated_window_sweep,
+    jumbo_frame_comparison,
+    priority_method_comparison,
+    switch_buffer_sweep,
+)
+from repro.bench.runner import run_figure
+
+
+def test_ablation_accelerated_window(benchmark):
+    title, series = run_figure(benchmark, accelerated_window_sweep, "ablation_window.txt")
+    latencies = {name: points[0].latency_us for name, points in series.items()}
+    ordered = [latencies[name] for name in sorted(latencies, key=lambda n: int(n.split("=")[1].split("/")[0]))]
+    # more acceleration never hurts at this operating point, and the full
+    # window beats the original protocol by a wide margin
+    assert ordered[-1] < ordered[0] * 0.6
+
+
+def test_ablation_priority_method(benchmark):
+    title, series = run_figure(benchmark, priority_method_comparison, "ablation_priority.txt")
+    aggressive = series["aggressive"]
+    post_token = series["post_token"]
+    # both sustain the offered load; the aggressive method is at least as
+    # fast at every rate (it is the prototypes' default for a reason)
+    for fast, safe in zip(aggressive, post_token):
+        assert fast.latency_us <= safe.latency_us * 1.15
+
+
+def test_ablation_switch_buffering(benchmark):
+    title, series = run_figure(benchmark, switch_buffer_sweep, "ablation_buffers.txt")
+    deep_accel = series["accel-256KiB"][0]
+    shallow_accel = series["accel-4KiB"][0]
+    # shallow buffers force drops/retransmissions on the overlapped bursts
+    assert shallow_accel.retransmissions > deep_accel.retransmissions
+    # and erode the accelerated protocol's saturation throughput
+    assert shallow_accel.goodput_mbps < deep_accel.goodput_mbps * 0.85
+    # with deep buffers the accelerated protocol beats the original
+    deep_orig = series["orig-256KiB"][0]
+    assert deep_accel.goodput_mbps > deep_orig.goodput_mbps
+
+
+def test_ablation_jumbo_frames(benchmark):
+    title, series = run_figure(benchmark, jumbo_frame_comparison, "ablation_jumbo.txt")
+    fragmented = series["mtu1500-fragmented"][0]
+    jumbo = series["mtu9000-jumbo"][0]
+    # jumbo frames avoid per-fragment overheads: at least as much goodput
+    assert jumbo.goodput_mbps >= fragmented.goodput_mbps * 0.98

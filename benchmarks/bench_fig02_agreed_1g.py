@@ -1,0 +1,16 @@
+"""Fig. 2: Agreed delivery latency vs. throughput on the 1 GbE fabric, all three implementations, original vs accelerated.
+
+Regenerates the series of the paper's Figure 2; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig02_agreed_1g
+from repro.bench.runner import run_figure
+
+
+def test_fig02_agreed_1g(benchmark):
+    title, series = run_figure(benchmark, fig02_agreed_1g, "fig02.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

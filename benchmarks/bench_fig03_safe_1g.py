@@ -1,0 +1,16 @@
+"""Fig. 3: Safe delivery latency vs. throughput on the 1 GbE fabric.
+
+Regenerates the series of the paper's Figure 3; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig03_safe_1g
+from repro.bench.runner import run_figure
+
+
+def test_fig03_safe_1g(benchmark):
+    title, series = run_figure(benchmark, fig03_safe_1g, "fig03.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

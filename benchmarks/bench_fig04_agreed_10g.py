@@ -1,0 +1,16 @@
+"""Fig. 4: Agreed delivery latency vs. throughput on the 10 GbE fabric.
+
+Regenerates the series of the paper's Figure 4; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig04_agreed_10g
+from repro.bench.runner import run_figure
+
+
+def test_fig04_agreed_10g(benchmark):
+    title, series = run_figure(benchmark, fig04_agreed_10g, "fig04.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

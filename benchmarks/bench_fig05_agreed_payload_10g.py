@@ -1,0 +1,16 @@
+"""Fig. 5: Agreed delivery latency for 1350-byte vs 8850-byte payloads, 10 GbE, accelerated protocol.
+
+Regenerates the series of the paper's Figure 5; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig05_agreed_payload_10g
+from repro.bench.runner import run_figure
+
+
+def test_fig05_agreed_payload_10g(benchmark):
+    title, series = run_figure(benchmark, fig05_agreed_payload_10g, "fig05.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

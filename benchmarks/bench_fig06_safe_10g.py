@@ -1,0 +1,16 @@
+"""Fig. 6: Safe delivery latency vs. throughput on the 10 GbE fabric.
+
+Regenerates the series of the paper's Figure 6; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig06_safe_10g
+from repro.bench.runner import run_figure
+
+
+def test_fig06_safe_10g(benchmark):
+    title, series = run_figure(benchmark, fig06_safe_10g, "fig06.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

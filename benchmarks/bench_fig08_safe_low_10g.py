@@ -1,0 +1,16 @@
+"""Fig. 8: Safe delivery latency at low throughputs on 10 GbE - the regime where the original protocol beats the accelerated one (extra aru round).
+
+Regenerates the series of the paper's Figure 8; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig08_safe_low_10g
+from repro.bench.runner import run_figure
+
+
+def test_fig08_safe_low_10g(benchmark):
+    title, series = run_figure(benchmark, fig08_safe_low_10g, "fig08.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

@@ -1,0 +1,16 @@
+"""Fig. 9: Latency vs per-daemon loss rate at 480 Mbps goodput on 10 GbE (mean and worst-5%).
+
+Regenerates the series of the paper's Figure 9; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig09_loss_480_10g
+from repro.bench.runner import run_figure
+
+
+def test_fig09_loss_480_10g(benchmark):
+    title, series = run_figure(benchmark, fig09_loss_480_10g, "fig09.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

@@ -1,0 +1,16 @@
+"""Fig. 10: Latency vs loss at 1200 Mbps goodput on 10 GbE.
+
+Regenerates the series of the paper's Figure 10; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig10_loss_1200_10g
+from repro.bench.runner import run_figure
+
+
+def test_fig10_loss_1200_10g(benchmark):
+    title, series = run_figure(benchmark, fig10_loss_1200_10g, "fig10.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

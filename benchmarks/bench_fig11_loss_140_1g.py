@@ -1,0 +1,16 @@
+"""Fig. 11: Latency vs loss at 140 Mbps goodput on 1 GbE.
+
+Regenerates the series of the paper's Figure 11; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig11_loss_140_1g
+from repro.bench.runner import run_figure
+
+
+def test_fig11_loss_140_1g(benchmark):
+    title, series = run_figure(benchmark, fig11_loss_140_1g, "fig11.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

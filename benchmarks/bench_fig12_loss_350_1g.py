@@ -1,0 +1,16 @@
+"""Fig. 12: Latency vs loss at 350 Mbps goodput on 1 GbE.
+
+Regenerates the series of the paper's Figure 12; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig12_loss_350_1g
+from repro.bench.runner import run_figure
+
+
+def test_fig12_loss_350_1g(benchmark):
+    title, series = run_figure(benchmark, fig12_loss_350_1g, "fig12.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

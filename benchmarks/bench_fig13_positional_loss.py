@@ -1,0 +1,16 @@
+"""Fig. 13: Latency vs ring distance between the losing daemon and its source (20% positional loss).
+
+Regenerates the series of the paper's Figure 13; the simulation is
+deterministic, so the benchmark runs one round.  Results are saved under
+benchmarks/results/.
+"""
+
+from repro.bench.figures import fig13_positional_loss
+from repro.bench.runner import run_figure
+
+
+def test_fig13_positional_loss(benchmark):
+    title, series = run_figure(benchmark, fig13_positional_loss, "fig13.txt")
+    for name, points in series.items():
+        assert points, f"empty series {name}"
+        assert all(p.latency_us > 0 for p in points)

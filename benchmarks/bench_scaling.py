@@ -1,0 +1,78 @@
+"""Extension benchmark: scaling with ring size.
+
+The paper evaluates 8 servers (its testbed).  Token rings have an
+inherent scaling trade-off — rotation time grows with the number of
+participants — so this extension sweeps the ring size at a fixed
+aggregate rate.  The accelerated protocol's advantage should *grow* with
+ring size: every extra hop in the original protocol adds a full
+"finish-multicasting, then pass" serialization, while the accelerated
+token overlaps them.
+"""
+
+from repro.bench.experiments import MEASURE, WARMUP, _run_cluster
+from repro.bench.report import format_table, save_results
+from repro.core.config import ProtocolConfig
+from repro.net.params import GIGABIT
+from repro.sim.cluster import build_cluster
+from repro.sim.profiles import DAEMON
+from repro.util.units import Mbps
+from repro.workloads.generators import FixedRateWorkload
+
+RING_SIZES = (2, 4, 8, 12, 16)
+RATE_MBPS = 400
+
+
+def _measure(num_hosts: int, accelerated: bool):
+    config = ProtocolConfig(
+        personal_window=30,
+        accelerated_window=30 if accelerated else 0,
+        global_window=30 * num_hosts,
+    )
+    cluster = build_cluster(
+        num_hosts=num_hosts,
+        accelerated=accelerated,
+        profile=DAEMON,
+        params=GIGABIT,
+        config=config,
+    )
+    workload = FixedRateWorkload(payload_size=1350,
+                                 aggregate_rate_bps=Mbps(RATE_MBPS))
+    return _run_cluster(cluster, workload, WARMUP, MEASURE)
+
+
+def test_scaling_with_ring_size(benchmark):
+    def job():
+        rows = []
+        for size in RING_SIZES:
+            orig = _measure(size, accelerated=False)
+            accel = _measure(size, accelerated=True)
+            rows.append(
+                [
+                    f"{size}",
+                    f"{orig.latency_us:.1f}",
+                    f"{accel.latency_us:.1f}",
+                    f"{orig.latency_us / accel.latency_us:.2f}x",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(job, rounds=1, iterations=1)
+    text = format_table(
+        f"Scaling: ring size at {RATE_MBPS} Mbps aggregate (daemon, 1 GbE)",
+        ["ring_size", "orig_lat_us", "accel_lat_us", "advantage"],
+        rows,
+    )
+    save_results("scaling.txt", text)
+    print("\n" + text)
+    # Latency grows with ring size for both protocols...
+    orig_latencies = [float(row[1]) for row in rows]
+    accel_latencies = [float(row[2]) for row in rows]
+    assert orig_latencies[-1] > orig_latencies[0]
+    assert accel_latencies[-1] > accel_latencies[0]
+    # ...and the accelerated protocol wins at every size, by a growing
+    # margin from small to large rings.
+    for orig, accel in zip(orig_latencies[1:], accel_latencies[1:]):
+        assert accel < orig
+    assert (orig_latencies[-1] / accel_latencies[-1]) > (
+        orig_latencies[0] / accel_latencies[0]
+    )

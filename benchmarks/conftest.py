@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate the paper's figures; each runs its simulation
+once (deterministic) under ``benchmark.pedantic``.  Rendered series are
+saved to ``benchmarks/results/`` and printed (visible with ``pytest -s``).
+"""

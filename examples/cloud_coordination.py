@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Cloud-management coordination with groups (the Spread architecture).
+
+A small "cloud control plane": node agents join a ``heartbeat`` group and
+per-service groups; a scheduler multicasts placement decisions to the
+services they affect using multi-group multicast with open-group
+semantics (the scheduler is not a member of any service group, exactly
+the pattern Spread's client-daemon architecture enables).  All agents see
+decisions in the same total order, so there are no conflicting placements.
+
+Runs the full stack over real loopback sockets: Spread-like daemons, unix
+socket clients, group directory replicated via the total order.
+
+Run:  python examples/cloud_coordination.py
+"""
+
+import asyncio
+import os
+import tempfile
+
+from repro.core.messages import DeliveryService
+from repro.runtime.transport import local_ring_addresses
+from repro.spread.client_api import GroupMessage, GroupView, SpreadClient
+from repro.spread.daemon import SpreadDaemon
+
+
+async def main() -> None:
+    peers = local_ring_addresses(range(3), base_port=32600)
+    tmp = tempfile.mkdtemp(prefix="accelring-")
+    daemons = [
+        SpreadDaemon(pid, peers, os.path.join(tmp, f"daemon{pid}.sock"))
+        for pid in range(3)
+    ]
+    for daemon in daemons:
+        await daemon.start()
+    while not all(len(d.node.members) == 3 for d in daemons):
+        await asyncio.sleep(0.05)
+    print("daemon ring:", daemons[0].node.members)
+
+    # One node agent per server, plus a scheduler client at daemon 0.
+    agents = [
+        SpreadClient(daemons[pid].socket_path, name=f"agent{pid}")
+        for pid in range(3)
+    ]
+    scheduler = SpreadClient(daemons[0].socket_path, name="scheduler")
+    for client in agents + [scheduler]:
+        await client.connect()
+
+    # Agents join the groups for the services they host.
+    await agents[0].join("svc-web")
+    await agents[1].join("svc-web")
+    await agents[1].join("svc-db")
+    await agents[2].join("svc-db")
+    view = await agents[0].wait_for_view("svc-web", 2)
+    print("svc-web members:", view.members)
+    view = await agents[2].wait_for_view("svc-db", 2)
+    print("svc-db  members:", view.members)
+
+    # The scheduler (not a member of anything) multicasts a decision that
+    # affects both services; agreed delivery gives a single global order
+    # of placement decisions across all agents.
+    scheduler.multicast(
+        ["svc-web", "svc-db"],
+        b"placement: move shard 7 from agent1 to agent2",
+        DeliveryService.AGREED,
+    )
+    scheduler.multicast(
+        ["svc-web"],
+        b"scale: svc-web +1 replica",
+        DeliveryService.AGREED,
+    )
+
+    # agent1 hosts both services but receives each decision exactly once.
+    decisions = await asyncio.wait_for(agents[1].receive_messages(2), 10)
+    for message in decisions:
+        print(f"agent1 <- {message.groups}: {message.payload.decode()}")
+    assert decisions[0].payload.startswith(b"placement")
+
+    # Losing an agent: its daemon-side disconnect leaves its groups, and
+    # every remaining agent learns the new view through the same order.
+    await agents[0].close()
+    view = await agents[1].wait_for_view("svc-web", 1)
+    print("svc-web after agent0 left:", view.members)
+
+    for client in agents[1:] + [scheduler]:
+        await client.close()
+    for daemon in daemons:
+        await daemon.stop()
+    print("done: all placement decisions were observed in one global order.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""A miniature Figure 2/4: latency vs. throughput for both protocols.
+
+Sweeps the injection rate on the chosen fabric and prints the latency
+profile of the original and accelerated protocols side by side — the
+paper's core methodology (§IV-A) in one script.
+
+Run:  python examples/latency_profile.py [1g|10g]
+"""
+
+import sys
+
+from repro import DAEMON, GIGABIT, TEN_GIGABIT
+from repro.bench.experiments import run_point
+from repro.core.messages import DeliveryService
+
+
+def main() -> None:
+    fabric = sys.argv[1] if len(sys.argv) > 1 else "1g"
+    params = TEN_GIGABIT if fabric == "10g" else GIGABIT
+    rates = (100, 300, 500, 700, 850) if fabric == "1g" else (250, 1000, 2000, 2800)
+    print(f"Daemon prototype, {fabric} fabric, 1350-byte payloads, Agreed delivery")
+    print()
+    print(f"{'rate (Mbps)':>12s}  {'original (us)':>14s}  {'accelerated (us)':>17s}")
+    for rate in rates:
+        row = []
+        for accelerated in (False, True):
+            point = run_point(
+                profile=DAEMON,
+                accelerated=accelerated,
+                params=params,
+                rate_mbps=rate,
+                service=DeliveryService.AGREED,
+                warmup=0.02,
+                measure=0.05,
+            )
+            row.append(point.latency_us)
+        print(f"{rate:>12.0f}  {row[0]:>14.1f}  {row[1]:>17.1f}")
+    print()
+    print("The accelerated protocol's curve stays flat while the original's")
+    print("climbs toward its saturation knee (paper Figs. 2 and 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Per-host CPU utilization.
+
+The paper stresses that the implementations are single-threaded and must
+not consume "the CPU of more than a single core" (§I).  The simulated
+hosts account CPU busy-time exactly, so utilization is a direct readout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.cluster import RingCluster
+
+
+@dataclass
+class CpuStats:
+    """Per-host CPU busy fractions over the run so far."""
+
+    utilization: Dict[int, float]
+
+    @property
+    def peak(self) -> float:
+        return max(self.utilization.values())
+
+    @property
+    def mean(self) -> float:
+        values = list(self.utilization.values())
+        return sum(values) / len(values)
+
+
+class CpuAnalyzer:
+    """Samples cumulative CPU busy-time against elapsed simulation time."""
+
+    def __init__(self) -> None:
+        self._cluster = None
+        self._t0 = 0.0
+        self._busy0: Dict[int, float] = {}
+
+    def attach(self, cluster: RingCluster) -> None:
+        self._cluster = cluster
+        self.mark()
+
+    def mark(self) -> None:
+        """Start (or restart) the measurement window now."""
+        assert self._cluster is not None
+        self._t0 = self._cluster.sim.now
+        self._busy0 = {
+            pid: driver.host.cpu.busy_time
+            for pid, driver in self._cluster.drivers.items()
+        }
+
+    def stats(self) -> CpuStats:
+        assert self._cluster is not None
+        elapsed = self._cluster.sim.now - self._t0
+        if elapsed <= 0:
+            raise ValueError("no time has elapsed since mark()")
+        return CpuStats(
+            utilization={
+                pid: (driver.host.cpu.busy_time - self._busy0.get(pid, 0.0)) / elapsed
+                for pid, driver in self._cluster.drivers.items()
+            }
+        )

@@ -1,0 +1,98 @@
+"""Wire occupancy and dead air.
+
+Paper §I/§III-A: in a standard token-based protocol "no new messages can
+be sent from the time that one participant finishes multicasting to the
+time that the next participant receives the token, processes it, and
+begins sending new messages" — dead air.  The accelerated protocol
+"reduces or eliminates periods in which no participant is sending".
+
+The :class:`WireAnalyzer` watches every data-frame transmission start
+and end (at the sending NICs) and computes the fraction of the
+measurement window during which *no* participant was putting data on the
+wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.net.packet import Frame, PortKind
+from repro.sim.cluster import RingCluster
+
+
+@dataclass
+class WireStats:
+    """Aggregate wire-activity measurements over a window."""
+
+    window: float
+    busy_time: float
+    idle_time: float
+    idle_gaps: List[float]
+
+    @property
+    def dead_air_fraction(self) -> float:
+        if self.window <= 0:
+            raise ValueError("empty measurement window")
+        return self.idle_time / self.window
+
+    @property
+    def longest_gap(self) -> float:
+        return max(self.idle_gaps) if self.idle_gaps else 0.0
+
+
+class WireAnalyzer:
+    """Tracks intervals during which at least one NIC is sending data."""
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[float, float]] = []
+        self._cluster = None
+
+    def attach(self, cluster: RingCluster) -> None:
+        self._cluster = cluster
+        for pid, driver in cluster.drivers.items():
+            previous_hook = driver.on_transmit
+            params = cluster.topology.params
+
+            def hook(frame: Frame, _prev=previous_hook, _params=params) -> None:
+                if _prev is not None:
+                    _prev(frame)
+                if frame.kind is PortKind.DATA:
+                    start = cluster.sim.now
+                    end = start + _params.serialization_delay(frame.size)
+                    self._intervals.append((start, end))
+
+            driver.on_transmit = hook
+
+    def stats(self, start: float, stop: float) -> WireStats:
+        """Busy/idle accounting over ``[start, stop]``.
+
+        Transmission intervals are approximate (hook time to hook time
+        plus serialization) but the bias is identical for both protocols,
+        so the comparison is fair.
+        """
+        if stop <= start:
+            raise ValueError("stop must exceed start")
+        window = [
+            (max(s, start), min(e, stop))
+            for s, e in self._intervals
+            if e > start and s < stop
+        ]
+        window.sort()
+        busy = 0.0
+        gaps: List[float] = []
+        cursor = start
+        for s, e in window:
+            if s > cursor:
+                gaps.append(s - cursor)
+            busy += max(0.0, e - max(s, cursor))
+            cursor = max(cursor, e)
+        if cursor < stop:
+            gaps.append(stop - cursor)
+        total = stop - start
+        return WireStats(
+            window=total,
+            busy_time=busy,
+            idle_time=total - busy,
+            idle_gaps=gaps,
+        )

@@ -1,0 +1,33 @@
+"""Benchmark harness regenerating every figure in the paper.
+
+Each figure has a definition in :mod:`repro.bench.figures`, an execution
+engine in :mod:`repro.bench.experiments`, and a pytest-benchmark target
+under ``benchmarks/``.  Results are printed as paper-style series and
+saved under ``benchmarks/results/``; EXPERIMENTS.md records paper-vs-
+measured for each.
+"""
+
+from repro.bench.experiments import (
+    ExperimentPoint,
+    run_point,
+    sweep_rates,
+    run_max_throughput,
+    run_loss_point,
+    loss_sweep,
+    positional_loss_sweep,
+)
+from repro.bench.report import format_table, save_results
+from repro.bench.windows import window_for
+
+__all__ = [
+    "ExperimentPoint",
+    "run_point",
+    "sweep_rates",
+    "run_max_throughput",
+    "run_loss_point",
+    "loss_sweep",
+    "positional_loss_sweep",
+    "format_table",
+    "save_results",
+    "window_for",
+]

@@ -1,0 +1,217 @@
+"""Acceptance checks: do the regenerated figures match the paper's shapes?
+
+DESIGN.md §4 lists the expected shape of every figure; this module
+evaluates those criteria mechanically against the series saved under
+``benchmarks/results/`` and produces a pass/fail report.  Run it after
+``pytest benchmarks/ --benchmark-only`` via ``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.report import RESULTS_DIR
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    rate_mbps: float
+    goodput_mbps: float
+    latency_us: float
+    worst5_us: float
+    retransmissions: int
+
+
+Series = Dict[str, List[SeriesPoint]]
+
+
+def parse_results(text: str) -> Series:
+    """Parse a saved figure file back into named series."""
+    series: Series = {}
+    current: Optional[str] = None
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            current = None
+            continue
+        if set(stripped) == {"-"} and index > 0:
+            name = lines[index - 1].strip()
+            if name and not name.startswith("rate"):
+                current = name
+                series[current] = []
+            continue
+        if current is None or stripped.startswith(("rate", "=")):
+            continue
+        fields = stripped.split()
+        if len(fields) != 5:
+            continue
+        try:
+            series[current].append(
+                SeriesPoint(
+                    rate_mbps=float(fields[0]),
+                    goodput_mbps=float(fields[1]),
+                    latency_us=float(fields[2]),
+                    worst5_us=float(fields[3]),
+                    retransmissions=int(fields[4]),
+                )
+            )
+        except ValueError:
+            continue
+    return {name: points for name, points in series.items() if points}
+
+
+def load_figure(filename: str) -> Optional[Series]:
+    path = os.path.join(RESULTS_DIR, filename)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return parse_results(handle.read())
+
+
+def _max_goodput(points: List[SeriesPoint]) -> float:
+    return max(point.goodput_mbps for point in points)
+
+
+def _latency_at(points: List[SeriesPoint], rate: float) -> Optional[float]:
+    for point in points:
+        if abs(point.rate_mbps - rate) < 1.0:
+            return point.latency_us
+    return None
+
+
+@dataclass(frozen=True)
+class Criterion:
+    figure: str
+    description: str
+    check: Callable[[Series], bool]
+
+
+def _fig2_accel_dominates(series: Series) -> bool:
+    """Every implementation's accelerated max goodput beats the original's."""
+    for impl in ("library", "daemon", "spread"):
+        if _max_goodput(series[f"{impl}-accel"]) <= _max_goodput(series[f"{impl}-orig"]):
+            return False
+    return True
+
+
+def _fig2_simultaneous_win(series: Series) -> bool:
+    """At 500 Mbps the accelerated protocol also has far lower latency."""
+    orig = _latency_at(series["spread-orig"], 500)
+    accel = _latency_at(series["spread-accel"], 500)
+    return orig is not None and accel is not None and accel < orig * 0.7
+
+
+def _fig4_hierarchy(series: Series) -> bool:
+    """10 GbE separates the implementations: library > daemon > spread."""
+    return (
+        _max_goodput(series["library-accel"])
+        > _max_goodput(series["daemon-accel"])
+        > _max_goodput(series["spread-accel"])
+    )
+
+
+def _fig5_large_payloads_help_most_cpu_bound(series: Series) -> bool:
+    gains = {}
+    for impl in ("library", "daemon", "spread"):
+        gains[impl] = _max_goodput(series[f"{impl}-8850B"]) / _max_goodput(
+            series[f"{impl}-1350B"]
+        )
+    return gains["spread"] > gains["daemon"] > gains["library"] > 1.2
+
+
+def _fig8_crossover(series: Series) -> bool:
+    """Original wins at 100 Mbps; accelerated wins at 1000 Mbps."""
+    low_orig = _latency_at(series["spread-orig"], 100)
+    low_accel = _latency_at(series["spread-accel"], 100)
+    high_orig = _latency_at(series["spread-orig"], 1000)
+    high_accel = _latency_at(series["spread-accel"], 1000)
+    return low_orig < low_accel and high_accel < high_orig
+
+
+def _fig9_agreed_penalty_safe_parity(series: Series) -> bool:
+    """Under loss at 480 Mbps/10GbE: accelerated Agreed pays a clear
+    penalty; accelerated Safe stays within ~10% of the original."""
+    agreed_orig = series["agreed-orig"][-1].latency_us
+    agreed_accel = series["agreed-accel"][-1].latency_us
+    safe_orig = series["safe-orig"][-1].latency_us
+    safe_accel = series["safe-accel"][-1].latency_us
+    return agreed_accel > agreed_orig * 1.2 and safe_accel < safe_orig * 1.10
+
+
+def _fig12_accel_wins_under_loss_1g(series: Series) -> bool:
+    """On 1 GbE at 350 Mbps the accelerated protocol wins at every loss
+    rate for Safe delivery, by a large margin."""
+    for orig, accel in zip(series["safe-orig"], series["safe-accel"]):
+        if accel.latency_us >= orig.latency_us:
+            return False
+    return True
+
+
+def _fig13_distance_monotone(series: Series) -> bool:
+    """Latency grows with the ring distance between loser and source."""
+    for points in series.values():
+        if points[-1].latency_us <= points[0].latency_us:
+            return False
+    return True
+
+
+def _headline_sanity(series: Series) -> bool:
+    checks = [
+        _max_goodput(series["1g-spread-accel"]) > 900,     # saturation
+        _max_goodput(series["10g-library-accel"]) > 3800,
+        _max_goodput(series["10g-spread-accel"]) > 1900,
+        _max_goodput(series["10g-spread-accel-8850B"])
+        > _max_goodput(series["10g-spread-accel"]) * 1.5,
+    ]
+    return all(checks)
+
+
+CRITERIA: List[Criterion] = [
+    Criterion("fig02.txt", "1GbE: accelerated max goodput beats original (all impls)",
+              _fig2_accel_dominates),
+    Criterion("fig02.txt", "1GbE @500Mbps: accelerated latency < 70% of original",
+              _fig2_simultaneous_win),
+    Criterion("fig04.txt", "10GbE hierarchy: library > daemon > spread",
+              _fig4_hierarchy),
+    Criterion("fig05.txt", "8850B gain ordered spread > daemon > library",
+              _fig5_large_payloads_help_most_cpu_bound),
+    Criterion("fig08.txt", "Safe/10GbE crossover: orig wins low rate, accel wins high",
+              _fig8_crossover),
+    Criterion("fig09.txt", "loss @480Mbps/10GbE: Agreed penalty, Safe parity",
+              _fig9_agreed_penalty_safe_parity),
+    Criterion("fig12.txt", "loss @350Mbps/1GbE: accelerated Safe wins at every rate",
+              _fig12_accel_wins_under_loss_1g),
+    Criterion("fig13.txt", "latency grows with loser-source ring distance",
+              _fig13_distance_monotone),
+    Criterion("headline.txt", "headline maxima in calibrated ranges",
+              _headline_sanity),
+]
+
+
+def verify(results_dir: Optional[str] = None) -> Tuple[List[str], List[str], List[str]]:
+    """Evaluate every criterion; returns (passed, failed, skipped) lines."""
+    passed, failed, skipped = [], [], []
+    for criterion in CRITERIA:
+        if results_dir is not None:
+            path = os.path.join(results_dir, criterion.figure)
+            series = None
+            if os.path.exists(path):
+                with open(path) as handle:
+                    series = parse_results(handle.read())
+        else:
+            series = load_figure(criterion.figure)
+        label = f"{criterion.figure}: {criterion.description}"
+        if series is None:
+            skipped.append(label + " (no results file; run the benchmarks)")
+            continue
+        try:
+            ok = criterion.check(series)
+        except KeyError as exc:
+            failed.append(label + f" (missing series {exc})")
+            continue
+        (passed if ok else failed).append(label)
+    return passed, failed, skipped

@@ -1,0 +1,29 @@
+"""Shared glue between figure definitions and pytest-benchmark targets."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.experiments import ExperimentPoint
+from repro.bench.report import format_series, save_results
+
+FigureFn = Callable[[], Tuple[str, Dict[str, List[ExperimentPoint]]]]
+
+
+def run_figure(benchmark, figure_fn: FigureFn, filename: str):
+    """Run one figure exactly once under pytest-benchmark and save it.
+
+    ``benchmark.pedantic`` with a single round: the simulation itself is
+    deterministic, so repeated timing rounds would only re-measure the
+    host machine, not the protocol.
+    """
+    title, series = benchmark.pedantic(figure_fn, rounds=1, iterations=1)
+    text = format_series(title, series)
+    path = save_results(filename, text)
+    print("\n" + text)
+    benchmark.extra_info["results_file"] = path
+    for name, points in series.items():
+        if points:
+            knee = max(points, key=lambda p: p.goodput_mbps)
+            benchmark.extra_info[f"{name}_max_goodput_mbps"] = round(knee.goodput_mbps, 1)
+    return title, series

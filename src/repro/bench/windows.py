@@ -1,0 +1,55 @@
+"""Flow-control window selection for benchmarks.
+
+Paper §IV-A: "A broad range of parameter settings provide good
+performance.  Personal windows of a few tens (e.g. 20-40) of messages
+with Accelerated windows of half to all of the Personal window yield
+good results in all environments we tested.  ...  we report results with
+the smallest Personal window and corresponding Accelerated window that
+let the system reach its maximum throughput."
+
+The selections below were made the same way, offline, with the
+calibrated simulator: the smallest window in {10, 20, 30, 40} that
+reaches each configuration's maximum throughput.  The accelerated
+protocol uses an Accelerated window equal to the Personal window (the
+prototypes' aggressive setting); the original protocol pins it to zero
+by construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.net.params import NetworkParams
+from repro.sim.profiles import ImplementationProfile
+
+_PERSONAL = {
+    # (profile name, is 10 gigabit, large payload) -> personal window
+    ("library", False, False): 30,
+    ("daemon", False, False): 30,
+    ("spread", False, False): 30,
+    ("library", True, False): 30,
+    ("daemon", True, False): 30,
+    ("spread", True, False): 30,
+    ("library", True, True): 20,
+    ("daemon", True, True): 20,
+    ("spread", True, True): 20,
+    ("library", False, True): 20,
+    ("daemon", False, True): 20,
+    ("spread", False, True): 20,
+}
+
+
+def window_for(
+    profile: ImplementationProfile,
+    params: NetworkParams,
+    accelerated: bool,
+    payload_size: int = 1350,
+) -> ProtocolConfig:
+    """The benchmark window configuration for one curve."""
+    is_10g = params.rate_bps >= 5e9
+    large = payload_size > 4000
+    personal = _PERSONAL[(profile.name, is_10g, large)]
+    return ProtocolConfig(
+        personal_window=personal,
+        accelerated_window=personal if accelerated else 0,
+        global_window=personal * 8,
+    )

@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``accelring`` console script):
+
+* ``demo`` — the quickstart comparison at one operating point.
+* ``sweep`` — a latency-vs-throughput sweep (mini Fig. 2/4).
+* ``maxtp`` — the headline maximum-throughput table.
+* ``figure`` — regenerate one paper figure by number.
+* ``daemon`` — run a real daemon (UDP ring + unix client socket).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import run_max_throughput, run_point
+from repro.bench.report import format_series
+from repro.core.messages import DeliveryService
+from repro.net.params import GIGABIT, TEN_GIGABIT
+from repro.sim.profiles import PROFILES
+from repro.util.units import seconds_to_usec
+
+
+def _params(name: str):
+    return TEN_GIGABIT if name == "10g" else GIGABIT
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.profile]
+    params = _params(args.network)
+    print(
+        f"{args.profile} / {args.network} / {args.rate:.0f} Mbps / "
+        f"{args.payload} B payloads / {args.service} delivery"
+    )
+    service = DeliveryService[args.service.upper()]
+    for accelerated, label in ((False, "original"), (True, "accelerated")):
+        point = run_point(
+            profile=profile,
+            accelerated=accelerated,
+            params=params,
+            rate_mbps=args.rate,
+            payload_size=args.payload,
+            service=service,
+        )
+        print(
+            f"  {label:12s} goodput {point.goodput_mbps:7.1f} Mbps   "
+            f"latency {point.latency_us:8.1f} us   "
+            f"worst-5% {point.worst5_us:8.1f} us"
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.profile]
+    params = _params(args.network)
+    service = DeliveryService[args.service.upper()]
+    rates = [float(rate) for rate in args.rates.split(",")]
+    series = {}
+    for accelerated in (False, True):
+        name = "accelerated" if accelerated else "original"
+        series[name] = [
+            run_point(
+                profile=profile,
+                accelerated=accelerated,
+                params=params,
+                rate_mbps=rate,
+                payload_size=args.payload,
+                service=service,
+            )
+            for rate in rates
+        ]
+    print(
+        format_series(
+            f"latency vs throughput — {args.profile}, {args.network}, "
+            f"{args.service}",
+            series,
+        )
+    )
+    return 0
+
+
+def cmd_maxtp(args: argparse.Namespace) -> int:
+    print(f"maximum goodput (closed-loop senders), payload {args.payload} B")
+    print(f"{'profile':10s}{'network':>9s}{'original':>12s}{'accelerated':>14s}")
+    for network in ("1g", "10g"):
+        for name, profile in PROFILES.items():
+            row = []
+            for accelerated in (False, True):
+                point = run_max_throughput(
+                    profile=profile,
+                    accelerated=accelerated,
+                    params=_params(network),
+                    payload_size=args.payload,
+                )
+                row.append(point.goodput_mbps)
+            print(f"{name:10s}{network:>9s}{row[0]:>10.0f}Mb{row[1]:>12.0f}Mb")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+
+    table = {
+        "2": figures.fig02_agreed_1g,
+        "3": figures.fig03_safe_1g,
+        "4": figures.fig04_agreed_10g,
+        "5": figures.fig05_agreed_payload_10g,
+        "6": figures.fig06_safe_10g,
+        "7": figures.fig07_safe_payload_10g,
+        "8": figures.fig08_safe_low_10g,
+        "9": figures.fig09_loss_480_10g,
+        "10": figures.fig10_loss_1200_10g,
+        "11": figures.fig11_loss_140_1g,
+        "12": figures.fig12_loss_350_1g,
+        "13": figures.fig13_positional_loss,
+        "headline": figures.headline_max_throughput,
+    }
+    if args.number not in table:
+        print(f"unknown figure {args.number!r}; choose from {sorted(table)}",
+              file=sys.stderr)
+        return 2
+    title, series = table[args.number]()
+    print(format_series(title, series))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.bench.acceptance import verify
+
+    passed, failed, skipped = verify()
+    for line in passed:
+        print(f"  PASS  {line}")
+    for line in skipped:
+        print(f"  SKIP  {line}")
+    for line in failed:
+        print(f"  FAIL  {line}")
+    print()
+    print(f"{len(passed)} passed, {len(failed)} failed, {len(skipped)} skipped")
+    return 1 if failed else 0
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.transport import local_ring_addresses
+    from repro.spread.daemon import SpreadDaemon
+
+    pids = list(range(args.ring_size))
+    peers = local_ring_addresses(pids, base_port=args.base_port)
+
+    async def run() -> None:
+        daemon = SpreadDaemon(
+            args.pid,
+            peers,
+            args.socket or f"/tmp/accelring-{args.pid}.sock",
+            accelerated=not args.original,
+        )
+        await daemon.start()
+        print(
+            f"daemon {args.pid} up: udp data/token ports "
+            f"{peers[args.pid].data_port}/{peers[args.pid].token_port}, "
+            f"clients at {daemon.socket_path}"
+        )
+        try:
+            while True:
+                await asyncio.sleep(2.0)
+                print(
+                    f"  ring={daemon.node.members} state={daemon.node.state} "
+                    f"delivered={len(daemon.node.delivered)}"
+                )
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accelring",
+        description="Accelerated Ring: fast total ordering for modern data centers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="compare both protocols at one operating point")
+    demo.add_argument("--profile", choices=sorted(PROFILES), default="spread")
+    demo.add_argument("--network", choices=["1g", "10g"], default="1g")
+    demo.add_argument("--rate", type=float, default=300.0, help="aggregate Mbps")
+    demo.add_argument("--payload", type=int, default=1350)
+    demo.add_argument("--service", choices=["agreed", "safe"], default="agreed")
+    demo.set_defaults(func=cmd_demo)
+
+    sweep = sub.add_parser("sweep", help="latency vs throughput sweep")
+    sweep.add_argument("--profile", choices=sorted(PROFILES), default="daemon")
+    sweep.add_argument("--network", choices=["1g", "10g"], default="1g")
+    sweep.add_argument("--rates", default="100,300,500,700,850",
+                       help="comma-separated Mbps")
+    sweep.add_argument("--payload", type=int, default=1350)
+    sweep.add_argument("--service", choices=["agreed", "safe"], default="agreed")
+    sweep.set_defaults(func=cmd_sweep)
+
+    maxtp = sub.add_parser("maxtp", help="maximum-throughput table")
+    maxtp.add_argument("--payload", type=int, default=1350)
+    maxtp.set_defaults(func=cmd_maxtp)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("number", help="2..13 or 'headline'")
+    figure.set_defaults(func=cmd_figure)
+
+    verify = sub.add_parser(
+        "verify",
+        help="check saved benchmark results against the paper's shape criteria",
+    )
+    verify.set_defaults(func=cmd_verify)
+
+    daemon = sub.add_parser("daemon", help="run a real daemon over UDP")
+    daemon.add_argument("--pid", type=int, required=True)
+    daemon.add_argument("--ring-size", type=int, default=3)
+    daemon.add_argument("--base-port", type=int, default=28800)
+    daemon.add_argument("--socket", default=None, help="unix socket path")
+    daemon.add_argument("--original", action="store_true",
+                        help="run the original Totem Ring protocol")
+    daemon.set_defaults(func=cmd_daemon)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

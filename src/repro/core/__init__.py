@@ -1,0 +1,30 @@
+"""The ordering protocols: Accelerated Ring and the original Totem Ring.
+
+The engines here are *sans-io*: they consume protocol messages and emit
+:mod:`repro.core.events` effects, and never touch sockets, clocks, or the
+simulator.  The discrete-event driver (:mod:`repro.sim`) and the real
+asyncio runtime (:mod:`repro.runtime`) both run exactly this code.
+"""
+
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.token import RegularToken
+from repro.core.buffer import MessageBuffer
+from repro.core.events import Effect, SendToken, MulticastData, Deliver
+from repro.core.participant import AcceleratedRingParticipant
+from repro.core.original import OriginalRingParticipant
+
+__all__ = [
+    "ProtocolConfig",
+    "TokenPriorityMethod",
+    "DataMessage",
+    "DeliveryService",
+    "RegularToken",
+    "MessageBuffer",
+    "Effect",
+    "SendToken",
+    "MulticastData",
+    "Deliver",
+    "AcceleratedRingParticipant",
+    "OriginalRingParticipant",
+]

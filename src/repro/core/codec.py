@@ -1,0 +1,146 @@
+"""Binary wire codecs for the real (asyncio/UDP) runtime.
+
+The simulator never serializes messages; the runtime does.  The format is
+a compact network-byte-order encoding with a one-byte type tag.  The
+``timestamp`` field on data messages exists purely so benchmark clients
+can measure end-to-end latency across processes, mirroring the paper's
+instrumented clients.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.token import RegularToken
+from repro.util.errors import CodecError
+
+MAGIC = 0xA5
+TYPE_DATA = 1
+TYPE_TOKEN = 2
+
+# magic, type, service, post_token, seq, pid, round, ring_id, timestamp, payload_len
+_DATA_HEADER = struct.Struct("!BBBBQIQQdI")
+# magic, type, ring_id, token_id, seq, aru, aru_lowered_by, fcc, rotation, rtr_count
+_TOKEN_HEADER = struct.Struct("!BBQQQQqIQI")
+
+WireMessage = Union[DataMessage, RegularToken]
+
+
+def encode_data(message: DataMessage) -> bytes:
+    header = _DATA_HEADER.pack(
+        MAGIC,
+        TYPE_DATA,
+        int(message.service),
+        1 if message.post_token else 0,
+        message.seq,
+        message.pid,
+        message.round,
+        message.ring_id,
+        message.timestamp if message.timestamp is not None else -1.0,
+        len(message.payload),
+    )
+    return header + message.payload
+
+
+def encode_token(token: RegularToken) -> bytes:
+    header = _TOKEN_HEADER.pack(
+        MAGIC,
+        TYPE_TOKEN,
+        token.ring_id,
+        token.token_id,
+        token.seq,
+        token.aru,
+        token.aru_lowered_by if token.aru_lowered_by is not None else -1,
+        token.fcc,
+        token.rotation,
+        len(token.rtr),
+    )
+    body = struct.pack(f"!{len(token.rtr)}Q", *token.rtr) if token.rtr else b""
+    return header + body
+
+
+def encode(message: WireMessage) -> bytes:
+    if isinstance(message, DataMessage):
+        return encode_data(message)
+    if isinstance(message, RegularToken):
+        return encode_token(message)
+    raise CodecError(f"cannot encode {type(message).__name__}")
+
+
+def decode(data: bytes) -> WireMessage:
+    """Decode one datagram into a data message or token."""
+    if len(data) < 2:
+        raise CodecError(f"datagram too short: {len(data)} bytes")
+    magic, msg_type = data[0], data[1]
+    if magic != MAGIC:
+        raise CodecError(f"bad magic byte {magic:#x}")
+    if msg_type == TYPE_DATA:
+        return _decode_data(data)
+    if msg_type == TYPE_TOKEN:
+        return _decode_token(data)
+    raise CodecError(f"unknown message type {msg_type}")
+
+
+def _decode_data(data: bytes) -> DataMessage:
+    if len(data) < _DATA_HEADER.size:
+        raise CodecError("truncated data message header")
+    (
+        _magic,
+        _type,
+        service,
+        post_token,
+        seq,
+        pid,
+        round_,
+        ring_id,
+        timestamp,
+        payload_len,
+    ) = _DATA_HEADER.unpack_from(data)
+    payload = data[_DATA_HEADER.size : _DATA_HEADER.size + payload_len]
+    if len(payload) != payload_len:
+        raise CodecError(
+            f"truncated payload: expected {payload_len}, got {len(payload)}"
+        )
+    return DataMessage(
+        seq=seq,
+        pid=pid,
+        round=round_,
+        service=DeliveryService(service),
+        payload=payload,
+        post_token=bool(post_token),
+        timestamp=None if timestamp < 0 else timestamp,
+        ring_id=ring_id,
+    )
+
+
+def _decode_token(data: bytes) -> RegularToken:
+    if len(data) < _TOKEN_HEADER.size:
+        raise CodecError("truncated token header")
+    (
+        _magic,
+        _type,
+        ring_id,
+        token_id,
+        seq,
+        aru,
+        aru_lowered_by,
+        fcc,
+        rotation,
+        rtr_count,
+    ) = _TOKEN_HEADER.unpack_from(data)
+    expected = _TOKEN_HEADER.size + 8 * rtr_count
+    if len(data) < expected:
+        raise CodecError(f"truncated rtr list: expected {expected}, got {len(data)}")
+    rtr = list(struct.unpack_from(f"!{rtr_count}Q", data, _TOKEN_HEADER.size))
+    return RegularToken(
+        ring_id=ring_id,
+        token_id=token_id,
+        seq=seq,
+        aru=aru,
+        aru_lowered_by=None if aru_lowered_by < 0 else aru_lowered_by,
+        fcc=fcc,
+        rtr=rtr,
+        rotation=rotation,
+    )

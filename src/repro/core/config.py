@@ -1,0 +1,92 @@
+"""Protocol configuration: the flow-control windows and priority method.
+
+Paper §III-A defines the two windows that shape the Accelerated Ring
+protocol's behaviour:
+
+* **Personal window** — the maximum number of new data messages one
+  participant may send in a single token round.
+* **Accelerated window** — the maximum number of those messages that may be
+  sent *after* passing the token.  Zero degenerates to the original
+  protocol's send-everything-then-token behaviour.
+
+plus Totem's **Global window**, the cap on the total number of messages
+(new + retransmissions) sent by everyone in one round, enforced through the
+token's ``fcc`` field.
+
+Paper §IV-A reports that personal windows of a few tens of messages with
+accelerated windows of half to all of the personal window work well in all
+tested environments; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.util.errors import ConfigurationError
+
+
+class TokenPriorityMethod(Enum):
+    """When to raise the token's processing priority again (paper §III-D).
+
+    ``AGGRESSIVE``
+        Raise as soon as any data message from the immediate predecessor
+        initiated in the *next* token round is processed.  Maximizes token
+        rotation speed; used by the prototypes.
+    ``POST_TOKEN``
+        Raise only on processing a next-round message the predecessor sent
+        *after* it had passed the token.  Slightly slower token, fewer
+        unprocessed data messages build up; less sensitive to
+        misconfiguration, so production Spread uses it.
+    ``NEVER``
+        Never prefer the token while data messages are available — the
+        original Totem Ring discipline (all received data is processed
+        before the token).
+    """
+
+    AGGRESSIVE = "aggressive"
+    POST_TOKEN = "post_token"
+    NEVER = "never"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunable parameters of the ring ordering protocol."""
+
+    personal_window: int = 30
+    accelerated_window: int = 15
+    global_window: int = 150
+    priority_method: TokenPriorityMethod = TokenPriorityMethod.AGGRESSIVE
+
+    def __post_init__(self) -> None:
+        if self.personal_window < 1:
+            raise ConfigurationError(
+                f"personal_window must be >= 1, got {self.personal_window}"
+            )
+        if not 0 <= self.accelerated_window <= self.personal_window:
+            raise ConfigurationError(
+                "accelerated_window must be between 0 and personal_window "
+                f"({self.personal_window}), got {self.accelerated_window}"
+            )
+        if self.global_window < self.personal_window:
+            raise ConfigurationError(
+                f"global_window ({self.global_window}) must be >= "
+                f"personal_window ({self.personal_window})"
+            )
+
+    @property
+    def accelerated(self) -> bool:
+        """True when any post-token sending is allowed."""
+        return self.accelerated_window > 0
+
+    def original(self) -> "ProtocolConfig":
+        """The original-Totem configuration with the same windows.
+
+        Used by benchmarks so the baseline and the accelerated protocol are
+        compared with identical flow-control envelopes, as in the paper.
+        """
+        return replace(
+            self,
+            accelerated_window=0,
+            priority_method=TokenPriorityMethod.NEVER,
+        )

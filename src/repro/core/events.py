@@ -1,0 +1,55 @@
+"""Effects emitted by the sans-io protocol engines.
+
+Handling one input (a token or a data message) produces an ordered list of
+effects.  Order is semantically meaningful: effects before a
+:class:`SendToken` constitute the pre-token multicast phase, effects after
+it the post-token phase, and the driver executes them sequentially on the
+single-threaded CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import DataMessage
+from repro.core.token import RegularToken
+
+
+class Effect:
+    """Marker base class for protocol effects."""
+
+    __slots__ = ()
+
+
+@dataclass
+class MulticastData(Effect):
+    """Multicast a data message to the ring (IP-multicast on the LAN)."""
+
+    message: DataMessage
+    retransmission: bool = False
+
+
+@dataclass
+class SendToken(Effect):
+    """Unicast the updated token to the next participant in the ring."""
+
+    token: RegularToken
+    destination: int
+
+
+@dataclass
+class Deliver(Effect):
+    """Deliver a message to the local application (in total order)."""
+
+    message: DataMessage
+
+
+@dataclass
+class Stable(Effect):
+    """Messages up to ``seq`` are stable everywhere and were discarded.
+
+    Purely informational (garbage-collection notification); drivers may
+    ignore it.
+    """
+
+    seq: int

@@ -1,0 +1,70 @@
+"""Data messages and delivery services.
+
+A data message (paper §III-C) carries: ``seq`` — its position in the total
+order, stamped by the sender at multicast time using the token; ``pid`` —
+the initiating participant; ``round`` — the token round in which it was
+initiated; and the opaque payload.  We add the ``post_token`` bit used by
+the second priority method of §III-D (it tells receivers the sender had
+already released the token when this message went out) and the delivery
+service requested by the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+
+class DeliveryService(IntEnum):
+    """Delivery service levels (Extended Virtual Synchrony, paper §II).
+
+    ``RELIABLE``/``FIFO``/``CAUSAL`` share the delivery path of ``AGREED``
+    (the paper notes their latency is similar to Agreed delivery): a message
+    is delivered once every message preceding it in the total order has been
+    delivered.  ``SAFE`` additionally waits until the token's ``aru``
+    proves every participant has received the message (stability).
+    """
+
+    RELIABLE = 1
+    FIFO = 2
+    CAUSAL = 3
+    AGREED = 4
+    SAFE = 5
+
+    @property
+    def requires_stability(self) -> bool:
+        return self is DeliveryService.SAFE
+
+
+@dataclass
+class DataMessage:
+    """One totally ordered multicast message.
+
+    ``timestamp`` is not part of the wire format the protocol depends on; it
+    records the moment the application handed the payload to the sender and
+    is used only for latency measurement (like the client timestamping in
+    the paper's benchmarks).
+    """
+
+    seq: int
+    pid: int
+    round: int
+    service: DeliveryService
+    payload: bytes = b""
+    post_token: bool = False
+    payload_size: Optional[int] = None
+    timestamp: Optional[float] = None
+    ring_id: int = 1
+
+    def __post_init__(self) -> None:
+        if self.payload_size is None:
+            self.payload_size = len(self.payload)
+
+    def wire_size(self, header_bytes: int) -> int:
+        """Bytes this message occupies in a UDP datagram, given the
+        implementation's protocol header size."""
+        return header_bytes + int(self.payload_size)
+
+    def sort_key(self) -> int:
+        return self.seq

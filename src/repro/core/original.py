@@ -1,0 +1,49 @@
+"""The original Totem Ring protocol, as the paper's baseline.
+
+Per paper §III, the original protocol differs from the Accelerated Ring
+protocol in exactly three ways:
+
+1. every message for the round is multicast *before* the token is passed
+   (``Accelerated window = 0``);
+2. missing messages are requested immediately, against the seq of the
+   token just received (there is no in-flight ambiguity, since the
+   predecessor finished sending before releasing the token);
+3. the token is never prioritized over received data messages — all
+   received data is processed before the token
+   (:attr:`~repro.core.config.TokenPriorityMethod.NEVER`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.core.participant import AcceleratedRingParticipant
+from repro.core.token import RegularToken
+
+
+class OriginalRingParticipant(AcceleratedRingParticipant):
+    """One ring member running the original (unaccelerated) protocol."""
+
+    accelerated = False
+
+    def __init__(
+        self,
+        pid: int,
+        ring: Sequence[int],
+        config: Optional[ProtocolConfig] = None,
+        ring_id: int = 1,
+    ) -> None:
+        config = config or ProtocolConfig()
+        pinned = replace(
+            config,
+            accelerated_window=0,
+            priority_method=TokenPriorityMethod.NEVER,
+        )
+        super().__init__(pid, ring, pinned, ring_id)
+
+    def _retransmission_request_limit(self, received_token: RegularToken) -> int:
+        # Everything reflected in the just-received token has already been
+        # multicast, so anything missing below its seq is genuinely lost.
+        return received_token.seq

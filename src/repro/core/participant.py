@@ -1,0 +1,350 @@
+"""The Accelerated Ring ordering protocol (paper §III).
+
+:class:`AcceleratedRingParticipant` is a sans-io state machine: feed it
+received tokens and data messages, and it returns the ordered list of
+effects (multicasts, the token send, deliveries) the implementation must
+perform.  Effects preceding the :class:`~repro.core.events.SendToken` are
+the *pre-token multicast phase*; effects following it are the *post-token
+phase* — the protocol's key innovation is that the token can be released
+before the post-token phase runs.
+
+Normal-case operation only: membership establishment, token loss, crashes,
+and partitions are the membership algorithm's job (:mod:`repro.membership`),
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.core.buffer import MessageBuffer
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.core.events import Deliver, Effect, MulticastData, SendToken, Stable
+from repro.core.flow_control import plan_sending, update_fcc
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.token import RegularToken
+from repro.util.errors import ProtocolError
+
+
+class _PendingMessage:
+    """An application payload waiting for the token."""
+
+    __slots__ = ("payload", "service", "timestamp", "payload_size")
+
+    def __init__(
+        self,
+        payload: bytes,
+        service: DeliveryService,
+        timestamp: Optional[float],
+        payload_size: Optional[int],
+    ) -> None:
+        self.payload = payload
+        self.service = service
+        self.timestamp = timestamp
+        self.payload_size = payload_size if payload_size is not None else len(payload)
+
+
+class AcceleratedRingParticipant:
+    """One member of the logical ring running the Accelerated Ring protocol.
+
+    Args:
+        pid: this participant's id; must appear in ``ring``.
+        ring: participant ids in ring order (token travels in list order,
+            wrapping around).
+        config: flow-control windows and priority method.
+        ring_id: identifier of the current ring configuration (from
+            membership); tokens from other rings are ignored.
+    """
+
+    #: True for engines that release the token before finishing multicasting.
+    accelerated = True
+
+    def __init__(
+        self,
+        pid: int,
+        ring: Sequence[int],
+        config: Optional[ProtocolConfig] = None,
+        ring_id: int = 1,
+    ) -> None:
+        if pid not in ring:
+            raise ProtocolError(f"pid {pid} not in ring {list(ring)}")
+        if len(set(ring)) != len(ring):
+            raise ProtocolError(f"ring contains duplicate ids: {list(ring)}")
+        self.pid = pid
+        self.ring = list(ring)
+        self.config = config or ProtocolConfig()
+        self.ring_id = ring_id
+        index = self.ring.index(pid)
+        self.successor = self.ring[(index + 1) % len(self.ring)]
+        self.predecessor = self.ring[(index - 1) % len(self.ring)]
+
+        self.buffer = MessageBuffer()
+        self.pending: Deque[_PendingMessage] = deque()
+        self.round = 0
+
+        #: Data messages get high priority right after a token is processed;
+        #: the methods of §III-D raise the token's priority back.
+        self.token_has_priority = False
+
+        self._last_token_id = -1
+        self._sent_last_round = 0
+        self._prev_token_seq = 0
+        self._sent_aru_prev = 0
+        self._safe_limit = 0
+        self._last_delivered = 0
+
+        # Statistics.
+        self.rounds_completed = 0
+        self.messages_originated = 0
+        self.retransmissions_sent = 0
+        self.requests_made = 0
+        self.duplicate_tokens = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        payload: bytes = b"",
+        service: DeliveryService = DeliveryService.AGREED,
+        timestamp: Optional[float] = None,
+        payload_size: Optional[int] = None,
+    ) -> None:
+        """Queue an application message; it is stamped and multicast when
+        the token next visits this participant."""
+        self.pending.append(_PendingMessage(payload, service, timestamp, payload_size))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    @property
+    def local_aru(self) -> int:
+        return self.buffer.local_aru
+
+    @property
+    def last_delivered(self) -> int:
+        return self._last_delivered
+
+    @property
+    def safe_limit(self) -> int:
+        """Highest sequence number currently known stable (Safe-deliverable)."""
+        return self._safe_limit
+
+    # ------------------------------------------------------------------
+    # Token handling (paper §III-B)
+    # ------------------------------------------------------------------
+
+    def on_token(self, token: RegularToken) -> List[Effect]:
+        """Handle a received regular token; returns the effects in order:
+        pre-token multicasts, the token send, post-token multicasts, then
+        deliveries and discard notifications."""
+        if token.ring_id != self.ring_id:
+            return []
+        if token.token_id <= self._last_token_id:
+            self.duplicate_tokens += 1
+            return []
+        self._last_token_id = token.token_id
+        token = token.copy()
+        self.round += 1
+        self.rounds_completed += 1
+        if self.pid == self.ring[0]:
+            token.rotation += 1
+
+        effects: List[Effect] = []
+
+        # --- 1. Pre-token multicasting -------------------------------
+        # All retransmissions must go out before the token; otherwise they
+        # could be requested again (paper §III-B1).
+        answered = []
+        for requested in token.rtr:
+            held = self.buffer.get(requested)
+            if held is not None:
+                answered.append(requested)
+                effects.append(MulticastData(held, retransmission=True))
+        self.retransmissions_sent += len(answered)
+
+        plan = plan_sending(self.config, len(self.pending), token.fcc, len(answered))
+        received_seq = token.seq
+        received_aru = token.aru
+        new_messages = self._stamp_new_messages(received_seq, plan.num_to_send, plan.pre_token)
+        for message in new_messages[: plan.pre_token]:
+            effects.append(MulticastData(message))
+
+        # --- 2. Updating and sending the token ------------------------
+        request_limit = self._retransmission_request_limit(token)
+        new_seq = received_seq + plan.num_to_send
+        token.seq = new_seq
+        self._update_aru(token, received_seq, received_aru, plan.num_to_send)
+        token.fcc = update_fcc(
+            token.fcc, self._sent_last_round, len(answered) + plan.num_to_send
+        )
+        self._sent_last_round = len(answered) + plan.num_to_send
+        self._update_rtr(token, answered, request_limit)
+        token.token_id += 1
+        effects.append(SendToken(token, self.successor))
+
+        # --- 3. Post-token multicasting --------------------------------
+        for message in new_messages[plan.pre_token :]:
+            effects.append(MulticastData(message))
+
+        # --- 4. Delivering and discarding ------------------------------
+        # Safe delivery limit: the minimum of the aru on the token sent this
+        # round and the one sent last round (paper §III-B4).
+        self._safe_limit = min(self._sent_aru_prev, token.aru)
+        self._sent_aru_prev = token.aru
+        effects.extend(self._deliver_ready())
+        discard_limit = min(self._safe_limit, self._last_delivered)
+        if self.buffer.discard_up_to(discard_limit):
+            effects.append(Stable(discard_limit))
+
+        # Bookkeeping for the accelerated request rule and §III-D priority.
+        self._prev_token_seq = received_seq
+        self.token_has_priority = False
+        return effects
+
+    # ------------------------------------------------------------------
+    # Data handling (paper §III-C)
+    # ------------------------------------------------------------------
+
+    def rollback_delivery_frontier(self, last_delivered: int) -> None:
+        """Roll the delivery frontier back to ``last_delivered``.
+
+        Used by the membership layer while a view change is in progress:
+        messages that arrive mid-change must not be delivered with normal
+        attribution, so the controller undoes the frontier advance and
+        re-delivers through the recovery rules instead.
+        """
+        if last_delivered > self._last_delivered:
+            raise ProtocolError(
+                f"cannot roll delivery frontier forward "
+                f"({last_delivered} > {self._last_delivered})"
+            )
+        self.messages_delivered -= self._last_delivered - last_delivered
+        self._last_delivered = last_delivered
+
+    def on_data(self, message: DataMessage) -> List[Effect]:
+        """Handle a received data message; may produce in-order deliveries."""
+        if message.ring_id != self.ring_id:
+            return []
+        if not self.buffer.insert(message):
+            return []
+        self._maybe_raise_token_priority(message)
+        return self._deliver_ready()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _stamp_new_messages(
+        self, start_seq: int, num_to_send: int, pre_token: int
+    ) -> List[DataMessage]:
+        """Assign consecutive sequence numbers to the next ``num_to_send``
+        pending payloads.  The sender also inserts its own messages into its
+        buffer: it trivially "has" them, so they count toward its local aru.
+        """
+        messages: List[DataMessage] = []
+        for index in range(num_to_send):
+            pending = self.pending.popleft()
+            message = DataMessage(
+                seq=start_seq + 1 + index,
+                pid=self.pid,
+                round=self.round,
+                service=pending.service,
+                payload=pending.payload,
+                post_token=index >= pre_token,
+                payload_size=pending.payload_size,
+                timestamp=pending.timestamp,
+                ring_id=self.ring_id,
+            )
+            self.buffer.insert(message)
+            messages.append(message)
+        self.messages_originated += num_to_send
+        return messages
+
+    def _retransmission_request_limit(self, received_token: RegularToken) -> int:
+        """Highest sequence number this participant may request.
+
+        Accelerated rule (paper §III-B2): request only up through the seq
+        of the token received in the *previous* round — anything newer may
+        simply not have been sent yet.  The original protocol overrides
+        this to use the current token's seq.
+        """
+        return self._prev_token_seq
+
+    def _update_aru(
+        self,
+        token: RegularToken,
+        received_seq: int,
+        received_aru: int,
+        num_to_send: int,
+    ) -> None:
+        """Apply the aru rules of paper §III-B2 / Totem."""
+        local_aru = self.buffer.local_aru
+        if local_aru < received_aru:
+            # Rule 1: lower the aru to what we actually have.
+            token.aru = local_aru
+            token.aru_lowered_by = self.pid
+        elif token.aru_lowered_by == self.pid:
+            # Rule 2: we lowered it previously and nobody lowered it
+            # further since — raise it to our current local aru.
+            token.aru = local_aru
+            if token.aru == token.seq:
+                token.aru_lowered_by = None
+        elif received_aru == received_seq:
+            # Rule 3: aru was keeping pace with seq; advance it with our
+            # own sends (we hold all prior messages and our new ones).
+            token.aru = received_seq + num_to_send
+            token.aru_lowered_by = None
+        # Otherwise: some other participant governs the aru; leave it.
+
+    def _update_rtr(
+        self, token: RegularToken, answered: List[int], request_limit: int
+    ) -> None:
+        """Remove answered requests; add our own missing sequence numbers."""
+        answered_set = set(answered)
+        kept = [seq for seq in token.rtr if seq not in answered_set]
+        present = set(kept)
+        my_missing = self.buffer.missing_between(
+            self.buffer.local_aru, min(request_limit, token.seq)
+        )
+        for seq in my_missing:
+            if seq not in present:
+                kept.append(seq)
+                present.add(seq)
+                self.requests_made += 1
+        token.rtr = kept
+
+    def _deliver_ready(self) -> List[Effect]:
+        """Deliver messages in total order as far as the rules allow.
+
+        Agreed (and FIFO/Causal/Reliable) messages are deliverable once
+        contiguous; a Safe message blocks the frontier until the token aru
+        proves stability (``_safe_limit``), preserving the single total
+        order across services.
+        """
+        effects: List[Effect] = []
+        while True:
+            next_seq = self._last_delivered + 1
+            message = self.buffer.get(next_seq)
+            if message is None:
+                break
+            if message.service.requires_stability and next_seq > self._safe_limit:
+                break
+            self._last_delivered = next_seq
+            self.messages_delivered += 1
+            effects.append(Deliver(message))
+        return effects
+
+    def _maybe_raise_token_priority(self, message: DataMessage) -> None:
+        """Paper §III-D: decide when the token outranks data again."""
+        method = self.config.priority_method
+        if method is TokenPriorityMethod.NEVER:
+            return
+        if message.pid != self.predecessor or message.round <= self.round:
+            return
+        if method is TokenPriorityMethod.AGGRESSIVE or message.post_token:
+            self.token_has_priority = True

@@ -1,0 +1,65 @@
+"""The regular token (paper §III-B).
+
+The token is the single control message that provides ordering, stability
+notification, flow control, and failure detection.  Fields:
+
+* ``seq`` — the last sequence number assigned to any message.  The holder
+  may stamp new messages starting at ``seq + 1``.
+* ``aru`` ("all-received-up-to") — tracks the highest sequence number such
+  that *every* participant has received everything at or below it; drives
+  Safe delivery and garbage collection.
+* ``fcc`` ("flow control count") — total multicasts (including
+  retransmissions) during the previous token rotation; enforces the Global
+  window.
+* ``rtr`` — the retransmission request list.
+
+``aru_lowered_by`` mirrors Totem's ``aru_id``: the participant that last
+lowered the ``aru`` (the paper phrases the same rule as "if the received
+token's aru has not changed since the participant lowered it").
+``token_id`` increments on every send so duplicate tokens (after a token
+retransmission) are discarded; ``rotation`` counts completed ring rotations
+for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+
+@dataclass
+class RegularToken:
+    """The circulating ordering token."""
+
+    ring_id: int
+    token_id: int = 0
+    seq: int = 0
+    aru: int = 0
+    aru_lowered_by: Optional[int] = None
+    fcc: int = 0
+    rtr: List[int] = field(default_factory=list)
+    rotation: int = 0
+
+    # Base wire size of the fixed fields; each rtr entry adds 4 bytes.
+    BASE_SIZE = 40
+    RTR_ENTRY_SIZE = 4
+
+    def wire_size(self) -> int:
+        return self.BASE_SIZE + self.RTR_ENTRY_SIZE * len(self.rtr)
+
+    def copy(self) -> "RegularToken":
+        return replace(self, rtr=list(self.rtr))
+
+    def validate(self) -> None:
+        """Sanity-check invariants that must hold on any well-formed token."""
+        if self.aru > self.seq:
+            raise ValueError(f"token aru {self.aru} exceeds seq {self.seq}")
+        if self.fcc < 0:
+            raise ValueError(f"token fcc is negative: {self.fcc}")
+        if any(request < 1 or request > self.seq for request in self.rtr):
+            raise ValueError(f"rtr entries out of range (seq={self.seq}): {self.rtr}")
+
+
+def initial_token(ring_id: int) -> RegularToken:
+    """The first regular token after membership establishes a ring."""
+    return RegularToken(ring_id=ring_id)

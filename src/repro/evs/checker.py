@@ -1,0 +1,225 @@
+"""Trace checker for Extended Virtual Synchrony properties.
+
+Feed it the full delivery trace of every participant (message deliveries
+and configuration changes) and it verifies the guarantees of paper §II:
+
+* **Agreed delivery** — all members of a configuration deliver messages in
+  the same total order, each message at most once.
+* **Safe delivery** — if any member delivers a Safe message in a
+  configuration, every other member of that configuration delivers it too,
+  unless it crashes.
+* **Configuration agreement** — participants installing the same
+  configuration id agree on its membership.
+* **Virtual synchrony** — two participants transitioning together through
+  the same transitional configuration deliver the same set of messages
+  before installing the next regular configuration.
+* **Self delivery** — a participant delivers its own messages (given the
+  submission record), unless it crashes.
+
+The checker is deliberately independent of the protocol implementation:
+it sees only traces, so protocol bugs cannot hide inside it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.evs.configuration import Configuration
+from repro.evs.events import ConfigDelivery, DeliveryEvent, MessageDelivery
+from repro.util.errors import ReproError
+
+
+class EvsViolation(ReproError, AssertionError):
+    """An EVS guarantee was violated by the recorded traces."""
+
+
+MessageKey = Tuple[int, int]  # (origin ring/config of ordering, seq)
+
+
+class EvsChecker:
+    """Collects per-participant delivery traces and validates them."""
+
+    def __init__(self) -> None:
+        self.traces: Dict[int, List[DeliveryEvent]] = defaultdict(list)
+        #: Optional: pid -> number of messages it submitted (for self-delivery).
+        self.submissions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def record(self, pid: int, event: DeliveryEvent) -> None:
+        self.traces[pid].append(event)
+
+    def record_submission(self, pid: int, count: int = 1) -> None:
+        self.submissions[pid] = self.submissions.get(pid, 0) + count
+
+    # ------------------------------------------------------------------
+
+    def check(self, crashed: Iterable[int] = ()) -> None:
+        """Run every property check; raises :class:`EvsViolation`."""
+        crashed_set = frozenset(crashed)
+        self.check_no_duplicates()
+        self.check_total_order()
+        self.check_configuration_agreement()
+        self.check_safe_delivery(crashed_set)
+        self.check_virtual_synchrony()
+        if self.submissions:
+            self.check_self_delivery(crashed_set)
+
+    # ------------------------------------------------------------------
+
+    def _message_events(self, pid: int) -> List[MessageDelivery]:
+        return [e for e in self.traces[pid] if isinstance(e, MessageDelivery)]
+
+    def _key(self, event: MessageDelivery) -> MessageKey:
+        ring = event.origin_ring if event.origin_ring is not None else event.config_id
+        return (ring, event.seq)
+
+    def check_no_duplicates(self) -> None:
+        for pid, trace in self.traces.items():
+            seen: Set[MessageKey] = set()
+            for event in trace:
+                if not isinstance(event, MessageDelivery):
+                    continue
+                key = self._key(event)
+                if key in seen:
+                    raise EvsViolation(f"participant {pid} delivered {key} twice")
+                seen.add(key)
+
+    def check_total_order(self) -> None:
+        """Common messages appear in the same relative order everywhere.
+
+        Order is compared per ordering domain (ring): within one ring,
+        delivery order must follow sequence numbers.
+        """
+        for pid, trace in self.traces.items():
+            per_ring_last: Dict[int, int] = {}
+            for event in trace:
+                if not isinstance(event, MessageDelivery):
+                    continue
+                ring, seq = self._key(event)
+                last = per_ring_last.get(ring, 0)
+                if seq <= last:
+                    raise EvsViolation(
+                        f"participant {pid} delivered ring {ring} seq {seq} "
+                        f"after seq {last} (order violation)"
+                    )
+                per_ring_last[ring] = seq
+
+    def check_configuration_agreement(self) -> None:
+        """Regular configurations with the same id have the same members.
+
+        Transitional configurations derived from the same regular
+        configuration may legitimately differ across a partition (each
+        side installs its own survivor set); the required property is
+        *mutual* agreement — if p delivers transitional (id, M) then every
+        member of M that delivers a transitional configuration with that
+        id delivers exactly (id, M).
+        """
+        views: Dict[Tuple[int, bool], FrozenSet[int]] = {}
+        for pid, trace in self.traces.items():
+            for event in trace:
+                if not isinstance(event, ConfigDelivery):
+                    continue
+                configuration = event.configuration
+                key = (configuration.config_id, configuration.transitional)
+                previous = views.get(key)
+                if previous is None:
+                    views[key] = configuration.members
+                elif previous != configuration.members:
+                    raise EvsViolation(
+                        f"configuration {key} installed with different members: "
+                        f"{sorted(previous)} vs {sorted(configuration.members)}"
+                    )
+
+    def check_safe_delivery(self, crashed: FrozenSet[int]) -> None:
+        """A Safe message delivered by anyone must be delivered by every
+        non-crashed member of the configuration it was delivered in.
+
+        The configuration a delivery belongs to is the nearest preceding
+        configuration-change event in that participant's own trace: normal
+        operation follows a regular configuration; recovery deliveries
+        after a transitional configuration are guaranteed only with
+        respect to the transitional members (EVS).
+        """
+        delivered_by: Dict[MessageKey, Set[int]] = defaultdict(set)
+        requirements: Dict[MessageKey, List[FrozenSet[int]]] = defaultdict(list)
+        for pid, trace in self.traces.items():
+            current_members: Optional[FrozenSet[int]] = None
+            for event in trace:
+                if isinstance(event, ConfigDelivery):
+                    current_members = event.configuration.members
+                    continue
+                if not isinstance(event, MessageDelivery):
+                    continue
+                key = self._key(event)
+                delivered_by[key].add(pid)
+                if event.is_safe and current_members is not None:
+                    requirements[key].append(current_members)
+        for key, member_sets in requirements.items():
+            required: Set[int] = set()
+            for members in member_sets:
+                required |= members
+            for member in required:
+                if member in crashed:
+                    continue
+                if member not in delivered_by[key]:
+                    raise EvsViolation(
+                        f"safe message {key} was delivered but non-crashed "
+                        f"member {member} never delivered it"
+                    )
+
+    def check_virtual_synchrony(self) -> None:
+        """Participants moving together through the same transitional
+        configuration deliver the same set of that ring's messages before
+        the transitional configuration is delivered.
+
+        Only messages ordered by the ring the transitional configuration
+        closes (``origin_ring == config_id``) are compared: members that
+        arrived from different previous rings legitimately have different
+        earlier histories.
+        """
+        # (transitional config id, members) -> pid -> messages delivered before
+        before_transitional: Dict[Tuple[int, FrozenSet[int]], Dict[int, Set[MessageKey]]]
+        before_transitional = defaultdict(dict)
+        for pid, trace in self.traces.items():
+            delivered: Set[MessageKey] = set()
+            for event in trace:
+                if isinstance(event, MessageDelivery):
+                    delivered.add(self._key(event))
+                elif isinstance(event, ConfigDelivery) and event.configuration.transitional:
+                    ring = event.configuration.closes
+                    if ring is None:
+                        continue
+                    key = (event.configuration.config_id, event.configuration.members)
+                    before_transitional[key][pid] = {
+                        message for message in delivered if message[0] == ring
+                    }
+        for (config_id, members), snapshots in before_transitional.items():
+            participants = [pid for pid in snapshots if pid in members]
+            if len(participants) < 2:
+                continue
+            reference_pid = participants[0]
+            reference = snapshots[reference_pid]
+            for pid in participants[1:]:
+                if snapshots[pid] != reference:
+                    missing = reference.symmetric_difference(snapshots[pid])
+                    raise EvsViolation(
+                        f"virtual synchrony violated at transitional config "
+                        f"{config_id}: {reference_pid} and {pid} differ on {sorted(missing)[:10]}"
+                    )
+
+    def check_self_delivery(self, crashed: FrozenSet[int]) -> None:
+        for pid, submitted in self.submissions.items():
+            if pid in crashed:
+                continue
+            own = sum(
+                1
+                for event in self.traces[pid]
+                if isinstance(event, MessageDelivery) and event.sender == pid
+            )
+            if own < submitted:
+                raise EvsViolation(
+                    f"participant {pid} submitted {submitted} messages but "
+                    f"delivered only {own} of its own"
+                )

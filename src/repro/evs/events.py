@@ -1,0 +1,41 @@
+"""Typed delivery-trace events consumed by the EVS checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.messages import DeliveryService
+from repro.evs.configuration import Configuration
+
+
+class DeliveryEvent:
+    """Base class for events in a participant's delivery trace."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class MessageDelivery(DeliveryEvent):
+    """A message delivered to the application."""
+
+    seq: int
+    sender: int
+    service: DeliveryService
+    config_id: int
+    origin_ring: Optional[int] = None
+
+    @property
+    def is_safe(self) -> bool:
+        return self.service is DeliveryService.SAFE
+
+
+@dataclass(frozen=True)
+class ConfigDelivery(DeliveryEvent):
+    """A configuration change delivered to the application."""
+
+    configuration: Configuration
+
+    @property
+    def config_id(self) -> int:
+        return self.configuration.config_id

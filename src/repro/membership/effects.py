@@ -1,0 +1,62 @@
+"""Effects emitted by the membership controller.
+
+These extend the core protocol effects: drivers executing a controller
+must also handle control sends, timers, and configuration deliveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.events import Effect
+from repro.core.messages import DataMessage
+from repro.evs.configuration import Configuration
+
+
+@dataclass
+class SendControl(Effect):
+    """Send a membership control message.
+
+    ``destination`` of ``None`` means multicast to all attached hosts.
+    Control messages travel on the token port class.
+    """
+
+    message: Any
+    destination: Optional[int] = None
+
+
+@dataclass
+class SetTimer(Effect):
+    """(Re)arm a named timer to fire ``delay`` seconds from now."""
+
+    name: str
+    delay: float
+
+
+@dataclass
+class CancelTimer(Effect):
+    """Cancel a named timer if armed."""
+
+    name: str
+
+
+@dataclass
+class DeliverMessage(Effect):
+    """Deliver an application message, attributed to a configuration.
+
+    Replaces the core :class:`~repro.core.events.Deliver` effect when a
+    membership controller wraps the ordering engine, so traces carry the
+    configuration context the EVS checker needs.
+    """
+
+    message: DataMessage
+    config_id: int
+    origin_ring: int
+
+
+@dataclass
+class DeliverConfiguration(Effect):
+    """Deliver a configuration change (regular or transitional)."""
+
+    configuration: Configuration

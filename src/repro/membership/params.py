@@ -1,0 +1,70 @@
+"""Membership timeouts.
+
+Defaults are scaled for the discrete-event simulator (token rounds of
+tens to hundreds of microseconds); the real asyncio runtime passes
+wall-clock-scale values instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MembershipTimeouts:
+    """Timer intervals driving failure detection and membership phases.
+
+    Attributes:
+        token_loss: max time between token receipts in Operational state
+            before the ring is declared broken (the protocol's fast
+            failure detection).
+        join_interval: how often a gathering participant re-multicasts its
+            join message.
+        consensus_timeout: how long to wait for matching joins before
+            declaring unresponsive candidates failed.
+        commit_timeout: max time in the Commit phase before falling back
+            to Gather.
+        recovery_status_interval: how often recovery status gossip and
+            re-floods are sent.
+        recovery_timeout: max time in the Recovery phase before falling
+            back to Gather.
+    """
+
+    token_loss: float = 5e-3
+    join_interval: float = 1e-3
+    consensus_timeout: float = 4e-3
+    #: How long the agreed (proc, fail) sets must hold still before the
+    #: ring is committed — damps racing proposals during merges.
+    consensus_settle: float = 1.5e-3
+    commit_timeout: float = 10e-3
+    recovery_status_interval: float = 1e-3
+    recovery_timeout: float = 30e-3
+    beacon_interval: float = 5e-3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "token_loss",
+            "join_interval",
+            "consensus_timeout",
+            "consensus_settle",
+            "commit_timeout",
+            "recovery_status_interval",
+            "recovery_timeout",
+            "beacon_interval",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def scaled(self, factor: float) -> "MembershipTimeouts":
+        return MembershipTimeouts(
+            token_loss=self.token_loss * factor,
+            join_interval=self.join_interval * factor,
+            consensus_timeout=self.consensus_timeout * factor,
+            consensus_settle=self.consensus_settle * factor,
+            commit_timeout=self.commit_timeout * factor,
+            recovery_status_interval=self.recovery_status_interval * factor,
+            recovery_timeout=self.recovery_timeout * factor,
+            beacon_interval=self.beacon_interval * factor,
+        )

@@ -1,0 +1,56 @@
+"""Discrete-event network substrate.
+
+This package stands in for the paper's physical testbed (8 servers on a
+1 GbE Cisco Catalyst 2960 or a 10 GbE Arista 7100T switch).  It models the
+pieces of that environment that drive the paper's results:
+
+* link serialization delay (bytes / bit-rate) at the sending NIC and at
+  each switch output port (store-and-forward),
+* bounded per-port switch buffering — the buffering that the Accelerated
+  Ring protocol exploits to overlap senders,
+* a single-threaded host CPU with per-message processing costs,
+* separate token and data sockets with bounded receive buffers, enabling
+  the priority discipline of paper §III-D,
+* receiver-side loss models matching the paper's instrumented-drop
+  experiments (§IV-A4).
+"""
+
+from repro.net.simulator import Simulator, EventHandle
+from repro.net.packet import Frame, PortKind
+from repro.net.params import NetworkParams, GIGABIT, TEN_GIGABIT
+from repro.net.nic import Nic
+from repro.net.switch import Switch
+from repro.net.host import SimHost, SocketBuffer, Cpu
+from repro.net.loss import (
+    LossModel,
+    NoLoss,
+    UniformLoss,
+    PositionalLoss,
+    BurstLoss,
+)
+from repro.net.fragment import fragment_datagram, Reassembler
+from repro.net.topology import StarTopology, build_star
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Frame",
+    "PortKind",
+    "NetworkParams",
+    "GIGABIT",
+    "TEN_GIGABIT",
+    "Nic",
+    "Switch",
+    "SimHost",
+    "SocketBuffer",
+    "Cpu",
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "PositionalLoss",
+    "BurstLoss",
+    "fragment_datagram",
+    "Reassembler",
+    "StarTopology",
+    "build_star",
+]

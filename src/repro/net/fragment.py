@@ -1,0 +1,92 @@
+"""UDP datagram fragmentation and reassembly.
+
+Paper §IV-A3 evaluates 8850-byte payloads carried in UDP datagrams of up
+to 9000 bytes: the kernel fragments them into MTU-sized IP fragments, and
+"losing a single frame causes the whole datagram to be lost".  This module
+reproduces exactly that: a datagram larger than the MTU becomes several
+frames sharing a ``(datagram_id, index, total)`` tag, and the receiver's
+:class:`Reassembler` only surfaces the datagram once every fragment has
+arrived — if any fragment is dropped the datagram never completes (a
+garbage-collection hook expires stale partial datagrams).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.net.packet import Frame, PortKind
+
+_datagram_ids = itertools.count(1)
+
+
+def fragment_datagram(
+    src: int,
+    dst: Optional[int],
+    kind: PortKind,
+    size: int,
+    payload: Any,
+    mtu: int,
+) -> List[Frame]:
+    """Split one UDP datagram into MTU-sized frames.
+
+    Returns a single unfragmented frame when ``size`` fits in the MTU.
+    """
+    if size <= mtu:
+        return [Frame(src=src, dst=dst, kind=kind, size=size, payload=payload)]
+    datagram_id = next(_datagram_ids)
+    total = -(-size // mtu)  # ceil division
+    frames = []
+    remaining = size
+    for index in range(total):
+        frag_size = min(mtu, remaining)
+        remaining -= frag_size
+        frames.append(
+            Frame(
+                src=src,
+                dst=dst,
+                kind=kind,
+                size=frag_size,
+                payload=payload,
+                fragment=(datagram_id, index, total),
+            )
+        )
+    return frames
+
+
+class Reassembler:
+    """Per-host IP fragment reassembly buffer."""
+
+    def __init__(self, max_partial: int = 1024) -> None:
+        self._partial: Dict[tuple, set] = {}
+        self._max_partial = max_partial
+        self.datagrams_completed = 0
+        self.datagrams_expired = 0
+
+    def accept(self, frame: Frame) -> Optional[Any]:
+        """Feed one frame; returns the datagram payload when complete.
+
+        Unfragmented frames complete immediately.  The key includes the
+        source host so fragments from different senders never mix.
+        """
+        if frame.fragment is None:
+            self.datagrams_completed += 1
+            return frame.payload
+        datagram_id, index, total = frame.fragment
+        key = (frame.src, datagram_id)
+        seen = self._partial.setdefault(key, set())
+        seen.add(index)
+        if len(seen) == total:
+            del self._partial[key]
+            self.datagrams_completed += 1
+            return frame.payload
+        if len(self._partial) > self._max_partial:
+            self._expire_oldest()
+        return None
+
+    def _expire_oldest(self) -> None:
+        # Datagram ids increase monotonically; the smallest id is the
+        # stalest partial datagram, which a dropped fragment has orphaned.
+        oldest = min(self._partial, key=lambda key: key[1])
+        del self._partial[oldest]
+        self.datagrams_expired += 1

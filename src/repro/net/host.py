@@ -1,0 +1,158 @@
+"""Simulated host: receive sockets, a single-threaded CPU, and a NIC.
+
+The host mirrors the implementation architecture described in paper
+§III-E: token and data messages arrive on *separate sockets* so the
+protocol can prioritize one message type over the other, and all protocol
+work (receiving, sending, delivering) runs on one CPU core — the paper is
+explicit that the daemon must not consume more than a single core.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.nic import Nic
+from repro.net.packet import Frame, PortKind
+from repro.net.params import NetworkParams
+from repro.net.simulator import Simulator
+
+
+class SocketBuffer:
+    """A bounded kernel receive buffer for one UDP socket."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self._capacity = capacity_bytes
+        self._queue: Deque[Frame] = deque()
+        self._queued_bytes = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.peak_queue_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def push(self, frame: Frame) -> bool:
+        """Enqueue an arriving frame; False means kernel-buffer overflow."""
+        if self._queued_bytes + frame.size > self._capacity:
+            self.frames_dropped += 1
+            return False
+        self._queue.append(frame)
+        self._queued_bytes += frame.size
+        self.frames_received += 1
+        if self._queued_bytes > self.peak_queue_bytes:
+            self.peak_queue_bytes = self._queued_bytes
+        return True
+
+    def pop(self) -> Frame:
+        frame = self._queue.popleft()
+        self._queued_bytes -= frame.size
+        return frame
+
+    def peek(self) -> Frame:
+        return self._queue[0]
+
+
+class Cpu:
+    """A single-threaded CPU.
+
+    Work is either *submitted* explicitly (``submit``) or pulled by the
+    ``idle_hook`` when the explicit queue is empty.  The protocol driver
+    installs an idle hook that reads the next frame from the sockets
+    according to the current token/data priority (paper §III-D); explicit
+    submissions model work the protocol has already committed to (e.g. the
+    sends making up the pre-token and post-token multicast phases).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._queue: Deque[tuple] = deque()
+        self._busy = False
+        self.idle_hook: Optional[Callable[[], Optional[tuple]]] = None
+        self.busy_time = 0.0
+        self.tasks_executed = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def submit(self, cost: float, fn: Callable[[], None]) -> None:
+        """Queue ``fn`` to run for ``cost`` seconds of CPU time."""
+        self._queue.append((cost, fn))
+        if not self._busy:
+            self._start_next()
+
+    def kick(self) -> None:
+        """Wake the CPU; if idle it will consult the idle hook."""
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        task = None
+        if self._queue:
+            task = self._queue.popleft()
+        elif self.idle_hook is not None:
+            task = self.idle_hook()
+        if task is None:
+            self._busy = False
+            return
+        cost, fn = task
+        self._busy = True
+        self.busy_time += cost
+        self._sim.schedule(cost, self._finish, fn)
+
+    def _finish(self, fn: Callable[[], None]) -> None:
+        self.tasks_executed += 1
+        fn()
+        self._start_next()
+
+
+class SimHost:
+    """One server in the simulated testbed."""
+
+    def __init__(
+        self,
+        host_id: int,
+        sim: Simulator,
+        params: NetworkParams,
+        on_wire: Callable[[Frame], None],
+        loss_model: Optional[LossModel] = None,
+    ) -> None:
+        self.host_id = host_id
+        self.sim = sim
+        self.params = params
+        self.nic = Nic(sim, params, on_wire)
+        self.cpu = Cpu(sim)
+        self.token_socket = SocketBuffer(params.socket_buffer_bytes)
+        self.data_socket = SocketBuffer(params.socket_buffer_bytes)
+        self.loss_model = loss_model or NoLoss()
+        self.frames_lost_to_model = 0
+        self.crashed = False
+
+    def socket_for(self, kind: PortKind) -> SocketBuffer:
+        return self.token_socket if kind is PortKind.TOKEN else self.data_socket
+
+    def receive(self, frame: Frame) -> None:
+        """A frame has fully arrived from the switch output port."""
+        if self.crashed:
+            return
+        # Paper §IV-A4: each daemon is instrumented to randomly drop a
+        # percentage of the *data* messages it receives; token loss is out
+        # of scope for the normal-case protocol (handled by membership).
+        if frame.kind is PortKind.DATA and self.loss_model.should_drop(self.host_id, frame):
+            self.frames_lost_to_model += 1
+            return
+        if self.socket_for(frame.kind).push(frame):
+            self.cpu.kick()
+
+    def crash(self) -> None:
+        """Stop receiving and processing (fail-stop)."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False

@@ -1,0 +1,74 @@
+"""Host network interface: a serializing transmit queue.
+
+The NIC accepts frames from the host CPU instantly (the CPU cost of the
+send system call is modelled separately by the host profile) and puts them
+on the wire one at a time at the link rate.  The frame reaches the switch
+ingress after serialization plus propagation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Frame
+from repro.net.params import NetworkParams
+from repro.net.simulator import Simulator
+
+
+class Nic:
+    """Transmit side of a host's network interface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NetworkParams,
+        on_wire: Callable[[Frame], None],
+        tx_queue_bytes: Optional[int] = None,
+    ) -> None:
+        self._sim = sim
+        self._params = params
+        self._on_wire = on_wire
+        self._queue: Deque[Frame] = deque()
+        self._queued_bytes = 0
+        self._capacity = tx_queue_bytes if tx_queue_bytes is not None else 4 * 1024 * 1024
+        self._busy = False
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def send(self, frame: Frame) -> bool:
+        """Enqueue a frame for transmission.
+
+        Returns False (and counts a drop) if the transmit queue is full —
+        with the protocol's flow control working this should not happen, and
+        tests assert it does not.
+        """
+        if self._queued_bytes + frame.size > self._capacity:
+            self.frames_dropped += 1
+            return False
+        self._queue.append(frame)
+        self._queued_bytes += frame.size
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        frame = self._queue.popleft()
+        self._queued_bytes -= frame.size
+        delay = self._params.serialization_delay(frame.size)
+        self._sim.schedule(delay, self._finish, frame)
+
+    def _finish(self, frame: Frame) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += frame.size
+        self._sim.schedule(self._params.propagation, self._on_wire, frame)
+        self._start_next()

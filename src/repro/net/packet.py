@@ -1,0 +1,71 @@
+"""On-wire frame abstraction for the simulated network.
+
+The simulator does not serialize protocol messages to bytes; a
+:class:`Frame` carries the live message object plus the *size* it would
+occupy on the wire, which is all the timing model needs.  (The real
+asyncio runtime in :mod:`repro.runtime` uses the binary codecs in
+:mod:`repro.core.codec` instead.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class PortKind(Enum):
+    """Which UDP port class a frame travels on.
+
+    The implementations in the paper send tokens and data on different ports
+    and receive them on different sockets (§III-E), which is what lets a
+    participant prioritize one type over the other.  Membership control
+    messages (join / commit token) travel on the token port class.
+    """
+
+    DATA = "data"
+    TOKEN = "token"
+
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One network frame (one UDP datagram up to the MTU, or one fragment).
+
+    Attributes:
+        src: sending host id.
+        dst: destination host id, or ``None`` for multicast to every other
+            attached host (IP-multicast on the LAN).
+        kind: token-port or data-port traffic.
+        size: total on-wire bytes, excluding per-frame Ethernet overhead
+            (the :class:`~repro.net.params.NetworkParams` adds that).
+        payload: the live protocol message object.
+        fragment: optional ``(datagram_id, index, total)`` when this frame
+            is one IP fragment of a larger UDP datagram.
+    """
+
+    src: int
+    dst: Optional[int]
+    kind: PortKind
+    size: int
+    payload: Any
+    fragment: Optional[tuple] = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def is_multicast(self) -> bool:
+        return self.dst is None
+
+    def clone_for(self, dst: int) -> "Frame":
+        """A per-destination copy of a multicast frame (same frame_id)."""
+        return Frame(
+            src=self.src,
+            dst=dst,
+            kind=self.kind,
+            size=self.size,
+            payload=self.payload,
+            fragment=self.fragment,
+            frame_id=self.frame_id,
+        )

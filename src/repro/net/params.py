@@ -1,0 +1,69 @@
+"""Network parameter presets for the simulated testbed.
+
+``GIGABIT`` models the paper's 1 GbE Cisco Catalyst 2960 fabric and
+``TEN_GIGABIT`` the 10 GbE Arista 7100T fabric.  Values are calibrated once
+against the operating points the paper reports and then frozen (see
+DESIGN.md §6); benchmarks never adjust them per-experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.units import Gbps, usec
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Timing and buffering constants for one fabric.
+
+    Attributes:
+        rate_bps: link bit-rate (host NIC and switch port are symmetric).
+        switch_latency: switch forwarding decision latency, excluding
+            store-and-forward serialization (which the model applies at the
+            output port).
+        propagation: one-way cable propagation delay.
+        switch_buffer_bytes: per-output-port buffer.  Tail drop beyond it.
+            This buffering is exactly what the Accelerated Ring protocol
+            "compensates for, and even benefits from" (paper §I).
+        socket_buffer_bytes: per-socket kernel receive buffer on hosts.
+        per_frame_overhead: bytes added to every frame on the wire
+            (Ethernet header + FCS + preamble + inter-frame gap + IP + UDP).
+        mtu: maximum bytes of protocol message per frame; larger UDP
+            datagrams are fragmented at the "kernel" (paper §IV-A3).
+    """
+
+    rate_bps: float
+    switch_latency: float
+    propagation: float
+    switch_buffer_bytes: int
+    socket_buffer_bytes: int
+    per_frame_overhead: int = 66
+    mtu: int = 1500
+
+    def serialization_delay(self, size: int) -> float:
+        """Time to put ``size`` protocol bytes (plus overhead) on the wire."""
+        return (size + self.per_frame_overhead) * 8.0 / self.rate_bps
+
+    def with_mtu(self, mtu: int) -> "NetworkParams":
+        return replace(self, mtu=mtu)
+
+
+#: 1-gigabit fabric (Cisco Catalyst 2960 class: store-and-forward, modest
+#: per-port buffers).
+GIGABIT = NetworkParams(
+    rate_bps=Gbps(1),
+    switch_latency=usec(4.0),
+    propagation=usec(0.3),
+    switch_buffer_bytes=256 * 1024,
+    socket_buffer_bytes=2 * 1024 * 1024,
+)
+
+#: 10-gigabit fabric (Arista 7100T class: low-latency, larger buffers).
+TEN_GIGABIT = NetworkParams(
+    rate_bps=Gbps(10),
+    switch_latency=usec(1.2),
+    propagation=usec(0.3),
+    switch_buffer_bytes=1024 * 1024,
+    socket_buffer_bytes=4 * 1024 * 1024,
+)

@@ -1,0 +1,139 @@
+"""Store-and-forward switch with bounded per-port output buffers.
+
+Multicast frames are replicated to every attached port except the
+ingress port, the way an IGMP-snooping data-center switch delivers
+IP-multicast on a LAN.  Each output port serializes independently at the
+link rate; when two hosts transmit simultaneously (which the Accelerated
+Ring protocol deliberately provokes) the frames interleave in the port
+buffers instead of colliding — this buffering is the physical mechanism
+behind the protocol's controlled parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from repro.net.packet import Frame
+from repro.net.params import NetworkParams
+from repro.net.simulator import Simulator
+
+
+class OutputPort:
+    """One switch output port: a bounded byte queue draining at link rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NetworkParams,
+        deliver: Callable[[Frame], None],
+    ) -> None:
+        self._sim = sim
+        self._params = params
+        self._deliver = deliver
+        self._queue: Deque[Frame] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        self.peak_queue_bytes = 0
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def enqueue(self, frame: Frame) -> bool:
+        if self._queued_bytes + frame.size > self._params.switch_buffer_bytes:
+            self.frames_dropped += 1
+            return False
+        self._queue.append(frame)
+        self._queued_bytes += frame.size
+        if self._queued_bytes > self.peak_queue_bytes:
+            self.peak_queue_bytes = self._queued_bytes
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        frame = self._queue.popleft()
+        self._queued_bytes -= frame.size
+        delay = self._params.serialization_delay(frame.size)
+        self._sim.schedule(delay, self._finish, frame)
+
+    def _finish(self, frame: Frame) -> None:
+        self.frames_forwarded += 1
+        self._sim.schedule(self._params.propagation, self._deliver, frame)
+        self._start_next()
+
+
+class Switch:
+    """A single switch connecting every host in the (star) testbed."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams) -> None:
+        self._sim = sim
+        self._params = params
+        self._ports: Dict[int, OutputPort] = {}
+        self.frames_received = 0
+        self.frames_partitioned = 0
+        self._partition: Dict[int, int] = {}  # host -> partition group
+
+    def set_partition(self, *groups) -> None:
+        """Partition the network: frames cross only within a group.
+
+        Hosts not named in any group form an implicit group of their own.
+        Call :meth:`heal` to restore full connectivity — the membership
+        layer will then merge the rings.
+        """
+        self._partition = {}
+        for index, group in enumerate(groups):
+            for host_id in group:
+                self._partition[host_id] = index
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition = {}
+
+    def _connected(self, src: int, dst: int) -> bool:
+        if not self._partition:
+            return True
+        default = -1
+        return self._partition.get(src, default) == self._partition.get(dst, default)
+
+    def attach(self, host_id: int, deliver: Callable[[Frame], None]) -> None:
+        if host_id in self._ports:
+            raise ValueError(f"host {host_id} already attached")
+        self._ports[host_id] = OutputPort(self._sim, self._params, deliver)
+
+    def port(self, host_id: int) -> OutputPort:
+        return self._ports[host_id]
+
+    @property
+    def total_drops(self) -> int:
+        return sum(port.frames_dropped for port in self._ports.values())
+
+    def ingress(self, frame: Frame) -> None:
+        """A frame has fully arrived from a host NIC."""
+        self.frames_received += 1
+        self._sim.schedule(self._params.switch_latency, self._forward, frame)
+
+    def _forward(self, frame: Frame) -> None:
+        if frame.is_multicast():
+            for host_id, port in self._ports.items():
+                if host_id == frame.src:
+                    continue
+                if not self._connected(frame.src, host_id):
+                    self.frames_partitioned += 1
+                    continue
+                port.enqueue(frame.clone_for(host_id))
+        else:
+            port = self._ports.get(frame.dst)
+            if port is None:
+                raise KeyError(f"frame for unattached host {frame.dst}")
+            if not self._connected(frame.src, frame.dst):
+                self.frames_partitioned += 1
+                return
+            port.enqueue(frame)

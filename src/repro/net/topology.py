@@ -1,0 +1,62 @@
+"""Testbed topology builder.
+
+The paper's testbed is 8 servers on one switch; :func:`build_star` builds
+that star.  Hosts are attached in id order, which also defines the default
+ring order used by the protocol layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.host import SimHost
+from repro.net.loss import LossModel
+from repro.net.params import NetworkParams
+from repro.net.simulator import Simulator
+from repro.net.switch import Switch
+
+
+@dataclass
+class StarTopology:
+    """One switch plus its attached hosts."""
+
+    sim: Simulator
+    params: NetworkParams
+    switch: Switch
+    hosts: Dict[int, SimHost] = field(default_factory=dict)
+
+    @property
+    def host_ids(self) -> List[int]:
+        return sorted(self.hosts)
+
+    def host(self, host_id: int) -> SimHost:
+        return self.hosts[host_id]
+
+
+def build_star(
+    sim: Simulator,
+    num_hosts: int,
+    params: NetworkParams,
+    loss_model: Optional[LossModel] = None,
+) -> StarTopology:
+    """Build ``num_hosts`` hosts around a single switch.
+
+    The same ``loss_model`` instance is shared by every host; models keyed
+    on receiver id (all of ours) behave independently per host.
+    """
+    if num_hosts < 1:
+        raise ValueError(f"need at least one host, got {num_hosts}")
+    switch = Switch(sim, params)
+    topology = StarTopology(sim=sim, params=params, switch=switch)
+    for host_id in range(num_hosts):
+        host = SimHost(
+            host_id=host_id,
+            sim=sim,
+            params=params,
+            on_wire=switch.ingress,
+            loss_model=loss_model,
+        )
+        switch.attach(host_id, host.receive)
+        topology.hosts[host_id] = host
+    return topology

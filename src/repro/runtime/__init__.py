@@ -1,0 +1,31 @@
+"""Real asyncio/UDP runtime.
+
+Runs the same sans-io protocol engines as the simulator over real
+sockets, at laptop scale:
+
+* :class:`~repro.runtime.transport.UdpTransport` — two UDP sockets per
+  node (token port and data port, as in paper §III-E); logical multicast
+  via unicast fan-out (the IP-multicast substitute the paper itself
+  offers for environments without multicast).
+* :class:`~repro.runtime.node.RingNode` — a full protocol stack
+  (membership + ordering) on one asyncio loop: the *library-based
+  prototype*.
+* :class:`~repro.runtime.daemon.DaemonServer` /
+  :class:`~repro.runtime.client.DaemonClient` — the *daemon-based
+  prototype*: daemons accept local clients over unix sockets and relay
+  submissions/deliveries, mirroring Spread's client-daemon architecture.
+"""
+
+from repro.runtime.transport import PeerAddress, UdpTransport, local_ring_addresses
+from repro.runtime.node import RingNode
+from repro.runtime.daemon import DaemonServer
+from repro.runtime.client import DaemonClient
+
+__all__ = [
+    "PeerAddress",
+    "UdpTransport",
+    "local_ring_addresses",
+    "RingNode",
+    "DaemonServer",
+    "DaemonClient",
+]

@@ -1,0 +1,86 @@
+"""Client library for the daemon-based prototype."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple, Union
+
+from repro.core.messages import DeliveryService
+from repro.runtime import ipc
+from repro.runtime.ipc import Delivery
+from repro.util.errors import CodecError
+
+#: Event types a client can receive.
+ClientEvent = Union[Delivery, Tuple[List[int], bool]]
+
+
+class DaemonClient:
+    """Connects to a daemon — locally over its unix socket, or remotely
+    over TCP (``tcp_address=(host, port)``).
+
+    The paper's advice applies: on LANs, co-locate clients with daemons
+    and use the unix socket; TCP is for remote clients.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        tcp_address: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        if (socket_path is None) == (tcp_address is None):
+            raise ValueError("provide exactly one of socket_path or tcp_address")
+        self.socket_path = socket_path
+        self.tcp_address = tcp_address
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        if self.socket_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.socket_path
+            )
+        else:
+            assert self.tcp_address is not None
+            host, port = self.tcp_address
+            self._reader, self._writer = await asyncio.open_connection(host, port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    def send(
+        self,
+        payload: bytes,
+        service: DeliveryService = DeliveryService.AGREED,
+    ) -> None:
+        """Submit one message for totally ordered multicast."""
+        if self._writer is None:
+            raise RuntimeError("client not connected")
+        self._writer.write(ipc.pack_submit(service, payload))
+
+    async def receive(self) -> ClientEvent:
+        """Await the next delivery or configuration-change event."""
+        if self._reader is None:
+            raise RuntimeError("client not connected")
+        opcode, body = await ipc.read_frame(self._reader)
+        if opcode == ipc.OP_DELIVER:
+            return ipc.unpack_deliver(body)
+        if opcode == ipc.OP_CONFIG:
+            return ipc.unpack_config(body)
+        raise CodecError(f"unexpected daemon opcode {opcode}")
+
+    async def receive_messages(self, count: int) -> List[Delivery]:
+        """Collect the next ``count`` message deliveries (skipping
+        configuration events)."""
+        out: List[Delivery] = []
+        while len(out) < count:
+            event = await self.receive()
+            if isinstance(event, Delivery):
+                out.append(event)
+        return out

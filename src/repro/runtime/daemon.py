@@ -1,0 +1,114 @@
+"""The daemon-based prototype: a ring node serving local clients.
+
+One daemon runs per server; sending clients inject messages over a unix
+socket and receiving clients get every delivered message (paper §IV-A:
+"each of the 8 participating servers ran one daemon, one sending client
+... and one receiving client").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Dict, List, Optional, Set
+
+from repro.core.messages import DataMessage, DeliveryService
+from repro.evs.configuration import Configuration
+from repro.runtime import ipc
+from repro.runtime.node import RingNode
+from repro.runtime.transport import PeerAddress
+from repro.util.errors import CodecError
+
+
+class DaemonServer:
+    """A single-group daemon: relays submissions and fan-outs deliveries."""
+
+    def __init__(
+        self,
+        pid: int,
+        peers: Dict[int, PeerAddress],
+        socket_path: str,
+        accelerated: bool = True,
+        tcp_port: Optional[int] = None,
+        **node_kwargs,
+    ) -> None:
+        self.pid = pid
+        self.socket_path = socket_path
+        #: Optional TCP listener for remote clients.  The paper notes
+        #: Spread supports TCP clients but recommends co-locating clients
+        #: with daemons on LANs; we offer the same choice.
+        self.tcp_port = tcp_port
+        self.node = RingNode(pid=pid, peers=peers, accelerated=accelerated, **node_kwargs)
+        self.node.on_deliver = self._deliver
+        self.node.on_config = self._config_changed
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._clients: Set[asyncio.StreamWriter] = set()
+        self.messages_relayed = 0
+
+    async def start(self) -> None:
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        await self.node.start()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path
+        )
+        if self.tcp_port is not None:
+            self._tcp_server = await asyncio.start_server(
+                self._handle_client, host="127.0.0.1", port=self.tcp_port
+            )
+
+    async def stop(self) -> None:
+        for server in (self._server, self._tcp_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = None
+        self._tcp_server = None
+        for writer in list(self._clients):
+            writer.close()
+        self._clients.clear()
+        await self.node.stop()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._clients.add(writer)
+        try:
+            while True:
+                try:
+                    opcode, body = await ipc.read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                if opcode == ipc.OP_SUBMIT:
+                    service, payload = ipc.unpack_submit(body)
+                    self.node.submit(payload=payload, service=service)
+                    self.messages_relayed += 1
+                else:
+                    raise CodecError(f"unexpected client opcode {opcode}")
+        finally:
+            self._clients.discard(writer)
+            writer.close()
+
+    def _broadcast(self, frame: bytes) -> None:
+        for writer in list(self._clients):
+            if writer.is_closing():
+                self._clients.discard(writer)
+                continue
+            writer.write(frame)
+
+    def _deliver(self, message: DataMessage, config_id: int) -> None:
+        self._broadcast(
+            ipc.pack_deliver(message.pid, message.seq, message.service, message.payload)
+        )
+
+    def _config_changed(self, configuration: Configuration) -> None:
+        self._broadcast(
+            ipc.pack_config(
+                sorted(configuration.members), configuration.transitional
+            )
+        )

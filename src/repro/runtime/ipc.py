@@ -1,0 +1,165 @@
+"""Client-daemon IPC framing.
+
+Daemons and their local clients talk over a unix stream socket using
+length-prefixed frames: ``!BI`` (opcode, body length) followed by the
+body.  Mirrors Spread's IPC-socket client communication (paper §III-E).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.messages import DeliveryService
+from repro.util.errors import CodecError
+
+OP_SUBMIT = 1
+OP_DELIVER = 2
+OP_CONFIG = 3
+OP_JOIN = 4
+OP_LEAVE = 5
+OP_GROUPCAST = 6
+OP_GROUP_VIEW = 7
+OP_HELLO = 8
+OP_WELCOME = 9
+
+_FRAME_HEADER = struct.Struct("!BI")
+# deliver body prefix: sender, seq, service
+_DELIVER_PREFIX = struct.Struct("!IQB")
+# submit body prefix: service
+_SUBMIT_PREFIX = struct.Struct("!B")
+
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def pack_frame(opcode: int, body: bytes) -> bytes:
+    return _FRAME_HEADER.pack(opcode, len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    header = await reader.readexactly(_FRAME_HEADER.size)
+    opcode, length = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise CodecError(f"frame too large: {length}")
+    body = await reader.readexactly(length) if length else b""
+    return opcode, body
+
+
+def pack_submit(service: DeliveryService, payload: bytes) -> bytes:
+    return pack_frame(OP_SUBMIT, _SUBMIT_PREFIX.pack(int(service)) + payload)
+
+
+def unpack_submit(body: bytes) -> Tuple[DeliveryService, bytes]:
+    (service,) = _SUBMIT_PREFIX.unpack_from(body)
+    return DeliveryService(service), body[_SUBMIT_PREFIX.size :]
+
+
+def pack_deliver(sender: int, seq: int, service: DeliveryService, payload: bytes) -> bytes:
+    return pack_frame(OP_DELIVER, _DELIVER_PREFIX.pack(sender, seq, int(service)) + payload)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One message as seen by a receiving client."""
+
+    sender: int
+    seq: int
+    service: DeliveryService
+    payload: bytes
+
+
+def unpack_deliver(body: bytes) -> Delivery:
+    sender, seq, service = _DELIVER_PREFIX.unpack_from(body)
+    return Delivery(
+        sender=sender,
+        seq=seq,
+        service=DeliveryService(service),
+        payload=body[_DELIVER_PREFIX.size :],
+    )
+
+
+def pack_config(members: List[int], transitional: bool) -> bytes:
+    body = struct.pack(f"!BI{len(members)}I", 1 if transitional else 0, len(members), *members)
+    return pack_frame(OP_CONFIG, body)
+
+
+def unpack_config(body: bytes) -> Tuple[List[int], bool]:
+    transitional, count = struct.unpack_from("!BI", body)
+    members = list(struct.unpack_from(f"!{count}I", body, 5))
+    return members, bool(transitional)
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _unpack_str(body: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("!H", body, offset)
+    start = offset + 2
+    return body[start : start + length].decode("utf-8"), start + length
+
+
+def pack_group_op(opcode: int, group: str) -> bytes:
+    return pack_frame(opcode, _pack_str(group))
+
+
+def unpack_group_op(body: bytes) -> str:
+    group, _ = _unpack_str(body, 0)
+    return group
+
+
+def pack_groupcast(groups: List[str], service: DeliveryService, payload: bytes) -> bytes:
+    parts = [struct.pack("!BB", int(service), len(groups))]
+    for group in groups:
+        parts.append(_pack_str(group))
+    parts.append(payload)
+    return pack_frame(OP_GROUPCAST, b"".join(parts))
+
+
+def unpack_groupcast(body: bytes) -> Tuple[List[str], DeliveryService, bytes]:
+    service, count = struct.unpack_from("!BB", body)
+    offset = 2
+    groups = []
+    for _ in range(count):
+        group, offset = _unpack_str(body, offset)
+        groups.append(group)
+    return groups, DeliveryService(service), body[offset:]
+
+
+def pack_hello(private_name: str) -> bytes:
+    return pack_frame(OP_HELLO, _pack_str(private_name))
+
+
+def unpack_hello(body: bytes) -> str:
+    name, _ = _unpack_str(body, 0)
+    return name
+
+
+def pack_welcome(member_name: str) -> bytes:
+    return pack_frame(OP_WELCOME, _pack_str(member_name))
+
+
+def unpack_welcome(body: bytes) -> str:
+    name, _ = _unpack_str(body, 0)
+    return name
+
+
+def pack_group_view(group: str, members: List[str]) -> bytes:
+    parts = [_pack_str(group), struct.pack("!I", len(members))]
+    for member in members:
+        parts.append(_pack_str(member))
+    return pack_frame(OP_GROUP_VIEW, b"".join(parts))
+
+
+def unpack_group_view(body: bytes) -> Tuple[str, List[str]]:
+    group, offset = _unpack_str(body, 0)
+    (count,) = struct.unpack_from("!I", body, offset)
+    offset += 4
+    members = []
+    for _ in range(count):
+        member, offset = _unpack_str(body, offset)
+        members.append(member)
+    return group, members

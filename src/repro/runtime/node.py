@@ -1,0 +1,204 @@
+"""A full protocol stack on one asyncio event loop.
+
+:class:`RingNode` is the runtime equivalent of the paper's library-based
+prototype: the process itself injects and receives messages.  It wires a
+:class:`~repro.membership.controller.MembershipController` (which wraps
+the ordering engine) to a :class:`~repro.runtime.transport.UdpTransport`,
+executes timer effects with ``loop.call_later``, and implements the
+token/data priority discipline over two receive queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import Effect, MulticastData, SendToken
+from repro.core.messages import DataMessage, DeliveryService
+from repro.evs.configuration import Configuration
+from repro.membership.codec import decode_any, encode_any
+from repro.membership.controller import MembershipController
+from repro.membership.effects import (
+    CancelTimer,
+    DeliverConfiguration,
+    DeliverMessage,
+    SendControl,
+    SetTimer,
+)
+from repro.membership.params import MembershipTimeouts
+from repro.runtime.transport import PeerAddress, UdpTransport
+from repro.util.errors import CodecError
+
+#: Wall-clock membership timeouts suitable for loopback rings.
+RUNTIME_TIMEOUTS = MembershipTimeouts(
+    token_loss=0.5,
+    join_interval=0.1,
+    consensus_timeout=0.4,
+    commit_timeout=1.0,
+    recovery_status_interval=0.1,
+    recovery_timeout=3.0,
+    beacon_interval=0.5,
+)
+
+DeliverCallback = Callable[[DataMessage, int], None]
+ConfigCallback = Callable[[Configuration], None]
+
+
+class RingNode:
+    """One process in a (loopback) ring."""
+
+    def __init__(
+        self,
+        pid: int,
+        peers: Dict[int, PeerAddress],
+        accelerated: bool = True,
+        protocol_config: Optional[ProtocolConfig] = None,
+        timeouts: Optional[MembershipTimeouts] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        token_loss_rate: float = 0.0,
+    ) -> None:
+        self.pid = pid
+        self.controller = MembershipController(
+            pid=pid,
+            accelerated=accelerated,
+            protocol_config=protocol_config or ProtocolConfig(),
+            timeouts=timeouts or RUNTIME_TIMEOUTS,
+        )
+        self.transport = UdpTransport(
+            pid=pid,
+            peers=peers,
+            on_data=self._enqueue_data,
+            on_token=self._enqueue_token,
+            loss_rate=loss_rate,
+            loss_seed=loss_seed,
+            token_loss_rate=token_loss_rate,
+        )
+        self.delivered: List[DataMessage] = []
+        self.configurations: List[Configuration] = []
+        self.on_deliver: Optional[DeliverCallback] = None
+        self.on_config: Optional[ConfigCallback] = None
+
+        self._data_queue: Deque[bytes] = deque()
+        self._token_queue: Deque[bytes] = deque()
+        self._wakeup = asyncio.Event()
+        self._timers: Dict[str, asyncio.TimerHandle] = {}
+        self._loop_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.transport.start()
+        self._loop_task = asyncio.get_running_loop().create_task(self._run())
+        self._execute(self.controller.start())
+
+    async def stop(self) -> None:
+        """Fail-stop this node (crash semantics: nothing is flushed)."""
+        self._closed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                pass
+            self._loop_task = None
+        self.transport.close()
+
+    def submit(
+        self,
+        payload: bytes = b"",
+        service: DeliveryService = DeliveryService.AGREED,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self.controller.submit(payload=payload, service=service, timestamp=loop.time())
+
+    @property
+    def members(self) -> tuple:
+        return self.controller.members
+
+    @property
+    def state(self) -> str:
+        return self.controller.state.value
+
+    # ------------------------------------------------------------------
+
+    def _enqueue_data(self, datagram: bytes) -> None:
+        self._data_queue.append(datagram)
+        self._wakeup.set()
+
+    def _enqueue_token(self, datagram: bytes) -> None:
+        self._token_queue.append(datagram)
+        self._wakeup.set()
+
+    async def _run(self) -> None:
+        """The single-threaded processing loop with §III-D priority."""
+        while not self._closed:
+            if not self._data_queue and not self._token_queue:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            token_available = bool(self._token_queue)
+            data_available = bool(self._data_queue)
+            if token_available and (
+                self.controller.token_has_priority or not data_available
+            ):
+                datagram = self._token_queue.popleft()
+            else:
+                datagram = self._data_queue.popleft()
+            self._handle(datagram)
+            # Yield to the event loop so sends and timers interleave.
+            await asyncio.sleep(0)
+
+    def _handle(self, datagram: bytes) -> None:
+        try:
+            message = decode_any(datagram)
+        except CodecError:
+            self.decode_errors += 1
+            return
+        self._execute(self.controller.on_message(message))
+
+    def _fire_timer(self, name: str) -> None:
+        if self._closed:
+            return
+        self._timers.pop(name, None)
+        self._execute(self.controller.on_timer(name))
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, effects: List[Effect]) -> None:
+        loop = asyncio.get_running_loop()
+        for effect in effects:
+            if isinstance(effect, MulticastData):
+                self.transport.multicast_data(encode_any(effect.message))
+            elif isinstance(effect, SendToken):
+                self.transport.send_token(encode_any(effect.token), effect.destination)
+            elif isinstance(effect, SendControl):
+                self.transport.send_control(encode_any(effect.message), effect.destination)
+            elif isinstance(effect, SetTimer):
+                previous = self._timers.pop(effect.name, None)
+                if previous is not None:
+                    previous.cancel()
+                self._timers[effect.name] = loop.call_later(
+                    effect.delay, self._fire_timer, effect.name
+                )
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.name, None)
+                if handle is not None:
+                    handle.cancel()
+            elif isinstance(effect, DeliverMessage):
+                self.delivered.append(effect.message)
+                if self.on_deliver is not None:
+                    self.on_deliver(effect.message, effect.config_id)
+            elif isinstance(effect, DeliverConfiguration):
+                self.configurations.append(effect.configuration)
+                if self.on_config is not None:
+                    self.on_config(effect.configuration)
+            else:
+                raise TypeError(f"unknown effect {effect!r}")

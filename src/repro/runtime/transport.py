@@ -1,0 +1,163 @@
+"""UDP transports for the real runtime.
+
+Each node owns two UDP sockets — one for the token (and membership
+control) and one for data — so the receive path can prioritize one class
+over the other exactly as described in paper §III-E.  Logical multicast
+is built from unicast fan-out to every peer, which is the fallback the
+paper notes Spread offers when IP-multicast is unavailable (it is
+typically unavailable on loopback test environments too).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class PeerAddress:
+    """Where one ring member listens."""
+
+    pid: int
+    host: str
+    data_port: int
+    token_port: int
+
+
+def local_ring_addresses(pids: Iterable[int], base_port: int = 28800) -> Dict[int, PeerAddress]:
+    """Assign loopback ports for a set of participants: each pid gets
+    ``base_port + 2*pid`` (data) and ``base_port + 2*pid + 1`` (token)."""
+    return {
+        pid: PeerAddress(
+            pid=pid,
+            host="127.0.0.1",
+            data_port=base_port + 2 * pid,
+            token_port=base_port + 2 * pid + 1,
+        )
+        for pid in pids
+    }
+
+
+class _Receiver(asyncio.DatagramProtocol):
+    def __init__(self, callback: Callable[[bytes], None]) -> None:
+        self._callback = callback
+
+    def datagram_received(self, data: bytes, addr) -> None:  # noqa: ANN001
+        self._callback(data)
+
+
+class UdpTransport:
+    """Two-socket UDP transport with unicast-fan-out logical multicast.
+
+    ``loss_rate`` drops incoming *data* datagrams with the given i.i.d.
+    probability — the runtime equivalent of the paper's instrumented-drop
+    loss experiments (§IV-A4); tokens are never dropped by the model.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        peers: Dict[int, PeerAddress],
+        on_data: Callable[[bytes], None],
+        on_token: Callable[[bytes], None],
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        token_loss_rate: float = 0.0,
+    ) -> None:
+        if pid not in peers:
+            raise ValueError(f"own pid {pid} missing from peer table")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if not 0.0 <= token_loss_rate < 1.0:
+            raise ValueError(
+                f"token_loss_rate must be in [0, 1), got {token_loss_rate}"
+            )
+        self.pid = pid
+        self.peers = peers
+        self._on_data = on_data
+        self._on_token = on_token
+        self.loss_rate = loss_rate
+        #: Drop rate for token-port datagrams.  The paper's loss
+        #: experiments exclude token loss (it is rare and handled by the
+        #: membership algorithm); this knob exists to *test* exactly that
+        #: membership path over real sockets.
+        self.token_loss_rate = token_loss_rate
+        self._rng = random.Random(loss_seed)
+        self._data_transport: Optional[asyncio.DatagramTransport] = None
+        self._token_transport: Optional[asyncio.DatagramTransport] = None
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+        self.tokens_dropped = 0
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        me = self.peers[self.pid]
+        self._data_transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Receiver(self._receive_data),
+            local_addr=(me.host, me.data_port),
+        )
+        self._token_transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Receiver(self._receive_token),
+            local_addr=(me.host, me.token_port),
+        )
+
+    def close(self) -> None:
+        if self._data_transport is not None:
+            self._data_transport.close()
+            self._data_transport = None
+        if self._token_transport is not None:
+            self._token_transport.close()
+            self._token_transport = None
+
+    # ------------------------------------------------------------------
+
+    def _receive_data(self, data: bytes) -> None:
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.datagrams_dropped += 1
+            return
+        self._on_data(data)
+
+    def _receive_token(self, data: bytes) -> None:
+        if self.token_loss_rate and self._rng.random() < self.token_loss_rate:
+            self.tokens_dropped += 1
+            return
+        self._on_token(data)
+
+    def _require_open(self) -> asyncio.DatagramTransport:
+        if self._data_transport is None or self._token_transport is None:
+            raise RuntimeError("transport not started")
+        return self._data_transport
+
+    def multicast_data(self, payload: bytes) -> None:
+        """Send to every peer's data port (the sender keeps its own copy
+        locally, so no self-send is needed)."""
+        transport = self._require_open()
+        for pid, peer in self.peers.items():
+            if pid == self.pid:
+                continue
+            transport.sendto(payload, (peer.host, peer.data_port))
+            self.datagrams_sent += 1
+
+    def send_token(self, payload: bytes, dst: int) -> None:
+        self._require_open()
+        peer = self.peers[dst]
+        assert self._token_transport is not None
+        self._token_transport.sendto(payload, (peer.host, peer.token_port))
+        self.datagrams_sent += 1
+
+    def send_control(self, payload: bytes, dst: Optional[int] = None) -> None:
+        """Control messages ride the token port class."""
+        self._require_open()
+        assert self._token_transport is not None
+        if dst is not None:
+            peer = self.peers[dst]
+            self._token_transport.sendto(payload, (peer.host, peer.token_port))
+            self.datagrams_sent += 1
+            return
+        for pid, peer in self.peers.items():
+            if pid == self.pid:
+                continue
+            self._token_transport.sendto(payload, (peer.host, peer.token_port))
+            self.datagrams_sent += 1

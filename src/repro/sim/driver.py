@@ -1,0 +1,215 @@
+"""Binds one protocol participant to one simulated host.
+
+The driver is the "implementation": it owns the single-threaded CPU loop,
+reads frames from the token and data sockets according to the protocol's
+current priority (paper §III-D), charges the profile's CPU costs, executes
+the engine's effects in order, fragments large datagrams, and records
+latency/throughput statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.events import Deliver, Effect, MulticastData, SendToken, Stable
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.participant import AcceleratedRingParticipant
+from repro.core.token import RegularToken
+from repro.net.fragment import Reassembler, fragment_datagram
+from repro.net.host import SimHost
+from repro.net.packet import Frame, PortKind
+from repro.sim.profiles import ImplementationProfile
+from repro.util.stats import RunStats
+
+
+class ProtocolHost:
+    """One server: a protocol engine + its host machine + its clients."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        participant: AcceleratedRingParticipant,
+        profile: ImplementationProfile,
+        stats: Optional[RunStats] = None,
+        measure_from: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.participant = participant
+        self.profile = profile
+        self.stats = stats if stats is not None else RunStats()
+        #: Deliveries of messages submitted before this time are excluded
+        #: from latency statistics (warm-up window).
+        self.measure_from = measure_from
+        self.reassembler = Reassembler()
+        self.delivered_log: List[DataMessage] = []
+        #: Optional hooks for tracing (see :mod:`repro.sim.trace`).
+        self.on_transmit: Optional[Callable[[Frame], None]] = None
+        self.on_deliver: Optional[Callable[[DataMessage], None]] = None
+        #: Bound by the cluster: stop delivering application payloads
+        #: (used when an experiment caps message counts).
+        self.keep_delivered_log = False
+
+        host.cpu.idle_hook = self._select_work
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def client_submit(
+        self,
+        payload_size: int,
+        service: DeliveryService = DeliveryService.AGREED,
+    ) -> None:
+        """A local sending client hands the daemon one message.
+
+        The message is timestamped now (latency is measured from client
+        injection to client delivery, like the paper's benchmarks).  For
+        daemon architectures the IPC read costs CPU.
+        """
+        now = self.host.sim.now
+        self.participant.submit(
+            payload=b"",
+            service=service,
+            timestamp=now,
+            payload_size=payload_size,
+        )
+        self.stats.messages_sent += 1
+        if self.profile.ingest_cpu > 0.0:
+            self.host.cpu.submit(self.profile.ingest_cpu, _noop)
+        else:
+            self.host.cpu.kick()
+
+    def inject_token(self, token: RegularToken) -> None:
+        """Deliver the initial token directly to this host's token socket."""
+        frame = Frame(
+            src=self.participant.predecessor,
+            dst=self.participant.pid,
+            kind=PortKind.TOKEN,
+            size=token.wire_size(),
+            payload=token,
+        )
+        self.host.receive(frame)
+
+    # ------------------------------------------------------------------
+    # CPU loop
+    # ------------------------------------------------------------------
+
+    def _select_work(self) -> Optional[Tuple[float, Callable[[], None]]]:
+        """Pick the next frame to process, honoring token/data priority.
+
+        Called by the CPU whenever its explicit queue drains.  After a
+        token is processed data has high priority; the engine raises
+        ``token_has_priority`` per the configured §III-D method.
+        """
+        if self.host.crashed:
+            return None
+        token_avail = len(self.host.token_socket) > 0
+        data_avail = len(self.host.data_socket) > 0
+        if token_avail and (self.participant.token_has_priority or not data_avail):
+            frame = self.host.token_socket.pop()
+            return (self.profile.token_cpu, lambda: self._process_token(frame))
+        if data_avail:
+            frame = self.host.data_socket.pop()
+            datagram = self.reassembler.accept(frame)
+            if datagram is None:
+                # A non-final fragment: cheap kernel work, no protocol event.
+                return (self.profile.fragment_cpu, _noop)
+            cost = self.profile.recv_cost(
+                datagram.wire_size(self.profile.data_header_bytes)
+            )
+            return (cost, lambda: self._process_data(datagram))
+        return None
+
+    def _process_token(self, frame: Frame) -> None:
+        token = frame.payload
+        effects = self.participant.on_token(token)
+        if effects:
+            self.stats.token_rounds += 1
+        self._execute(effects)
+
+    def _process_data(self, message: DataMessage) -> None:
+        self._execute(self.participant.on_data(message))
+
+    # ------------------------------------------------------------------
+    # Effects
+    # ------------------------------------------------------------------
+
+    def _execute(self, effects: List[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, MulticastData):
+                self.host.cpu.submit(
+                    self.profile.send_cost(
+                        effect.message.wire_size(self.profile.data_header_bytes)
+                    ),
+                    self._make_multicast(effect.message, effect.retransmission),
+                )
+            elif isinstance(effect, SendToken):
+                self.host.cpu.submit(
+                    self.profile.token_send_cpu,
+                    self._make_token_send(effect.token, effect.destination),
+                )
+            elif isinstance(effect, Deliver):
+                self.host.cpu.submit(
+                    self.profile.deliver_cpu,
+                    self._make_delivery(effect.message),
+                )
+            elif isinstance(effect, Stable):
+                pass
+            else:
+                raise TypeError(f"unknown effect {effect!r}")
+
+    def _make_multicast(self, message: DataMessage, retransmission: bool):
+        def run() -> None:
+            size = message.wire_size(self.profile.data_header_bytes)
+            frames = fragment_datagram(
+                src=self.participant.pid,
+                dst=None,
+                kind=PortKind.DATA,
+                size=size,
+                payload=message,
+                mtu=self.host.params.mtu,
+            )
+            for frame in frames:
+                if self.on_transmit is not None:
+                    self.on_transmit(frame)
+                self.host.nic.send(frame)
+            if retransmission:
+                self.stats.retransmissions += 1
+
+        return run
+
+    def _make_token_send(self, token: RegularToken, destination: int):
+        def run() -> None:
+            frame = Frame(
+                src=self.participant.pid,
+                dst=destination,
+                kind=PortKind.TOKEN,
+                size=token.wire_size(),
+                payload=token,
+            )
+            if self.on_transmit is not None:
+                self.on_transmit(frame)
+            self.host.nic.send(frame)
+
+        return run
+
+    def _make_delivery(self, message: DataMessage):
+        def run() -> None:
+            now = self.host.sim.now
+            if self.on_deliver is not None:
+                self.on_deliver(message)
+            if self.keep_delivered_log:
+                self.delivered_log.append(message)
+            if message.timestamp is not None and message.timestamp >= self.measure_from:
+                self.stats.record_delivery(
+                    now=now,
+                    sender=message.pid,
+                    latency=now - message.timestamp,
+                    payload_size=int(message.payload_size or 0),
+                )
+
+        return run
+
+
+def _noop() -> None:
+    return None

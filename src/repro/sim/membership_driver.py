@@ -1,0 +1,288 @@
+"""Sim driver for membership-enabled hosts.
+
+Where :class:`~repro.sim.driver.ProtocolHost` runs a bare ordering engine
+(the paper's normal-case benchmarks), :class:`MembershipHost` runs a full
+:class:`~repro.membership.controller.MembershipController`: it executes
+control sends and timers, feeds every delivery into an
+:class:`~repro.evs.checker.EvsChecker` trace, and survives crashes,
+partitions, and merges.  Used by the integration tests and the fault
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import Effect, MulticastData, SendToken
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.token import RegularToken
+from repro.evs.checker import EvsChecker
+from repro.evs.events import ConfigDelivery, MessageDelivery
+from repro.membership.controller import MembershipController
+from repro.membership.effects import (
+    CancelTimer,
+    DeliverConfiguration,
+    DeliverMessage,
+    SendControl,
+    SetTimer,
+)
+from repro.membership.params import MembershipTimeouts
+from repro.net.host import SimHost
+from repro.net.loss import LossModel
+from repro.net.packet import Frame, PortKind
+from repro.net.params import NetworkParams, GIGABIT
+from repro.net.simulator import Simulator
+from repro.net.topology import StarTopology, build_star
+from repro.sim.profiles import ImplementationProfile, DAEMON
+
+#: CPU cost charged for handling one membership control message.
+_CONTROL_CPU = 3e-6
+
+
+class MembershipHost:
+    """One server running the full membership + ordering stack."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        controller: MembershipController,
+        profile: ImplementationProfile,
+        checker: Optional[EvsChecker] = None,
+    ) -> None:
+        self.host = host
+        self.controller = controller
+        self.profile = profile
+        self.checker = checker
+        self.delivered: List[object] = []
+        self.configurations: List[object] = []
+        self._timers: Dict[str, object] = {}
+        host.cpu.idle_hook = self._select_work
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self.controller.pid
+
+    def start(self) -> None:
+        self._execute(self.controller.start())
+        self.host.cpu.kick()
+
+    def submit(
+        self,
+        payload: bytes = b"",
+        service: DeliveryService = DeliveryService.AGREED,
+        payload_size: Optional[int] = None,
+    ) -> None:
+        self.controller.submit(
+            payload=payload,
+            service=service,
+            timestamp=self.host.sim.now,
+            payload_size=payload_size,
+        )
+        if self.checker is not None:
+            self.checker.record_submission(self.pid)
+        self.host.cpu.kick()
+
+    def crash(self) -> None:
+        """Fail-stop: drop all timers and stop processing."""
+        self.host.crash()
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+
+    def _select_work(self) -> Optional[Tuple[float, object]]:
+        if self.host.crashed:
+            return None
+        token_avail = len(self.host.token_socket) > 0
+        data_avail = len(self.host.data_socket) > 0
+        if token_avail and (self.controller.token_has_priority or not data_avail):
+            frame = self.host.token_socket.pop()
+            return (_CONTROL_CPU, lambda: self._process(frame))
+        if data_avail:
+            frame = self.host.data_socket.pop()
+            cost = self.profile.recv_cost(frame.size)
+            return (cost, lambda: self._process(frame))
+        return None
+
+    def _process(self, frame: Frame) -> None:
+        self._execute(self.controller.on_message(frame.payload))
+
+    def _fire_timer(self, name: str) -> None:
+        if self.host.crashed:
+            return
+        self._timers.pop(name, None)
+        self._execute(self.controller.on_timer(name))
+        self.host.cpu.kick()
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, effects: List[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, MulticastData):
+                message = effect.message
+                size = message.wire_size(self.profile.data_header_bytes)
+                self.host.nic.send(
+                    Frame(src=self.pid, dst=None, kind=PortKind.DATA, size=size, payload=message)
+                )
+            elif isinstance(effect, SendToken):
+                self.host.nic.send(
+                    Frame(
+                        src=self.pid,
+                        dst=effect.destination,
+                        kind=PortKind.TOKEN,
+                        size=effect.token.wire_size(),
+                        payload=effect.token,
+                    )
+                )
+            elif isinstance(effect, SendControl):
+                payload = effect.message
+                if hasattr(payload, "wire_size"):
+                    try:
+                        size = payload.wire_size()
+                    except TypeError:
+                        size = payload.wire_size(self.profile.data_header_bytes)
+                else:
+                    size = 64
+                self.host.nic.send(
+                    Frame(
+                        src=self.pid,
+                        dst=effect.destination,
+                        kind=PortKind.TOKEN,
+                        size=size,
+                        payload=payload,
+                    )
+                )
+            elif isinstance(effect, SetTimer):
+                previous = self._timers.pop(effect.name, None)
+                if previous is not None:
+                    previous.cancel()
+                self._timers[effect.name] = self.host.sim.schedule(
+                    effect.delay, self._fire_timer, effect.name
+                )
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.name, None)
+                if handle is not None:
+                    handle.cancel()
+            elif isinstance(effect, DeliverMessage):
+                self.delivered.append(effect.message)
+                if self.checker is not None:
+                    self.checker.record(
+                        self.pid,
+                        MessageDelivery(
+                            seq=effect.message.seq,
+                            sender=effect.message.pid,
+                            service=effect.message.service,
+                            config_id=effect.config_id,
+                            origin_ring=effect.origin_ring,
+                        ),
+                    )
+            elif isinstance(effect, DeliverConfiguration):
+                self.configurations.append(effect.configuration)
+                if self.checker is not None:
+                    self.checker.record(self.pid, ConfigDelivery(effect.configuration))
+            else:
+                raise TypeError(f"unknown effect {effect!r}")
+
+
+class MembershipCluster:
+    """A set of membership hosts on one switch, plus fault injection."""
+
+    def __init__(
+        self,
+        num_hosts: int,
+        accelerated: bool = True,
+        profile: ImplementationProfile = DAEMON,
+        params: NetworkParams = GIGABIT,
+        config: Optional[ProtocolConfig] = None,
+        timeouts: Optional[MembershipTimeouts] = None,
+        loss_model: Optional[LossModel] = None,
+    ) -> None:
+        self.sim = Simulator()
+        self.topology: StarTopology = build_star(
+            self.sim, num_hosts, params, loss_model=loss_model
+        )
+        self.checker = EvsChecker()
+        self.hosts: Dict[int, MembershipHost] = {}
+        for pid in self.topology.host_ids:
+            controller = MembershipController(
+                pid=pid,
+                accelerated=accelerated,
+                protocol_config=config or ProtocolConfig(),
+                timeouts=timeouts or MembershipTimeouts(),
+            )
+            self.hosts[pid] = MembershipHost(
+                host=self.topology.host(pid),
+                controller=controller,
+                profile=profile,
+                checker=self.checker,
+            )
+
+    def start(self) -> None:
+        for host in self.hosts.values():
+            host.start()
+
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def crash(self, pid: int) -> None:
+        self.hosts[pid].crash()
+
+    def restart(self, pid: int) -> None:
+        """Recover a crashed process (paper §II: "process crashes and
+        recoveries").
+
+        The process restarts with empty state — a fresh controller on the
+        same host — and rejoins through the normal gather/merge path, as a
+        restarted daemon would.  Its pre-crash delivery trace stays in the
+        checker; EVS guarantees for the crashed incarnation are waived by
+        passing the pid in ``crashed`` when checking.
+        """
+        host = self.hosts[pid]
+        sim_host = host.host
+        sim_host.recover()
+        # Drop any stale frames that accumulated in the kernel buffers.
+        while len(sim_host.token_socket):
+            sim_host.token_socket.pop()
+        while len(sim_host.data_socket):
+            sim_host.data_socket.pop()
+        controller = MembershipController(
+            pid=pid,
+            accelerated=host.controller.accelerated,
+            protocol_config=host.controller.protocol_config,
+            timeouts=host.controller.timeouts,
+            # Totem keeps the ring sequence number on stable storage so a
+            # recovered process can never reuse one of its old ring ids.
+            initial_ring_seq=host.controller.highest_ring_seq,
+        )
+        fresh = MembershipHost(
+            host=sim_host,
+            controller=controller,
+            profile=host.profile,
+            checker=self.checker,
+        )
+        self.hosts[pid] = fresh
+        fresh.start()
+
+    def partition(self, *groups) -> None:
+        self.topology.switch.set_partition(*groups)
+
+    def heal(self) -> None:
+        self.topology.switch.heal()
+
+    def states(self) -> Dict[int, str]:
+        return {
+            pid: host.controller.state.value
+            for pid, host in self.hosts.items()
+            if not host.host.crashed
+        }
+
+    def rings(self) -> Dict[int, tuple]:
+        return {
+            pid: host.controller.members
+            for pid, host in self.hosts.items()
+            if not host.host.crashed
+        }

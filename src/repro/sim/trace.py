@@ -1,0 +1,93 @@
+"""Transmission tracing, used to reproduce the paper's Figure 1.
+
+Figure 1 shows *when each participant puts each message and the token on
+the wire* in the original vs. accelerated protocols.  A
+:class:`ScheduleTrace` hooks every driver's transmit path and records one
+event per datagram (fragments collapse to their first frame), which tests
+and the ``figure1_schedule`` example render as per-participant lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.messages import DataMessage
+from repro.core.token import RegularToken
+from repro.net.packet import Frame, PortKind
+from repro.sim.cluster import RingCluster
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One transmission: a data message or the token leaving a host."""
+
+    time: float
+    host: int
+    kind: str  # "data" or "token"
+    seq: int  # message seq, or the token's seq field
+    post_token: bool = False
+    round: int = 0
+
+
+class ScheduleTrace:
+    """Records the transmit schedule of every host in a cluster."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def attach(self, cluster: RingCluster) -> None:
+        for pid, driver in cluster.drivers.items():
+            driver.on_transmit = self._make_hook(cluster, pid)
+
+    def _make_hook(self, cluster: RingCluster, pid: int):
+        def hook(frame: Frame) -> None:
+            if frame.fragment is not None and frame.fragment[1] != 0:
+                return  # record one event per datagram, not per fragment
+            now = cluster.sim.now
+            payload = frame.payload
+            if frame.kind is PortKind.TOKEN and isinstance(payload, RegularToken):
+                self.events.append(
+                    TraceEvent(time=now, host=pid, kind="token", seq=payload.seq)
+                )
+            elif isinstance(payload, DataMessage):
+                self.events.append(
+                    TraceEvent(
+                        time=now,
+                        host=pid,
+                        kind="data",
+                        seq=payload.seq,
+                        post_token=payload.post_token,
+                        round=payload.round,
+                    )
+                )
+
+        return hook
+
+    # ------------------------------------------------------------------
+
+    def events_for(self, host: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.host == host]
+
+    def sequence_of(self, host: int) -> List[str]:
+        """Compact schedule like ``['1', '2', 'T5', '3', '4', '5']`` —
+        data seqs interleaved with token sends (T prefix), in time order."""
+        out = []
+        for event in sorted(self.events_for(host), key=lambda e: e.time):
+            out.append(f"T{event.seq}" if event.kind == "token" else str(event.seq))
+        return out
+
+    def render_ascii(self, time_scale: float = 1e6) -> str:
+        """A Figure-1-style lane rendering (one lane per host)."""
+        if not self.events:
+            return "(no events)"
+        hosts = sorted({event.host for event in self.events})
+        lines = []
+        for host in hosts:
+            cells = []
+            for event in sorted(self.events_for(host), key=lambda e: e.time):
+                stamp = event.time * time_scale
+                label = f"[T:{event.seq}]" if event.kind == "token" else f"({event.seq})"
+                cells.append(f"{stamp:9.1f}us {label}")
+            lines.append(f"host {host}: " + "  ".join(cells))
+        return "\n".join(lines)

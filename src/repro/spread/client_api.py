@@ -1,0 +1,142 @@
+"""Client library for the Spread-like daemon."""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.messages import DeliveryService
+from repro.runtime import ipc
+from repro.util.errors import CodecError
+
+
+@dataclass(frozen=True)
+class GroupMessage:
+    """An ordered message delivered to a group member."""
+
+    groups: Tuple[str, ...]
+    service: DeliveryService
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """A group membership view notification."""
+
+    group: str
+    members: Tuple[str, ...]
+
+
+ClientEvent = Union[GroupMessage, GroupView]
+
+
+class SpreadClient:
+    """Connects to a local Spread-like daemon.
+
+    Usage::
+
+        client = SpreadClient(path, name="alice")
+        await client.connect()
+        await client.join("chat")
+        client.multicast(["chat"], b"hello", DeliveryService.AGREED)
+        event = await client.receive()
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        name: str = "",
+        tcp_address: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        if (socket_path is None) == (tcp_address is None):
+            raise ValueError("provide exactly one of socket_path or tcp_address")
+        self.socket_path = socket_path
+        self.tcp_address = tcp_address
+        self.private_name = name
+        self.member_name: Optional[str] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> str:
+        """Connect and return the daemon-qualified member name."""
+        if self.socket_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.socket_path
+            )
+        else:
+            assert self.tcp_address is not None
+            self._reader, self._writer = await asyncio.open_connection(
+                *self.tcp_address
+            )
+        self._writer.write(ipc.pack_hello(self.private_name))
+        opcode, body = await ipc.read_frame(self._reader)
+        if opcode != ipc.OP_WELCOME:
+            raise CodecError(f"expected welcome, got opcode {opcode}")
+        self.member_name = ipc.unpack_welcome(body)
+        return self.member_name
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    def _require(self) -> asyncio.StreamWriter:
+        if self._writer is None:
+            raise RuntimeError("client not connected")
+        return self._writer
+
+    async def join(self, group: str) -> None:
+        self._require().write(ipc.pack_group_op(ipc.OP_JOIN, group))
+
+    async def leave(self, group: str) -> None:
+        self._require().write(ipc.pack_group_op(ipc.OP_LEAVE, group))
+
+    def multicast(
+        self,
+        groups: List[str],
+        payload: bytes,
+        service: DeliveryService = DeliveryService.AGREED,
+    ) -> None:
+        """Send one message to every member of the listed groups.
+
+        Open-group semantics: the caller need not be a member of any
+        target group.
+        """
+        self._require().write(ipc.pack_groupcast(groups, service, payload))
+
+    async def receive(self) -> ClientEvent:
+        if self._reader is None:
+            raise RuntimeError("client not connected")
+        opcode, body = await ipc.read_frame(self._reader)
+        if opcode == ipc.OP_GROUPCAST:
+            groups, service, payload = ipc.unpack_groupcast(body)
+            return GroupMessage(groups=tuple(groups), service=service, payload=payload)
+        if opcode == ipc.OP_GROUP_VIEW:
+            group, members = ipc.unpack_group_view(body)
+            return GroupView(group=group, members=tuple(members))
+        raise CodecError(f"unexpected daemon opcode {opcode}")
+
+    async def receive_messages(self, count: int) -> List[GroupMessage]:
+        out: List[GroupMessage] = []
+        while len(out) < count:
+            event = await self.receive()
+            if isinstance(event, GroupMessage):
+                out.append(event)
+        return out
+
+    async def wait_for_view(self, group: str, size: int, timeout: float = 10.0) -> GroupView:
+        """Wait until a view for ``group`` with ``size`` members arrives."""
+
+        async def _wait() -> GroupView:
+            while True:
+                event = await self.receive()
+                if isinstance(event, GroupView) and event.group == group and len(event.members) == size:
+                    return event
+
+        return await asyncio.wait_for(_wait(), timeout)

@@ -1,0 +1,79 @@
+"""Application-level fragmentation of large messages.
+
+Messages larger than the protocol-packet budget are split into ordered
+fragments and reassembled at delivery.  Because fragments ride the total
+order, a receiver sees every fragment of a message in index order, but
+fragments from *different* senders may interleave, so reassembly is
+keyed by (origin daemon, fragment id).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.spread.wire import Fragment
+from repro.util.errors import CodecError, ConfigurationError
+
+
+class Fragmenter:
+    """Splits oversized envelope bytes into Fragment envelopes."""
+
+    def __init__(self, chunk_size: int = 1300) -> None:
+        if chunk_size < 16:
+            raise ConfigurationError(f"chunk_size too small: {chunk_size}")
+        self.chunk_size = chunk_size
+        self._ids = itertools.count(1)
+        self.messages_fragmented = 0
+
+    def needs_fragmentation(self, encoded: bytes) -> bool:
+        return len(encoded) > self.chunk_size
+
+    def fragment(self, encoded: bytes) -> List[bytes]:
+        """Split one encoded envelope into fragment envelopes."""
+        if not self.needs_fragmentation(encoded):
+            return [encoded]
+        frag_id = next(self._ids)
+        total = -(-len(encoded) // self.chunk_size)
+        self.messages_fragmented += 1
+        return [
+            Fragment(
+                frag_id=frag_id,
+                index=index,
+                total=total,
+                chunk=encoded[index * self.chunk_size : (index + 1) * self.chunk_size],
+            ).encode()
+            for index in range(total)
+        ]
+
+
+class FragmentReassembler:
+    """Reassembles fragments back into the original envelope bytes."""
+
+    def __init__(self) -> None:
+        self._partial: Dict[Tuple[int, int], List[Optional[bytes]]] = {}
+        self.messages_reassembled = 0
+
+    def accept(self, origin: int, fragment: Fragment) -> Optional[bytes]:
+        """Feed one fragment; returns the whole envelope when complete."""
+        if not 0 <= fragment.index < fragment.total:
+            raise CodecError(
+                f"fragment index {fragment.index} out of range (total {fragment.total})"
+            )
+        key = (origin, fragment.frag_id)
+        slots = self._partial.get(key)
+        if slots is None:
+            slots = [None] * fragment.total
+            self._partial[key] = slots
+        if len(slots) != fragment.total:
+            raise CodecError("fragment total mismatch within one message")
+        slots[fragment.index] = fragment.chunk
+        if all(chunk is not None for chunk in slots):
+            del self._partial[key]
+            self.messages_reassembled += 1
+            return b"".join(slots)  # type: ignore[arg-type]
+        return None
+
+    @property
+    def partial_count(self) -> int:
+        return len(self._partial)

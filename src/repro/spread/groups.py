@@ -1,0 +1,116 @@
+"""Replicated group directory.
+
+Every daemon feeds the same total order of join/leave envelopes and
+daemon-level configuration changes into its directory, so all daemons
+hold identical group views without any extra agreement protocol — the
+standard construction over totally ordered multicast.
+
+Member names are qualified as ``"<private_name>#<daemon_pid>"`` so the
+directory can prune members whose daemon left the configuration.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.util.errors import ProtocolError
+
+
+def qualify(private_name: str, daemon_pid: int) -> str:
+    if "#" in private_name:
+        raise ProtocolError(f"private name may not contain '#': {private_name!r}")
+    return f"{private_name}#{daemon_pid}"
+
+
+def daemon_of(member: str) -> int:
+    try:
+        return int(member.rsplit("#", 1)[1])
+    except (IndexError, ValueError) as exc:
+        raise ProtocolError(f"malformed member name {member!r}") from exc
+
+
+class GroupDirectory:
+    """Group name -> ordered member list, driven by the total order."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, List[str]] = defaultdict(list)
+        #: Groups whose membership changed since the last ``take_dirty``.
+        self._dirty: Set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def groups(self) -> List[str]:
+        return sorted(name for name, members in self._groups.items() if members)
+
+    def members(self, group: str) -> Tuple[str, ...]:
+        return tuple(self._groups.get(group, ()))
+
+    def groups_of(self, member: str) -> List[str]:
+        return sorted(
+            name for name, members in self._groups.items() if member in members
+        )
+
+    def is_member(self, member: str, group: str) -> bool:
+        return member in self._groups.get(group, ())
+
+    # ------------------------------------------------------------------
+
+    def apply_join(self, member: str, group: str) -> bool:
+        """Apply an ordered join; returns True if membership changed."""
+        daemon_of(member)  # validate the qualified name
+        members = self._groups[group]
+        if member in members:
+            return False
+        members.append(member)
+        self._dirty.add(group)
+        return True
+
+    def apply_leave(self, member: str, group: str) -> bool:
+        """Apply an ordered leave; returns True if membership changed."""
+        members = self._groups.get(group)
+        if not members or member not in members:
+            return False
+        members.remove(member)
+        self._dirty.add(group)
+        if not members:
+            del self._groups[group]
+        return True
+
+    def apply_member_disconnect(self, member: str) -> List[str]:
+        """Remove a disconnected client from every group it joined."""
+        affected = []
+        for group in list(self._groups):
+            if self.apply_leave(member, group):
+                affected.append(group)
+        return affected
+
+    def apply_configuration(self, daemon_pids: Iterable[int]) -> List[str]:
+        """Prune members whose daemon is no longer in the configuration.
+
+        Called when a regular configuration is delivered; returns the
+        groups whose membership changed.
+        """
+        alive = set(daemon_pids)
+        affected = []
+        for group in list(self._groups):
+            members = self._groups[group]
+            survivors = [m for m in members if daemon_of(m) in alive]
+            if len(survivors) != len(members):
+                if survivors:
+                    self._groups[group] = survivors
+                else:
+                    del self._groups[group]
+                self._dirty.add(group)
+                affected.append(group)
+        return affected
+
+    # ------------------------------------------------------------------
+
+    def take_dirty(self) -> Set[str]:
+        """Groups changed since the last call (for view notifications)."""
+        dirty, self._dirty = self._dirty, set()
+        return dirty
+
+    def snapshot(self) -> Dict[str, Tuple[str, ...]]:
+        return {name: tuple(members) for name, members in self._groups.items()}

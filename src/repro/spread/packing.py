@@ -1,0 +1,74 @@
+"""Packing small messages into MTU-sized protocol packets.
+
+Paper §IV-A3: "Spread includes a built-in ability to pack small messages
+into a single protocol packet, but the size of a protocol packet is
+limited to fit within a standard 1500-byte MTU."  The packer batches
+encoded envelopes greedily, preserving order; each flush yields payloads
+that fit the protocol-packet budget.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.spread.wire import Packed, decode_envelope
+from repro.util.errors import ConfigurationError
+
+#: Bytes of per-item overhead inside a packed container (length prefix).
+_ITEM_OVERHEAD = 4
+#: Bytes of container overhead (tag + count).
+_CONTAINER_OVERHEAD = 3
+
+
+class Packer:
+    """Greedy, order-preserving packer of encoded envelopes."""
+
+    def __init__(self, budget: int = 1350) -> None:
+        if budget < 64:
+            raise ConfigurationError(f"pack budget too small: {budget}")
+        self.budget = budget
+        self._pending: List[bytes] = []
+        self._pending_size = _CONTAINER_OVERHEAD
+        self.packets_emitted = 0
+        self.envelopes_packed = 0
+
+    def add(self, envelope_bytes: bytes) -> List[bytes]:
+        """Add one encoded envelope; returns any payloads that became full.
+
+        An envelope that alone exceeds the budget is emitted unpacked
+        (the fragmentation layer is responsible for splitting it).
+        """
+        emitted: List[bytes] = []
+        cost = len(envelope_bytes) + _ITEM_OVERHEAD
+        if len(envelope_bytes) + _CONTAINER_OVERHEAD + _ITEM_OVERHEAD > self.budget:
+            emitted.extend(self.flush())
+            emitted.append(envelope_bytes)
+            self.packets_emitted += 1
+            self.envelopes_packed += 1
+            return emitted
+        if self._pending_size + cost > self.budget:
+            emitted.extend(self.flush())
+        self._pending.append(envelope_bytes)
+        self._pending_size += cost
+        return emitted
+
+    def flush(self) -> List[bytes]:
+        """Emit whatever is pending as one packet (or nothing)."""
+        if not self._pending:
+            return []
+        items = tuple(self._pending)
+        self._pending = []
+        self._pending_size = _CONTAINER_OVERHEAD
+        self.packets_emitted += 1
+        self.envelopes_packed += len(items)
+        if len(items) == 1:
+            return [items[0]]  # no container needed for a single envelope
+        return [Packed(items).encode()]
+
+
+def unpack_payload(payload: bytes) -> List[bytes]:
+    """Expand one ordered payload into its constituent encoded envelopes."""
+    envelope = decode_envelope(payload)
+    if isinstance(envelope, Packed):
+        return list(envelope.items)
+    return [payload]

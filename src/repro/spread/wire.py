@@ -1,0 +1,156 @@
+"""Envelopes carried inside ordered data-message payloads.
+
+The ordering layer treats payloads as opaque (paper §III-C: "This is not
+inspected or used by the protocol"); the toolkit layer structures them as
+envelopes: application data targeted at groups, group membership
+operations, packed containers of several small envelopes, and fragments
+of large messages.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.util.errors import CodecError
+
+ENV_APP = 1
+ENV_JOIN = 2
+ENV_LEAVE = 3
+ENV_PACKED = 4
+ENV_FRAGMENT = 5
+
+_TAG = struct.Struct("!B")
+_FRAGMENT_HEADER = struct.Struct("!BQII")
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"string too long: {len(raw)} bytes")
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("!H", data, offset)
+    start = offset + 2
+    if start + length > len(data):
+        raise CodecError("truncated string")
+    return data[start : start + length].decode("utf-8"), start + length
+
+
+@dataclass(frozen=True)
+class AppData:
+    """Application data sent to one or more groups.
+
+    Multi-group multicast with cross-group ordering falls out of the
+    total order: the single ordered message names all target groups.
+    Open-group semantics likewise: nothing requires ``sender`` to be a
+    member of any target group.
+    """
+
+    sender: str
+    groups: Tuple[str, ...]
+    payload: bytes
+
+    def encode(self) -> bytes:
+        parts = [_TAG.pack(ENV_APP), _pack_str(self.sender), struct.pack("!B", len(self.groups))]
+        for group in self.groups:
+            parts.append(_pack_str(group))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class GroupJoin:
+    """A client joined a group (ordered like any message, so every
+    daemon applies membership changes at the same point in the order)."""
+
+    member: str
+    group: str
+
+    def encode(self) -> bytes:
+        return _TAG.pack(ENV_JOIN) + _pack_str(self.member) + _pack_str(self.group)
+
+
+@dataclass(frozen=True)
+class GroupLeave:
+    """A client left a group."""
+
+    member: str
+    group: str
+
+    def encode(self) -> bytes:
+        return _TAG.pack(ENV_LEAVE) + _pack_str(self.member) + _pack_str(self.group)
+
+
+@dataclass(frozen=True)
+class Packed:
+    """Several small envelopes packed into one protocol packet."""
+
+    items: Tuple[bytes, ...]  # encoded envelopes
+
+    def encode(self) -> bytes:
+        parts = [_TAG.pack(ENV_PACKED), struct.pack("!H", len(self.items))]
+        for item in self.items:
+            parts.append(struct.pack("!I", len(item)))
+            parts.append(item)
+        return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One fragment of a large message; reassembled per (origin, id)."""
+
+    frag_id: int
+    index: int
+    total: int
+    chunk: bytes
+
+    def encode(self) -> bytes:
+        return _FRAGMENT_HEADER.pack(ENV_FRAGMENT, self.frag_id, self.index, self.total) + self.chunk
+
+
+Envelope = Union[AppData, GroupJoin, GroupLeave, Packed, Fragment]
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    if not data:
+        raise CodecError("empty envelope")
+    tag = data[0]
+    if tag == ENV_APP:
+        sender, offset = _unpack_str(data, 1)
+        (count,) = struct.unpack_from("!B", data, offset)
+        offset += 1
+        groups = []
+        for _ in range(count):
+            group, offset = _unpack_str(data, offset)
+            groups.append(group)
+        return AppData(sender=sender, groups=tuple(groups), payload=data[offset:])
+    if tag == ENV_JOIN:
+        member, offset = _unpack_str(data, 1)
+        group, _ = _unpack_str(data, offset)
+        return GroupJoin(member=member, group=group)
+    if tag == ENV_LEAVE:
+        member, offset = _unpack_str(data, 1)
+        group, _ = _unpack_str(data, offset)
+        return GroupLeave(member=member, group=group)
+    if tag == ENV_PACKED:
+        (count,) = struct.unpack_from("!H", data, 1)
+        offset = 3
+        items = []
+        for _ in range(count):
+            (length,) = struct.unpack_from("!I", data, offset)
+            offset += 4
+            if offset + length > len(data):
+                raise CodecError("truncated packed item")
+            items.append(data[offset : offset + length])
+            offset += length
+        return Packed(items=tuple(items))
+    if tag == ENV_FRAGMENT:
+        _t, frag_id, index, total = _FRAGMENT_HEADER.unpack_from(data)
+        return Fragment(
+            frag_id=frag_id, index=index, total=total, chunk=data[_FRAGMENT_HEADER.size :]
+        )
+    raise CodecError(f"unknown envelope tag {tag}")

@@ -1,0 +1,29 @@
+"""Shared helpers: units, statistics, and error types."""
+
+from repro.util.units import (
+    Mbps,
+    Gbps,
+    usec,
+    msec,
+    seconds_to_usec,
+    bits,
+    bytes_per_second,
+)
+from repro.util.stats import LatencyStats, ThroughputMeter, percentile
+from repro.util.errors import ReproError, ProtocolError, ConfigurationError
+
+__all__ = [
+    "Mbps",
+    "Gbps",
+    "usec",
+    "msec",
+    "seconds_to_usec",
+    "bits",
+    "bytes_per_second",
+    "LatencyStats",
+    "ThroughputMeter",
+    "percentile",
+    "ReproError",
+    "ProtocolError",
+    "ConfigurationError",
+]

@@ -1,0 +1,23 @@
+"""Error types shared across the package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (bug or corrupted input)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration."""
+
+
+class CodecError(ReproError):
+    """A wire message could not be encoded or decoded."""
+
+
+class MembershipError(ReproError):
+    """The membership algorithm reached an inconsistent state."""

@@ -1,0 +1,146 @@
+"""Latency and throughput statistics used by benchmarks and workloads."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Return the ``fraction`` percentile (0..1) using linear interpolation.
+
+    Raises :class:`ValueError` on an empty sample set so silent zeros never
+    leak into benchmark reports.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates per-message delivery latencies (in seconds).
+
+    The paper reports the mean latency over all messages, and for the loss
+    experiments (Figs. 9-12) also the mean over the worst (highest-latency)
+    5% of messages from each sender.  ``worst_fraction_mean`` implements the
+    latter.
+    """
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.samples.append(latency)
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.samples.extend(other.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no latency samples recorded")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self.samples:
+            raise ValueError("no latency samples recorded")
+        return max(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        if not self.samples:
+            raise ValueError("no latency samples recorded")
+        return min(self.samples)
+
+    def quantile(self, fraction: float) -> float:
+        return percentile(self.samples, fraction)
+
+    def worst_fraction_mean(self, fraction: float = 0.05) -> float:
+        """Mean over the worst ``fraction`` of samples (paper's dashed lines)."""
+        if not self.samples:
+            raise ValueError("no latency samples recorded")
+        ordered = sorted(self.samples, reverse=True)
+        keep = max(1, int(round(len(ordered) * fraction)))
+        worst = ordered[:keep]
+        return sum(worst) / len(worst)
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts delivered payload bytes over a measurement window.
+
+    Following the paper, throughput is measured in *clean application data
+    only*: protocol headers, retransmissions, and tokens do not count.
+    """
+
+    payload_bytes: int = 0
+    message_count: int = 0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    def record(self, now: float, payload_size: int) -> None:
+        if self.start_time is None:
+            self.start_time = now
+        self.end_time = now
+        self.payload_bytes += payload_size
+        self.message_count += 1
+
+    @property
+    def elapsed(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second over the observed window."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.payload_bytes * 8.0 / self.elapsed
+
+
+@dataclass
+class RunStats:
+    """Aggregated results of one simulated benchmark run."""
+
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    per_sender_latency: Dict[int, LatencyStats] = field(default_factory=dict)
+    throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
+    retransmissions: int = 0
+    token_rounds: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+
+    def record_delivery(self, now: float, sender: int, latency: float, payload_size: int) -> None:
+        self.latency.record(latency)
+        self.per_sender_latency.setdefault(sender, LatencyStats()).record(latency)
+        self.throughput.record(now, payload_size)
+
+    def worst_5pct_mean(self) -> float:
+        """Mean over the worst 5% of messages *from each sender* (paper §IV-A4)."""
+        worsts = [
+            stats.worst_fraction_mean(0.05)
+            for stats in self.per_sender_latency.values()
+            if stats.count
+        ]
+        if not worsts:
+            raise ValueError("no per-sender latency samples recorded")
+        return sum(worsts) / len(worsts)

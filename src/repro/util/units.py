@@ -1,0 +1,43 @@
+"""Unit helpers.
+
+All simulator time is in seconds (float) and all rates are in bits per
+second (float).  These helpers keep benchmark and test code free of magic
+multipliers.
+"""
+
+from __future__ import annotations
+
+
+def Mbps(value: float) -> float:
+    """Megabits per second expressed in bits per second."""
+    return value * 1_000_000.0
+
+
+def Gbps(value: float) -> float:
+    """Gigabits per second expressed in bits per second."""
+    return value * 1_000_000_000.0
+
+
+def usec(value: float) -> float:
+    """Microseconds expressed in seconds."""
+    return value * 1e-6
+
+
+def msec(value: float) -> float:
+    """Milliseconds expressed in seconds."""
+    return value * 1e-3
+
+
+def seconds_to_usec(value: float) -> float:
+    """Seconds expressed in microseconds."""
+    return value * 1e6
+
+
+def bits(num_bytes: float) -> float:
+    """Bytes expressed in bits."""
+    return num_bytes * 8.0
+
+
+def bytes_per_second(bits_per_second: float) -> float:
+    """A bit rate expressed in bytes per second."""
+    return bits_per_second / 8.0

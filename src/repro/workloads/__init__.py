@@ -1,0 +1,9 @@
+"""Workload generators matching the paper's benchmark clients (§IV-A)."""
+
+from repro.workloads.generators import (
+    FixedRateWorkload,
+    ClosedLoopWorkload,
+    BurstWorkload,
+)
+
+__all__ = ["FixedRateWorkload", "ClosedLoopWorkload", "BurstWorkload"]

@@ -1,0 +1,59 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.participant import AcceleratedRingParticipant
+from repro.core.original import OriginalRingParticipant
+from repro.core.token import RegularToken, initial_token
+from repro.net.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    return ProtocolConfig(personal_window=5, accelerated_window=3, global_window=40)
+
+
+def make_ring(cls, n=3, config=None, ring_id=1):
+    """Build a ring of participants of the given class."""
+    config = config or ProtocolConfig(personal_window=5, accelerated_window=3, global_window=40)
+    ring = list(range(n))
+    return [cls(pid, ring, config, ring_id=ring_id) for pid in ring]
+
+
+def data_message(
+    seq: int,
+    pid: int = 0,
+    round: int = 1,
+    service: DeliveryService = DeliveryService.AGREED,
+    ring_id: int = 1,
+    post_token: bool = False,
+    payload: bytes = b"",
+) -> DataMessage:
+    return DataMessage(
+        seq=seq,
+        pid=pid,
+        round=round,
+        service=service,
+        payload=payload,
+        post_token=post_token,
+        ring_id=ring_id,
+    )
+
+
+def submit_n(participant, n, service=DeliveryService.AGREED, payload=b"x"):
+    for _ in range(n):
+        participant.submit(payload=payload, service=service)
+
+
+def drain_effects(effects, effect_type):
+    """Messages/tokens of one effect type, in order."""
+    return [effect for effect in effects if isinstance(effect, effect_type)]

@@ -1,0 +1,222 @@
+"""Integration tests: daemon/client architecture and the Spread layer."""
+
+import asyncio
+import os
+import tempfile
+
+import pytest
+
+from repro.core.messages import DeliveryService
+from repro.runtime.client import DaemonClient
+from repro.runtime.daemon import DaemonServer
+from repro.runtime.ipc import Delivery
+from repro.runtime.transport import local_ring_addresses
+from repro.spread.client_api import GroupMessage, GroupView, SpreadClient
+from repro.spread.daemon import SpreadDaemon
+from tests.integration.test_runtime import FAST_TIMEOUTS, next_ports, wait_until
+
+
+async def start_daemons(cls, n, tmpdir, **kwargs):
+    peers = local_ring_addresses(range(n), base_port=next_ports())
+    daemons = [
+        cls(
+            pid,
+            peers,
+            os.path.join(tmpdir, f"daemon{pid}.sock"),
+            timeouts=FAST_TIMEOUTS,
+            **kwargs,
+        )
+        for pid in range(n)
+    ]
+    for daemon in daemons:
+        await daemon.start()
+    formed = await wait_until(
+        lambda: all(len(d.node.members) == n for d in daemons)
+    )
+    assert formed, [d.node.members for d in daemons]
+    return daemons
+
+
+class TestDaemonPrototype:
+    def test_client_submissions_reach_all_receivers(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(DaemonServer, 3, tmp)
+                try:
+                    clients = [DaemonClient(d.socket_path) for d in daemons]
+                    for client in clients:
+                        await client.connect()
+                    for index, client in enumerate(clients):
+                        client.send(f"m{index}".encode())
+                    for client in clients:
+                        messages = await asyncio.wait_for(
+                            client.receive_messages(3), 10
+                        )
+                        payloads = sorted(m.payload for m in messages)
+                        assert payloads == [b"m0", b"m1", b"m2"]
+                    # all receivers observed the same order
+                    for client in clients:
+                        await client.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_same_total_order_at_every_client(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(DaemonServer, 3, tmp)
+                try:
+                    clients = [DaemonClient(d.socket_path) for d in daemons]
+                    for client in clients:
+                        await client.connect()
+                    for burst in range(5):
+                        for client in clients:
+                            client.send(f"{burst}".encode(),
+                                        DeliveryService.AGREED)
+                    logs = []
+                    for client in clients:
+                        messages = await asyncio.wait_for(
+                            client.receive_messages(15), 10
+                        )
+                        logs.append([(m.sender, m.seq) for m in messages])
+                    assert logs[0] == logs[1] == logs[2]
+                    for client in clients:
+                        await client.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())
+
+
+class TestSpreadSystem:
+    def test_groups_views_and_open_group_send(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(SpreadDaemon, 3, tmp)
+                try:
+                    alice = SpreadClient(daemons[0].socket_path, name="alice")
+                    bob = SpreadClient(daemons[1].socket_path, name="bob")
+                    carol = SpreadClient(daemons[2].socket_path, name="carol")
+                    assert await alice.connect() == "alice#0"
+                    await bob.connect()
+                    await carol.connect()
+                    await alice.join("chat")
+                    await bob.join("chat")
+                    view = await alice.wait_for_view("chat", 2)
+                    assert set(view.members) == {"alice#0", "bob#1"}
+                    # open-group: carol sends without joining
+                    carol.multicast(["chat"], b"hello")
+                    for client in (alice, bob):
+                        (message,) = await asyncio.wait_for(
+                            client.receive_messages(1), 10
+                        )
+                        assert message.payload == b"hello"
+                        assert message.groups == ("chat",)
+                    for client in (alice, bob, carol):
+                        await client.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_multigroup_multicast_delivered_once_per_member(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(SpreadDaemon, 2, tmp)
+                try:
+                    alice = SpreadClient(daemons[0].socket_path, name="alice")
+                    bob = SpreadClient(daemons[1].socket_path, name="bob")
+                    await alice.connect()
+                    await bob.connect()
+                    await alice.join("g1")
+                    await alice.join("g2")
+                    await bob.join("g2")
+                    await alice.wait_for_view("g2", 2)
+                    bob.multicast(["g1", "g2"], b"multi")
+                    (message,) = await asyncio.wait_for(alice.receive_messages(1), 10)
+                    assert message.groups == ("g1", "g2")
+                    # alice is in both target groups but receives one copy;
+                    # send another message to prove no duplicate arrived
+                    bob.multicast(["g2"], b"next")
+                    (message2,) = await asyncio.wait_for(alice.receive_messages(1), 10)
+                    assert message2.payload == b"next"
+                    await alice.close()
+                    await bob.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_large_message_fragmentation_roundtrip(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(SpreadDaemon, 2, tmp)
+                try:
+                    alice = SpreadClient(daemons[0].socket_path, name="alice")
+                    bob = SpreadClient(daemons[1].socket_path, name="bob")
+                    await alice.connect()
+                    await bob.connect()
+                    await bob.join("bulk")
+                    await bob.wait_for_view("bulk", 1)
+                    big = bytes(range(256)) * 64  # 16 KiB
+                    alice.multicast(["bulk"], big, DeliveryService.SAFE)
+                    (message,) = await asyncio.wait_for(bob.receive_messages(1), 10)
+                    assert message.payload == big
+                    await alice.close()
+                    await bob.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_client_disconnect_leaves_groups(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(SpreadDaemon, 2, tmp)
+                try:
+                    alice = SpreadClient(daemons[0].socket_path, name="alice")
+                    bob = SpreadClient(daemons[1].socket_path, name="bob")
+                    await alice.connect()
+                    await bob.connect()
+                    await alice.join("room")
+                    await bob.join("room")
+                    await bob.wait_for_view("room", 2)
+                    await alice.close()
+                    view = await bob.wait_for_view("room", 1)
+                    assert view.members == ("bob#1",)
+                    await bob.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_ordered_group_membership_is_identical_across_daemons(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                daemons = await start_daemons(SpreadDaemon, 3, tmp)
+                try:
+                    clients = [
+                        SpreadClient(d.socket_path, name=f"c{i}")
+                        for i, d in enumerate(daemons)
+                    ]
+                    for client in clients:
+                        await client.connect()
+                        await client.join("shared")
+                    for client in clients:
+                        await client.wait_for_view("shared", 3)
+                    snapshots = [d.directory.members("shared") for d in daemons]
+                    assert snapshots[0] == snapshots[1] == snapshots[2]
+                    for client in clients:
+                        await client.close()
+                finally:
+                    for daemon in daemons:
+                        await daemon.stop()
+
+        asyncio.run(scenario())

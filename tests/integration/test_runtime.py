@@ -1,0 +1,229 @@
+"""Integration tests for the real asyncio/UDP runtime over loopback."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import DeliveryService
+from repro.membership.params import MembershipTimeouts
+from repro.runtime.node import RUNTIME_TIMEOUTS, RingNode
+from repro.runtime.transport import local_ring_addresses
+
+#: Faster wall-clock timeouts so tests stay snappy.
+FAST_TIMEOUTS = MembershipTimeouts(
+    token_loss=0.25,
+    join_interval=0.05,
+    consensus_timeout=0.2,
+    consensus_settle=0.08,
+    commit_timeout=0.5,
+    recovery_status_interval=0.05,
+    recovery_timeout=1.5,
+    beacon_interval=0.2,
+)
+
+_PORT_COUNTER = [30000]
+
+
+def next_ports():
+    _PORT_COUNTER[0] += 40
+    return _PORT_COUNTER[0]
+
+
+async def wait_until(predicate, timeout=8.0, interval=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+async def start_ring(n, **kwargs):
+    peers = local_ring_addresses(range(n), base_port=next_ports())
+    nodes = [
+        RingNode(pid, peers, timeouts=FAST_TIMEOUTS, **kwargs) for pid in range(n)
+    ]
+    for node in nodes:
+        await node.start()
+    formed = await wait_until(
+        lambda: all(len(node.members) == n for node in nodes)
+    )
+    assert formed, f"ring did not form: {[node.members for node in nodes]}"
+    return nodes
+
+
+async def stop_all(nodes):
+    for node in nodes:
+        await node.stop()
+
+
+def test_ring_forms_and_orders_messages():
+    async def scenario():
+        nodes = await start_ring(3)
+        try:
+            for node in nodes:
+                for index in range(15):
+                    node.submit(
+                        payload=f"{node.pid}:{index}".encode(),
+                        service=DeliveryService.SAFE if index % 5 == 0
+                        else DeliveryService.AGREED,
+                    )
+            done = await wait_until(
+                lambda: all(len(node.delivered) >= 45 for node in nodes)
+            )
+            assert done, [len(node.delivered) for node in nodes]
+            orders = [
+                [(m.ring_id, m.seq) for m in node.delivered] for node in nodes
+            ]
+            assert orders[0] == orders[1] == orders[2]
+        finally:
+            await stop_all(nodes)
+
+    asyncio.run(scenario())
+
+
+def test_crash_reforms_ring_and_traffic_continues():
+    async def scenario():
+        nodes = await start_ring(3)
+        try:
+            await nodes[2].stop()
+            reformed = await wait_until(
+                lambda: all(node.members == (0, 1) for node in nodes[:2])
+            )
+            assert reformed, [node.members for node in nodes[:2]]
+            nodes[0].submit(payload=b"after-crash", service=DeliveryService.SAFE)
+            delivered = await wait_until(
+                lambda: any(
+                    m.payload == b"after-crash" for m in nodes[1].delivered
+                )
+            )
+            assert delivered
+        finally:
+            await stop_all(nodes[:2])
+
+    asyncio.run(scenario())
+
+
+def test_loss_recovered_by_retransmissions():
+    async def scenario():
+        peers = local_ring_addresses(range(3), base_port=next_ports())
+        nodes = [
+            RingNode(
+                pid,
+                peers,
+                timeouts=FAST_TIMEOUTS,
+                loss_rate=0.10 if pid == 1 else 0.0,
+                loss_seed=pid,
+            )
+            for pid in range(3)
+        ]
+        for node in nodes:
+            await node.start()
+        try:
+            formed = await wait_until(
+                lambda: all(len(node.members) == 3 for node in nodes)
+            )
+            assert formed
+            for node in nodes:
+                for index in range(30):
+                    node.submit(payload=f"{node.pid}:{index}".encode())
+            done = await wait_until(
+                lambda: all(len(node.delivered) >= 90 for node in nodes),
+                timeout=15.0,
+            )
+            assert done, [len(node.delivered) for node in nodes]
+            assert nodes[1].transport.datagrams_dropped > 0
+        finally:
+            await stop_all(nodes)
+
+    asyncio.run(scenario())
+
+
+def test_original_protocol_over_runtime():
+    async def scenario():
+        nodes = await start_ring(3, accelerated=False)
+        try:
+            nodes[0].submit(payload=b"orig")
+            delivered = await wait_until(
+                lambda: all(
+                    any(m.payload == b"orig" for m in node.delivered)
+                    for node in nodes
+                )
+            )
+            assert delivered
+        finally:
+            await stop_all(nodes)
+
+    asyncio.run(scenario())
+
+
+def test_token_loss_recovered_by_membership():
+    """Token loss is handled by the membership algorithm (paper §IV-A4):
+    with occasional token drops the ring keeps re-forming and ordering
+    traffic end to end over real sockets."""
+
+    async def scenario():
+        peers = local_ring_addresses(range(3), base_port=next_ports())
+        nodes = [
+            RingNode(
+                pid,
+                peers,
+                timeouts=FAST_TIMEOUTS,
+                # Token loss must be *rare* relative to the loss timeout
+                # (the paper's premise); the token passes thousands of
+                # times per second over loopback, so even 0.2% yields
+                # several losses per second of test.
+                token_loss_rate=0.002 if pid == 1 else 0.0,
+                loss_seed=pid + 1,
+            )
+            for pid in range(3)
+        ]
+        for node in nodes:
+            await node.start()
+        try:
+            formed = await wait_until(
+                lambda: all(len(node.members) == 3 for node in nodes)
+            )
+            assert formed
+            # The token rotates continuously; wait until at least one
+            # token has actually been dropped, so the test proves the
+            # recovery path rather than a lucky run.
+            dropped = await wait_until(
+                lambda: nodes[1].transport.tokens_dropped > 0, timeout=20.0
+            )
+            assert dropped
+            for node in nodes:
+                for index in range(10):
+                    node.submit(payload=f"{node.pid}:{index}".encode())
+            done = await wait_until(
+                lambda: all(len(node.delivered) >= 30 for node in nodes),
+                timeout=25.0,
+            )
+            assert done, [len(node.delivered) for node in nodes]
+            orders = [
+                [(m.ring_id, m.seq) for m in node.delivered][:30] for node in nodes
+            ]
+            # common prefix per ring id: total order held across any
+            # membership changes the token losses caused
+            for log in orders[1:]:
+                assert log == orders[0]
+        finally:
+            await stop_all(nodes)
+
+    asyncio.run(scenario())
+
+
+def test_configuration_events_surface_to_application():
+    async def scenario():
+        nodes = await start_ring(2)
+        try:
+            assert all(
+                any(not c.transitional and len(c.members) == 2
+                    for c in node.configurations)
+                for node in nodes
+            )
+        finally:
+            await stop_all(nodes)
+
+    asyncio.run(scenario())

@@ -1,0 +1,118 @@
+"""Integration tests for remote (TCP) clients.
+
+Paper §III-E: "Spread also supports remote clients that connect via
+TCP, but this is not recommended for local area networks, where it is
+best to co-locate Spread daemons and clients."
+"""
+
+import asyncio
+import os
+import tempfile
+
+import pytest
+
+from repro.core.messages import DeliveryService
+from repro.runtime.client import DaemonClient
+from repro.runtime.daemon import DaemonServer
+from repro.spread.client_api import SpreadClient
+from repro.spread.daemon import SpreadDaemon
+from repro.runtime.transport import local_ring_addresses
+from tests.integration.test_runtime import FAST_TIMEOUTS, next_ports, wait_until
+
+_TCP_PORTS = [46000]
+
+
+def next_tcp_port():
+    _TCP_PORTS[0] += 7
+    return _TCP_PORTS[0]
+
+
+def test_client_constructor_validation():
+    with pytest.raises(ValueError):
+        DaemonClient()
+    with pytest.raises(ValueError):
+        DaemonClient(socket_path="/x", tcp_address=("h", 1))
+    with pytest.raises(ValueError):
+        SpreadClient()
+
+
+def test_tcp_client_sends_and_receives():
+    async def scenario():
+        with tempfile.TemporaryDirectory() as tmp:
+            peers = local_ring_addresses(range(2), base_port=next_ports())
+            tcp_ports = [next_tcp_port(), next_tcp_port()]
+            daemons = [
+                DaemonServer(
+                    pid,
+                    peers,
+                    os.path.join(tmp, f"d{pid}.sock"),
+                    timeouts=FAST_TIMEOUTS,
+                    tcp_port=tcp_ports[pid],
+                )
+                for pid in range(2)
+            ]
+            for daemon in daemons:
+                await daemon.start()
+            try:
+                assert await wait_until(
+                    lambda: all(len(d.node.members) == 2 for d in daemons)
+                )
+                remote = DaemonClient(tcp_address=("127.0.0.1", tcp_ports[0]))
+                local = DaemonClient(socket_path=daemons[1].socket_path)
+                await remote.connect()
+                await local.connect()
+                remote.send(b"from-remote", DeliveryService.SAFE)
+                (delivery,) = await asyncio.wait_for(local.receive_messages(1), 10)
+                assert delivery.payload == b"from-remote"
+                (echo,) = await asyncio.wait_for(remote.receive_messages(1), 10)
+                assert echo.payload == b"from-remote"
+                await remote.close()
+                await local.close()
+            finally:
+                for daemon in daemons:
+                    await daemon.stop()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_spread_client_full_group_flow():
+    async def scenario():
+        with tempfile.TemporaryDirectory() as tmp:
+            peers = local_ring_addresses(range(2), base_port=next_ports())
+            tcp_port = next_tcp_port()
+            daemons = [
+                SpreadDaemon(
+                    pid,
+                    peers,
+                    os.path.join(tmp, f"d{pid}.sock"),
+                    timeouts=FAST_TIMEOUTS,
+                    tcp_port=tcp_port if pid == 0 else None,
+                )
+                for pid in range(2)
+            ]
+            for daemon in daemons:
+                await daemon.start()
+            try:
+                assert await wait_until(
+                    lambda: all(len(d.node.members) == 2 for d in daemons)
+                )
+                remote = SpreadClient(
+                    tcp_address=("127.0.0.1", tcp_port), name="remote"
+                )
+                local = SpreadClient(daemons[1].socket_path, name="local")
+                assert await remote.connect() == "remote#0"
+                await local.connect()
+                await remote.join("wan")
+                await local.join("wan")
+                view = await remote.wait_for_view("wan", 2)
+                assert set(view.members) == {"remote#0", "local#1"}
+                local.multicast(["wan"], b"hello remote")
+                (message,) = await asyncio.wait_for(remote.receive_messages(1), 10)
+                assert message.payload == b"hello remote"
+                await remote.close()
+                await local.close()
+            finally:
+                for daemon in daemons:
+                    await daemon.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,162 @@
+"""Property-based roundtrip tests for every wire codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import decode, encode
+from repro.core.messages import DataMessage, DeliveryService
+from repro.core.token import RegularToken
+from repro.membership.codec import decode_any, encode_any
+from repro.membership.messages import (
+    BeaconMessage,
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    RecoveredMessage,
+    RecoveryStatus,
+)
+from repro.spread.wire import (
+    AppData,
+    Fragment,
+    GroupJoin,
+    GroupLeave,
+    Packed,
+    decode_envelope,
+)
+
+pids = st.integers(min_value=0, max_value=2**31 - 1)
+seqs = st.integers(min_value=0, max_value=2**62)
+ring_ids = st.integers(min_value=0, max_value=2**62)
+payloads = st.binary(max_size=2048)
+names = st.text(
+    alphabet=st.characters(blacklist_characters="#", blacklist_categories=("Cs",)),
+    min_size=0,
+    max_size=40,
+)
+
+data_messages = st.builds(
+    DataMessage,
+    seq=seqs,
+    pid=pids,
+    round=st.integers(min_value=0, max_value=2**40),
+    service=st.sampled_from(list(DeliveryService)),
+    payload=payloads,
+    post_token=st.booleans(),
+    timestamp=st.one_of(st.none(), st.floats(min_value=0, max_value=1e9)),
+    ring_id=ring_ids,
+)
+
+tokens = st.builds(
+    RegularToken,
+    ring_id=ring_ids,
+    token_id=st.integers(min_value=0, max_value=2**40),
+    seq=seqs,
+    aru=seqs,
+    aru_lowered_by=st.one_of(st.none(), pids),
+    fcc=st.integers(min_value=0, max_value=2**31 - 1),
+    rtr=st.lists(seqs, max_size=50),
+    rotation=st.integers(min_value=0, max_value=2**40),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(data_messages)
+def test_data_roundtrip(message):
+    assert decode(encode(message)) == message
+
+
+@settings(max_examples=150, deadline=None)
+@given(tokens)
+def test_token_roundtrip(token):
+    assert decode(encode(token)) == token
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.builds(
+        JoinMessage,
+        sender=pids,
+        proc_set=st.frozensets(pids, max_size=20),
+        fail_set=st.frozensets(pids, max_size=20),
+        ring_seq=st.integers(min_value=0, max_value=2**40),
+    )
+)
+def test_join_roundtrip(join):
+    assert decode_any(encode_any(join)) == join
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(pids, min_size=1, max_size=10, unique=True),
+    st.integers(min_value=0, max_value=10),
+    ring_ids,
+)
+def test_commit_roundtrip(members, rotation, ring_id):
+    token = CommitToken(ring_id=ring_id, members=tuple(members), rotation=rotation)
+    for pid in members[: len(members) // 2]:
+        token.infos[pid] = MemberInfo(old_ring_id=pid + 1, old_aru=pid, high_seq=pid * 2)
+    decoded = decode_any(encode_any(token))
+    assert decoded.members == token.members
+    assert decoded.infos == token.infos
+
+
+@settings(max_examples=100, deadline=None)
+@given(data_messages, ring_ids)
+def test_recovered_roundtrip(message, old_ring):
+    recovered = RecoveredMessage(old_ring_id=old_ring, message=message)
+    decoded = decode_any(encode_any(recovered))
+    assert decoded == recovered
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.builds(
+        RecoveryStatus,
+        sender=pids,
+        new_ring_id=ring_ids,
+        old_ring_id=ring_ids,
+        have=st.lists(seqs, max_size=30).map(tuple),
+        complete=st.booleans(),
+    )
+)
+def test_status_roundtrip(status):
+    assert decode_any(encode_any(status)) == status
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.builds(BeaconMessage, sender=pids, ring_id=ring_ids))
+def test_beacon_roundtrip(beacon):
+    assert decode_any(encode_any(beacon)) == beacon
+
+
+@settings(max_examples=100, deadline=None)
+@given(names, st.lists(names, max_size=5).map(tuple), payloads)
+def test_app_envelope_roundtrip(sender, groups, payload):
+    envelope = AppData(sender=sender, groups=groups, payload=payload)
+    assert decode_envelope(envelope.encode()) == envelope
+
+
+@settings(max_examples=100, deadline=None)
+@given(names, names)
+def test_group_ops_roundtrip(member, group):
+    assert decode_envelope(GroupJoin(member, group).encode()) == GroupJoin(member, group)
+    assert decode_envelope(GroupLeave(member, group).encode()) == GroupLeave(member, group)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(payloads, max_size=8).map(tuple))
+def test_packed_roundtrip(items):
+    packed = Packed(items)
+    assert decode_envelope(packed.encode()) == packed
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2**40),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=1, max_value=201),
+    payloads,
+)
+def test_fragment_roundtrip(frag_id, index, total, chunk):
+    fragment = Fragment(frag_id=frag_id, index=index, total=max(total, index + 1),
+                        chunk=chunk)
+    assert decode_envelope(fragment.encode()) == fragment

@@ -1,0 +1,98 @@
+"""Property-based tests of the core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffer import MessageBuffer
+from repro.core.config import ProtocolConfig
+from repro.core.flow_control import plan_sending, update_fcc
+from repro.util.stats import LatencyStats, percentile
+from tests.conftest import data_message
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=60), min_size=0, max_size=60))
+def test_buffer_local_aru_matches_model(seqs):
+    buffer = MessageBuffer()
+    inserted = set()
+    for seq in seqs:
+        buffer.insert(data_message(seq))
+        inserted.add(seq)
+        # model: local aru = largest n with 1..n all inserted
+        expected = 0
+        while expected + 1 in inserted:
+            expected += 1
+        assert buffer.local_aru == expected
+    assert buffer.max_seq == (max(inserted) if inserted else 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=40), min_size=0, max_size=40),
+    st.integers(min_value=0, max_value=45),
+)
+def test_buffer_missing_between_matches_model(seqs, limit):
+    buffer = MessageBuffer()
+    for seq in seqs:
+        buffer.insert(data_message(seq))
+    low = buffer.local_aru
+    missing = buffer.missing_between(low, limit)
+    expected = [s for s in range(low + 1, limit + 1) if s not in set(seqs)]
+    assert missing == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_flow_control_plan_invariants(personal, accel_raw, queued, fcc, retrans):
+    accel = min(accel_raw, personal)
+    config = ProtocolConfig(
+        personal_window=personal,
+        accelerated_window=accel,
+        global_window=personal * 8,
+    )
+    plan = plan_sending(config, queued, fcc, retrans)
+    assert 0 <= plan.num_to_send <= min(queued, personal)
+    assert plan.num_to_send + fcc + retrans <= max(config.global_window, fcc + retrans)
+    assert plan.post_token <= accel
+    assert plan.pre_token + plan.post_token == plan.num_to_send
+    # everything fits after the token when the batch is small enough
+    if plan.num_to_send <= accel:
+        assert plan.pre_token == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_fcc_update_invariants(fcc, last, current):
+    updated = update_fcc(fcc, last, current)
+    assert updated >= current
+    if last <= fcc:
+        assert updated == fcc - last + current
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+def test_percentile_bounded_and_monotone(samples):
+    low = percentile(samples, 0.0)
+    mid = percentile(samples, 0.5)
+    high = percentile(samples, 1.0)
+    assert low <= mid <= high
+    assert low == min(samples)
+    assert high == max(samples)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=100))
+def test_worst_fraction_mean_at_least_mean(samples):
+    stats = LatencyStats()
+    for sample in samples:
+        stats.record(sample)
+    assert stats.worst_fraction_mean(0.05) >= stats.mean - 1e-9

@@ -1,0 +1,76 @@
+"""Unit tests for the acceptance-criteria checker."""
+
+import os
+
+import pytest
+
+from repro.bench.acceptance import (
+    CRITERIA,
+    SeriesPoint,
+    load_figure,
+    parse_results,
+    verify,
+)
+
+SAMPLE = """Fig X: sample
+=============
+
+curve-a
+-------
+rate_mbps    goodput     lat_us  worst5_us  retrans
+      100      100.1       50.0       80.0        0
+      200      199.8       60.0       90.0        3
+
+curve-b
+-------
+rate_mbps    goodput     lat_us  worst5_us  retrans
+      100       99.9       70.0      100.0        0
+"""
+
+
+def test_parse_results_roundtrip():
+    series = parse_results(SAMPLE)
+    assert set(series) == {"curve-a", "curve-b"}
+    assert len(series["curve-a"]) == 2
+    point = series["curve-a"][1]
+    assert point.rate_mbps == 200
+    assert point.goodput_mbps == pytest.approx(199.8)
+    assert point.retransmissions == 3
+
+
+def test_parse_skips_malformed_rows():
+    mangled = SAMPLE + "\nnot a data row at all\n"
+    series = parse_results(mangled)
+    assert len(series["curve-b"]) == 1
+
+
+def test_parse_empty_text():
+    assert parse_results("") == {}
+
+
+def test_verify_skips_missing_files(tmp_path):
+    passed, failed, skipped = verify(results_dir=str(tmp_path))
+    assert not passed and not failed
+    assert len(skipped) == len(CRITERIA)
+
+
+def test_verify_flags_missing_series(tmp_path):
+    (tmp_path / "fig02.txt").write_text(SAMPLE)
+    passed, failed, skipped = verify(results_dir=str(tmp_path))
+    assert any("fig02" in line for line in failed)
+
+
+def test_verify_against_real_results_if_present():
+    """When the benchmarks have been run, every criterion must pass —
+    the repository-level reproduction guarantee."""
+    passed, failed, skipped = verify()
+    if skipped and not passed:
+        pytest.skip("benchmarks not yet run")
+    assert failed == []
+
+
+def test_criteria_cover_key_figures():
+    figures = {criterion.figure for criterion in CRITERIA}
+    for expected in ("fig02.txt", "fig04.txt", "fig08.txt", "fig09.txt",
+                     "fig13.txt", "headline.txt"):
+        assert expected in figures

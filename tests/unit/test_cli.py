@@ -1,0 +1,54 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds_all_subcommands():
+    parser = build_parser()
+    for command in ("demo", "sweep", "maxtp", "figure", "daemon"):
+        args = parser.parse_args([command] + (
+            ["--pid", "0"] if command == "daemon" else
+            (["2"] if command == "figure" else [])
+        ))
+        assert args.command == command
+
+
+def test_demo_defaults():
+    args = build_parser().parse_args(["demo"])
+    assert args.profile == "spread"
+    assert args.network == "1g"
+    assert args.rate == 300.0
+
+
+def test_unknown_figure_fails_cleanly(capsys):
+    assert main(["figure", "99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_demo_runs_end_to_end(capsys):
+    # Small operating point to keep the run fast.
+    code = main([
+        "demo", "--profile", "library", "--network", "1g",
+        "--rate", "100", "--service", "agreed",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "original" in out and "accelerated" in out
+    assert "Mbps" in out
+
+
+def test_sweep_runs_end_to_end(capsys):
+    code = main([
+        "sweep", "--profile", "library", "--rates", "100,200",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "original" in out and "accelerated" in out
+    assert out.count("100") >= 2

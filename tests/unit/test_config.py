@@ -1,0 +1,53 @@
+"""Unit tests for protocol configuration validation."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.util.errors import ConfigurationError
+
+
+def test_defaults_valid():
+    config = ProtocolConfig()
+    assert config.accelerated
+    assert config.accelerated_window <= config.personal_window
+
+
+def test_original_pins_windows_and_priority():
+    config = ProtocolConfig(personal_window=25, accelerated_window=20, global_window=200)
+    original = config.original()
+    assert original.accelerated_window == 0
+    assert not original.accelerated
+    assert original.priority_method is TokenPriorityMethod.NEVER
+    assert original.personal_window == 25
+    assert original.global_window == 200
+
+
+def test_zero_accelerated_window_is_not_accelerated():
+    config = ProtocolConfig(personal_window=10, accelerated_window=0)
+    assert not config.accelerated
+
+
+def test_personal_window_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(personal_window=0)
+
+
+def test_accelerated_window_cannot_exceed_personal():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(personal_window=5, accelerated_window=6)
+
+
+def test_negative_accelerated_window_rejected():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(personal_window=5, accelerated_window=-1)
+
+
+def test_global_window_must_cover_personal():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(personal_window=50, global_window=40)
+
+
+def test_config_frozen():
+    config = ProtocolConfig()
+    with pytest.raises(AttributeError):
+        config.personal_window = 99

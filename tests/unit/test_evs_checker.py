@@ -1,0 +1,147 @@
+"""Unit tests for the EVS trace checker — it must catch violations."""
+
+import pytest
+
+from repro.core.messages import DeliveryService
+from repro.evs.checker import EvsChecker, EvsViolation
+from repro.evs.configuration import Configuration
+from repro.evs.events import ConfigDelivery, MessageDelivery
+
+
+def delivery(seq, sender=0, service=DeliveryService.AGREED, config_id=1, ring=None):
+    return MessageDelivery(
+        seq=seq,
+        sender=sender,
+        service=service,
+        config_id=config_id,
+        origin_ring=ring if ring is not None else config_id,
+    )
+
+
+def config_event(config_id=1, members=(0, 1), transitional=False, closes=None):
+    if transitional:
+        configuration = Configuration.transitional_of(config_id, members, closes=closes)
+    else:
+        configuration = Configuration.regular(config_id, members)
+    return ConfigDelivery(configuration)
+
+
+def test_clean_trace_passes():
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event())
+        for seq in (1, 2, 3):
+            checker.record(pid, delivery(seq))
+    checker.check()
+
+
+def test_duplicate_delivery_detected():
+    checker = EvsChecker()
+    checker.record(0, delivery(1))
+    checker.record(0, delivery(1))
+    with pytest.raises(EvsViolation, match="twice"):
+        checker.check()
+
+
+def test_order_violation_detected():
+    checker = EvsChecker()
+    checker.record(0, delivery(2))
+    checker.record(0, delivery(1))
+    with pytest.raises(EvsViolation, match="order"):
+        checker.check()
+
+
+def test_order_tracked_per_ring():
+    checker = EvsChecker()
+    checker.record(0, delivery(5, ring=1))
+    checker.record(0, delivery(1, ring=2))  # new ring restarts seqs: fine
+    checker.check()
+
+
+def test_configuration_disagreement_detected():
+    checker = EvsChecker()
+    checker.record(0, config_event(members=(0, 1)))
+    checker.record(1, config_event(members=(0, 1, 2)))
+    with pytest.raises(EvsViolation, match="different members"):
+        checker.check()
+
+
+def test_safe_delivery_requires_all_members():
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event(members=(0, 1)))
+    checker.record(0, delivery(1, service=DeliveryService.SAFE))
+    with pytest.raises(EvsViolation, match="safe message"):
+        checker.check()
+
+
+def test_safe_delivery_excuses_crashed_members():
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event(members=(0, 1)))
+    checker.record(0, delivery(1, service=DeliveryService.SAFE))
+    checker.check(crashed={1})
+
+
+def test_safe_delivered_by_all_passes():
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event(members=(0, 1)))
+        checker.record(pid, delivery(1, service=DeliveryService.SAFE))
+    checker.check()
+
+
+def test_safe_in_transitional_requires_only_transitional_members():
+    checker = EvsChecker()
+    # regular config had members {0,1,2}; transitional shrank to {0,1}
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=1, members=(0, 1, 2)))
+        checker.record(pid, config_event(config_id=99, members=(0, 1),
+                                         transitional=True, closes=1))
+        checker.record(pid, delivery(5, service=DeliveryService.SAFE, config_id=1))
+    # member 2 (partitioned, not crashed) never delivered seq 5 — allowed,
+    # because the delivery happened under the transitional configuration.
+    checker.check()
+
+
+def test_virtual_synchrony_violation_detected():
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=1, members=(0, 1)))
+    checker.record(0, delivery(1))
+    checker.record(0, delivery(2))
+    checker.record(1, delivery(1))  # pid 1 missed seq 2
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=77, members=(0, 1),
+                                         transitional=True, closes=1))
+    with pytest.raises(EvsViolation, match="virtual synchrony"):
+        checker.check()
+
+
+def test_virtual_synchrony_only_compares_closed_ring():
+    checker = EvsChecker()
+    # pid 0 arrives from ring 10 with prior history; pid 1 from ring 20.
+    checker.record(0, config_event(config_id=10, members=(0,)))
+    checker.record(0, delivery(1, ring=10, config_id=10))
+    checker.record(1, config_event(config_id=20, members=(1,)))
+    # both join ring 30, then transition out of it together
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=30, members=(0, 1)))
+        checker.record(pid, delivery(1, ring=30, config_id=30))
+        checker.record(pid, config_event(config_id=88, members=(0, 1),
+                                         transitional=True, closes=30))
+    checker.check()
+
+
+def test_self_delivery_violation():
+    checker = EvsChecker()
+    checker.record_submission(0, 2)
+    checker.record(0, delivery(1, sender=0))
+    with pytest.raises(EvsViolation, match="its own"):
+        checker.check()
+
+
+def test_self_delivery_excuses_crashed():
+    checker = EvsChecker()
+    checker.record_submission(0, 2)
+    checker.check(crashed={0})

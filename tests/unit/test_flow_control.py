@@ -1,0 +1,79 @@
+"""Unit tests for flow-control arithmetic (paper §III-B1)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.flow_control import plan_sending, update_fcc
+
+
+def config(personal=5, accel=3, global_window=40):
+    return ProtocolConfig(
+        personal_window=personal, accelerated_window=accel, global_window=global_window
+    )
+
+
+def test_limited_by_queue():
+    plan = plan_sending(config(), queued=2, token_fcc=0, num_retransmissions=0)
+    assert plan.num_to_send == 2
+
+
+def test_limited_by_personal_window():
+    plan = plan_sending(config(personal=5), queued=100, token_fcc=0, num_retransmissions=0)
+    assert plan.num_to_send == 5
+
+
+def test_limited_by_global_window():
+    plan = plan_sending(
+        config(global_window=40), queued=100, token_fcc=38, num_retransmissions=0
+    )
+    assert plan.num_to_send == 2
+
+
+def test_retransmissions_consume_global_headroom():
+    plan = plan_sending(
+        config(global_window=40), queued=100, token_fcc=35, num_retransmissions=3
+    )
+    assert plan.num_to_send == 2
+
+
+def test_global_window_exhausted_sends_nothing():
+    plan = plan_sending(
+        config(global_window=40), queued=10, token_fcc=45, num_retransmissions=0
+    )
+    assert plan.num_to_send == 0
+    assert plan.pre_token == 0 and plan.post_token == 0
+
+
+def test_split_respects_accelerated_window():
+    plan = plan_sending(config(personal=5, accel=3), queued=5, token_fcc=0,
+                        num_retransmissions=0)
+    assert plan.pre_token == 2
+    assert plan.post_token == 3
+
+
+def test_few_messages_all_go_after_token():
+    # Paper §III-A: "If a participant ... only had two messages to send,
+    # it would send both after the token."
+    plan = plan_sending(config(personal=5, accel=3), queued=2, token_fcc=0,
+                        num_retransmissions=0)
+    assert plan.pre_token == 0
+    assert plan.post_token == 2
+
+
+def test_zero_accelerated_window_sends_everything_before_token():
+    plan = plan_sending(config(accel=0), queued=5, token_fcc=0, num_retransmissions=0)
+    assert plan.pre_token == 5
+    assert plan.post_token == 0
+
+
+def test_fcc_update_replaces_own_contribution():
+    assert update_fcc(token_fcc=30, sent_last_round=10, sending_this_round=7) == 27
+
+
+def test_fcc_update_never_negative():
+    assert update_fcc(token_fcc=5, sent_last_round=10, sending_this_round=0) == 0
+
+
+def test_plan_consistency_assertion():
+    plan = plan_sending(config(), queued=4, token_fcc=0, num_retransmissions=0)
+    assert plan.num_to_send == plan.pre_token + plan.post_token

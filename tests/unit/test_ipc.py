@@ -1,0 +1,101 @@
+"""Unit tests for the client-daemon IPC framing."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import DeliveryService
+from repro.runtime import ipc
+
+
+def roundtrip_frames(*frames: bytes):
+    """Feed packed frames through a StreamReader and read them back."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        for frame in frames:
+            reader.feed_data(frame)
+        reader.feed_eof()
+        out = []
+        while True:
+            try:
+                out.append(await ipc.read_frame(reader))
+            except asyncio.IncompleteReadError:
+                return out
+
+    return asyncio.run(run())
+
+
+def test_submit_roundtrip():
+    frame = ipc.pack_submit(DeliveryService.SAFE, b"payload")
+    ((opcode, body),) = roundtrip_frames(frame)
+    assert opcode == ipc.OP_SUBMIT
+    service, payload = ipc.unpack_submit(body)
+    assert service is DeliveryService.SAFE
+    assert payload == b"payload"
+
+
+def test_deliver_roundtrip():
+    frame = ipc.pack_deliver(3, 99, DeliveryService.AGREED, b"data")
+    ((_, body),) = roundtrip_frames(frame)
+    delivery = ipc.unpack_deliver(body)
+    assert delivery.sender == 3
+    assert delivery.seq == 99
+    assert delivery.service is DeliveryService.AGREED
+    assert delivery.payload == b"data"
+
+
+def test_config_roundtrip():
+    frame = ipc.pack_config([0, 2, 5], transitional=True)
+    ((_, body),) = roundtrip_frames(frame)
+    members, transitional = ipc.unpack_config(body)
+    assert members == [0, 2, 5]
+    assert transitional
+
+
+def test_group_op_roundtrip():
+    frame = ipc.pack_group_op(ipc.OP_JOIN, "chat-room")
+    ((opcode, body),) = roundtrip_frames(frame)
+    assert opcode == ipc.OP_JOIN
+    assert ipc.unpack_group_op(body) == "chat-room"
+
+
+def test_groupcast_roundtrip():
+    frame = ipc.pack_groupcast(["a", "b"], DeliveryService.SAFE, b"payload")
+    ((_, body),) = roundtrip_frames(frame)
+    groups, service, payload = ipc.unpack_groupcast(body)
+    assert groups == ["a", "b"]
+    assert service is DeliveryService.SAFE
+    assert payload == b"payload"
+
+
+def test_group_view_roundtrip():
+    frame = ipc.pack_group_view("chat", ["a#0", "b#1"])
+    ((_, body),) = roundtrip_frames(frame)
+    group, members = ipc.unpack_group_view(body)
+    assert group == "chat"
+    assert members == ["a#0", "b#1"]
+
+
+def test_hello_welcome_roundtrip():
+    ((_, hello_body),) = roundtrip_frames(ipc.pack_hello("alice"))
+    assert ipc.unpack_hello(hello_body) == "alice"
+    ((_, welcome_body),) = roundtrip_frames(ipc.pack_welcome("alice#4"))
+    assert ipc.unpack_welcome(welcome_body) == "alice#4"
+
+
+def test_multiple_frames_stream():
+    frames = [
+        ipc.pack_submit(DeliveryService.AGREED, b"1"),
+        ipc.pack_submit(DeliveryService.AGREED, b"2"),
+        ipc.pack_group_op(ipc.OP_LEAVE, "g"),
+    ]
+    decoded = roundtrip_frames(*frames)
+    assert [op for op, _ in decoded] == [ipc.OP_SUBMIT, ipc.OP_SUBMIT, ipc.OP_LEAVE]
+
+
+def test_empty_body_frame():
+    frame = ipc.pack_frame(ipc.OP_CONFIG, b"")
+    ((opcode, body),) = roundtrip_frames(frame)
+    assert opcode == ipc.OP_CONFIG
+    assert body == b""

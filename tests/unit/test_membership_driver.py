@@ -1,0 +1,84 @@
+"""Unit tests for the sim membership driver plumbing."""
+
+import pytest
+
+from repro.core.messages import DeliveryService
+from repro.sim.membership_driver import MembershipCluster
+
+
+def booted(n=3):
+    cluster = MembershipCluster(num_hosts=n)
+    cluster.start()
+    cluster.run(0.08)
+    return cluster
+
+
+def test_states_and_rings_exclude_crashed():
+    cluster = booted(3)
+    cluster.crash(1)
+    assert 1 not in cluster.states()
+    assert 1 not in cluster.rings()
+
+
+def test_crash_cancels_timers():
+    cluster = booted(2)
+    host = cluster.hosts[0]
+    assert host._timers  # token-loss and beacon timers armed
+    cluster.crash(0)
+    assert not host._timers
+
+
+def test_checker_wired_to_all_hosts():
+    cluster = booted(2)
+    cluster.hosts[0].submit(payload_size=10)
+    cluster.run(0.05)
+    assert cluster.checker.submissions.get(0) == 1
+    assert len(cluster.checker.traces[1]) > 0
+
+
+def test_restart_creates_fresh_controller():
+    cluster = booted(3)
+    old_controller = cluster.hosts[2].controller
+    cluster.crash(2)
+    cluster.run(0.2)
+    cluster.restart(2)
+    assert cluster.hosts[2].controller is not old_controller
+    assert cluster.hosts[2].controller.highest_ring_seq >= old_controller.highest_ring_seq
+
+
+def test_restart_clears_stale_socket_frames():
+    cluster = booted(3)
+    cluster.crash(2)
+    cluster.run(0.2)
+    # frames may have piled up while crashed hosts don't receive; either
+    # way the restart must start with empty sockets
+    cluster.restart(2)
+    host = cluster.hosts[2].host
+    assert len(host.token_socket) == 0
+    assert len(host.data_socket) == 0
+
+
+def test_partition_and_heal_forwarding():
+    cluster = booted(4)
+    cluster.partition({0, 1}, {2, 3})
+    before = cluster.topology.switch.frames_partitioned
+    cluster.run(0.1)
+    assert cluster.topology.switch.frames_partitioned > before
+    cluster.heal()
+    blocked = cluster.topology.switch.frames_partitioned
+    cluster.run(0.1)
+    assert cluster.topology.switch.frames_partitioned == blocked
+
+
+def test_submissions_to_crashed_host_do_not_crash():
+    cluster = booted(2)
+    cluster.crash(1)
+    cluster.hosts[1].submit(payload_size=10)  # queued, never sent
+    cluster.run(0.05)
+    cluster.checker.check(crashed={1})
+
+
+def test_control_messages_cost_cpu():
+    cluster = booted(2)
+    busy = cluster.hosts[0].host.cpu.busy_time
+    assert busy > 0

@@ -1,0 +1,69 @@
+"""Unit tests for network-level datagram fragmentation/reassembly."""
+
+import pytest
+
+from repro.net.fragment import Reassembler, fragment_datagram
+from repro.net.packet import PortKind
+
+
+def test_small_datagram_not_fragmented():
+    frames = fragment_datagram(0, None, PortKind.DATA, 1400, "m", mtu=1500)
+    assert len(frames) == 1
+    assert frames[0].fragment is None
+
+
+def test_large_datagram_splits_at_mtu():
+    frames = fragment_datagram(0, None, PortKind.DATA, 9000, "m", mtu=1500)
+    assert len(frames) == 6
+    assert all(f.size == 1500 for f in frames)
+    ids = {f.fragment[0] for f in frames}
+    assert len(ids) == 1
+    assert [f.fragment[1] for f in frames] == list(range(6))
+
+
+def test_remainder_fragment_smaller():
+    frames = fragment_datagram(0, None, PortKind.DATA, 3100, "m", mtu=1500)
+    assert [f.size for f in frames] == [1500, 1500, 100]
+
+
+def test_reassembler_completes_only_with_all_fragments():
+    frames = fragment_datagram(0, None, PortKind.DATA, 4500, "msg", mtu=1500)
+    reasm = Reassembler()
+    assert reasm.accept(frames[0]) is None
+    assert reasm.accept(frames[1]) is None
+    assert reasm.accept(frames[2]) == "msg"
+    assert reasm.datagrams_completed == 1
+
+
+def test_lost_fragment_kills_whole_datagram():
+    # Paper §IV-A3: losing a single frame loses the whole datagram.
+    frames = fragment_datagram(0, None, PortKind.DATA, 3000, "msg", mtu=1500)
+    reasm = Reassembler()
+    assert reasm.accept(frames[0]) is None
+    # frame 1 lost; a following unfragmented datagram still works
+    single = fragment_datagram(0, None, PortKind.DATA, 100, "next", mtu=1500)[0]
+    assert reasm.accept(single) == "next"
+    assert reasm.datagrams_completed == 1  # "msg" never completed
+
+
+def test_fragments_from_different_senders_do_not_mix():
+    frames_a = fragment_datagram(0, None, PortKind.DATA, 3000, "a", mtu=1500)
+    frames_b = fragment_datagram(1, None, PortKind.DATA, 3000, "b", mtu=1500)
+    reasm = Reassembler()
+    assert reasm.accept(frames_a[0]) is None
+    assert reasm.accept(frames_b[0]) is None
+    assert reasm.accept(frames_b[1]) == "b"
+    assert reasm.accept(frames_a[1]) == "a"
+
+
+def test_unfragmented_passes_straight_through():
+    frames = fragment_datagram(3, 4, PortKind.TOKEN, 60, "tok", mtu=1500)
+    assert Reassembler().accept(frames[0]) == "tok"
+
+
+def test_stale_partials_expire():
+    reasm = Reassembler(max_partial=5)
+    for index in range(10):
+        frames = fragment_datagram(0, None, PortKind.DATA, 3000, f"m{index}", mtu=1500)
+        reasm.accept(frames[0])  # never complete any
+    assert reasm.datagrams_expired > 0

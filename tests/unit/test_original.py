@@ -1,0 +1,66 @@
+"""Unit tests for the original Totem Ring baseline's pinned behaviour."""
+
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.core.events import MulticastData, SendToken
+from repro.core.original import OriginalRingParticipant
+from repro.core.token import initial_token
+from tests.conftest import drain_effects, submit_n
+
+
+def make_original(pid=0, n=3, personal=5):
+    config = ProtocolConfig(personal_window=personal, accelerated_window=personal,
+                            global_window=100)
+    return OriginalRingParticipant(pid, list(range(n)), config)
+
+
+def test_accelerated_window_pinned_to_zero():
+    participant = make_original()
+    assert participant.config.accelerated_window == 0
+    assert participant.accelerated is False
+
+
+def test_priority_method_pinned_to_never():
+    participant = make_original()
+    assert participant.config.priority_method is TokenPriorityMethod.NEVER
+
+
+def test_all_sends_precede_token():
+    participant = make_original()
+    submit_n(participant, 5)
+    effects = participant.on_token(initial_token(1))
+    kinds = [type(e).__name__ for e in effects]
+    token_at = kinds.index("SendToken")
+    multicasts_before = kinds[:token_at].count("MulticastData")
+    multicasts_after = kinds[token_at:].count("MulticastData")
+    assert multicasts_before == 5
+    assert multicasts_after == 0
+
+
+def test_no_post_token_flags():
+    participant = make_original()
+    submit_n(participant, 5)
+    effects = participant.on_token(initial_token(1))
+    assert all(
+        not e.message.post_token for e in drain_effects(effects, MulticastData)
+    )
+
+
+def test_personal_window_preserved():
+    participant = make_original(personal=7)
+    assert participant.config.personal_window == 7
+
+
+def test_token_seq_identical_to_accelerated():
+    """The token carries exactly the same sequence numbers in both
+    protocols (paper §III-A / Fig. 1)."""
+    from repro.core.participant import AcceleratedRingParticipant
+
+    config = ProtocolConfig(personal_window=5, accelerated_window=3, global_window=100)
+    accel = AcceleratedRingParticipant(0, [0, 1, 2], config)
+    orig = make_original()
+    submit_n(accel, 5)
+    submit_n(orig, 5)
+    token_a = drain_effects(accel.on_token(initial_token(1)), SendToken)[0].token
+    token_o = drain_effects(orig.on_token(initial_token(1)), SendToken)[0].token
+    assert token_a.seq == token_o.seq == 5
+    assert token_a.aru == token_o.aru == 5

@@ -1,0 +1,40 @@
+"""Unit tests for network parameter presets."""
+
+import pytest
+
+from repro.net.params import GIGABIT, TEN_GIGABIT, NetworkParams
+
+
+def test_serialization_delay_includes_overhead():
+    delay = GIGABIT.serialization_delay(1434)
+    assert delay == pytest.approx((1434 + 66) * 8 / 1e9)
+
+
+def test_ten_gig_is_ten_times_faster_on_the_wire():
+    ratio = GIGABIT.serialization_delay(1500) / TEN_GIGABIT.serialization_delay(1500)
+    assert ratio == pytest.approx(10.0)
+
+
+def test_ten_gig_latency_lower_but_not_ten_times():
+    # The paper's motivating observation: latency improved far less than
+    # throughput when networks got faster.
+    ratio = GIGABIT.switch_latency / TEN_GIGABIT.switch_latency
+    assert 1.0 < ratio < 10.0
+
+
+def test_with_mtu_changes_only_mtu():
+    jumbo = TEN_GIGABIT.with_mtu(9000)
+    assert jumbo.mtu == 9000
+    assert jumbo.rate_bps == TEN_GIGABIT.rate_bps
+    assert TEN_GIGABIT.mtu == 1500  # original unchanged
+
+
+def test_params_frozen():
+    with pytest.raises(AttributeError):
+        GIGABIT.rate_bps = 1
+
+
+def test_buffers_positive():
+    for params in (GIGABIT, TEN_GIGABIT):
+        assert params.switch_buffer_bytes > 10 * params.mtu
+        assert params.socket_buffer_bytes > params.switch_buffer_bytes

@@ -1,0 +1,268 @@
+"""Unit tests for the Accelerated Ring participant's token handling."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.core.events import Deliver, MulticastData, SendToken, Stable
+from repro.core.messages import DeliveryService
+from repro.core.original import OriginalRingParticipant
+from repro.core.participant import AcceleratedRingParticipant
+from repro.core.token import RegularToken, initial_token
+from repro.util.errors import ProtocolError
+from tests.conftest import data_message, drain_effects, make_ring, submit_n
+
+
+def make_participant(pid=0, n=3, personal=5, accel=3, ring_id=1):
+    config = ProtocolConfig(personal_window=personal, accelerated_window=accel,
+                            global_window=100)
+    return AcceleratedRingParticipant(pid, list(range(n)), config, ring_id=ring_id)
+
+
+class TestConstruction:
+    def test_successor_and_predecessor(self):
+        participant = make_participant(pid=1, n=3)
+        assert participant.successor == 2
+        assert participant.predecessor == 0
+
+    def test_ring_wraps(self):
+        participant = make_participant(pid=2, n=3)
+        assert participant.successor == 0
+
+    def test_pid_must_be_in_ring(self):
+        with pytest.raises(ProtocolError):
+            AcceleratedRingParticipant(9, [0, 1, 2])
+
+    def test_duplicate_ring_ids_rejected(self):
+        with pytest.raises(ProtocolError):
+            AcceleratedRingParticipant(0, [0, 0, 1])
+
+
+class TestTokenHandling:
+    def test_effect_order_pre_token_post_deliver(self):
+        participant = make_participant()
+        submit_n(participant, 5)
+        effects = participant.on_token(initial_token(1))
+        kinds = [type(e).__name__ for e in effects]
+        token_at = kinds.index("SendToken")
+        # pre-token multicasts (5-3=2), token, post-token (3), deliveries (own 5)
+        assert kinds[:token_at] == ["MulticastData"] * 2
+        assert kinds[token_at + 1 : token_at + 4] == ["MulticastData"] * 3
+        assert kinds.count("Deliver") == 5
+
+    def test_sequence_numbers_consecutive_from_token_seq(self):
+        participant = make_participant()
+        submit_n(participant, 4)
+        token = initial_token(1)
+        token.seq = 10
+        token.aru = 10  # keep aru==seq so validation holds
+        effects = participant.on_token(token)
+        sent = [e.message.seq for e in drain_effects(effects, MulticastData)]
+        assert sent == [11, 12, 13, 14]
+        sent_token = drain_effects(effects, SendToken)[0].token
+        assert sent_token.seq == 14
+
+    def test_post_token_flag_marks_accelerated_sends(self):
+        participant = make_participant(personal=5, accel=3)
+        submit_n(participant, 5)
+        effects = participant.on_token(initial_token(1))
+        multicasts = drain_effects(effects, MulticastData)
+        assert [m.message.post_token for m in multicasts] == [
+            False, False, True, True, True
+        ]
+
+    def test_token_goes_to_successor(self):
+        participant = make_participant(pid=1, n=4)
+        effects = participant.on_token(initial_token(1))
+        assert drain_effects(effects, SendToken)[0].destination == 2
+
+    def test_duplicate_token_ignored(self):
+        participant = make_participant()
+        token = initial_token(1)
+        assert participant.on_token(token.copy())
+        assert participant.on_token(token.copy()) == []
+        assert participant.duplicate_tokens == 1
+
+    def test_foreign_ring_token_ignored(self):
+        participant = make_participant(ring_id=1)
+        token = initial_token(ring_id=2)
+        assert participant.on_token(token) == []
+
+    def test_round_counter_increments(self):
+        participant = make_participant()
+        token = participant.on_token(initial_token(1))
+        assert participant.round == 1
+        # simulate the token coming back with a higher id
+        nxt = RegularToken(ring_id=1, token_id=5)
+        participant.on_token(nxt)
+        assert participant.round == 2
+
+    def test_leader_increments_rotation(self):
+        leader = make_participant(pid=0)
+        effects = leader.on_token(initial_token(1))
+        assert drain_effects(effects, SendToken)[0].token.rotation == 1
+        other = make_participant(pid=1)
+        effects = other.on_token(initial_token(1))
+        assert drain_effects(effects, SendToken)[0].token.rotation == 0
+
+    def test_token_id_incremented_on_send(self):
+        participant = make_participant()
+        token = initial_token(1)
+        effects = participant.on_token(token)
+        assert drain_effects(effects, SendToken)[0].token.token_id == 1
+
+    def test_ring_id_stamped_on_messages(self):
+        participant = make_participant(ring_id=42)
+        submit_n(participant, 1)
+        effects = participant.on_token(initial_token(42))
+        assert drain_effects(effects, MulticastData)[0].message.ring_id == 42
+
+
+class TestAruRules:
+    def test_aru_advances_with_seq_when_equal(self):
+        participant = make_participant()
+        submit_n(participant, 3)
+        effects = participant.on_token(initial_token(1))
+        token = drain_effects(effects, SendToken)[0].token
+        assert token.aru == token.seq == 3
+        assert token.aru_lowered_by is None
+
+    def test_aru_lowered_to_local_when_behind(self):
+        participant = make_participant(pid=1)
+        participant.on_data(data_message(1, pid=0))
+        # messages 2..5 in flight; token claims seq=5, aru=5
+        token = RegularToken(ring_id=1, seq=5, aru=5)
+        effects = participant.on_token(token)
+        sent = [e for e in effects if isinstance(e, SendToken)][0].token
+        assert sent.aru == 1
+        assert sent.aru_lowered_by == 1
+
+    def test_lowerer_raises_its_own_aru_next_round(self):
+        participant = make_participant(pid=1)
+        participant.on_data(data_message(1, pid=0))
+        token = RegularToken(ring_id=1, seq=5, aru=5)
+        sent = [e for e in participant.on_token(token) if isinstance(e, SendToken)][0].token
+        assert sent.aru == 1
+        # the missing messages arrive before the next token
+        for seq in (2, 3, 4, 5):
+            participant.on_data(data_message(seq, pid=0))
+        back = RegularToken(ring_id=1, token_id=5, seq=5, aru=1, aru_lowered_by=1)
+        sent2 = [e for e in participant.on_token(back) if isinstance(e, SendToken)][0].token
+        assert sent2.aru == 5
+        assert sent2.aru_lowered_by is None
+
+    def test_other_lowerer_left_alone(self):
+        participant = make_participant(pid=1)
+        for seq in (1, 2, 3):
+            participant.on_data(data_message(seq, pid=0))
+        token = RegularToken(ring_id=1, seq=3, aru=2, aru_lowered_by=2)
+        sent = [e for e in participant.on_token(token) if isinstance(e, SendToken)][0].token
+        # we have everything (local aru 3 > 2) but pid 2 governs the aru
+        assert sent.aru == 2
+        assert sent.aru_lowered_by == 2
+
+    def test_aru_not_advanced_when_lagging_seq(self):
+        participant = make_participant(pid=1)
+        for seq in (1, 2, 3, 4, 5):
+            participant.on_data(data_message(seq, pid=0))
+        token = RegularToken(ring_id=1, seq=5, aru=3, aru_lowered_by=2)
+        submit_n(participant, 2)
+        sent = [e for e in participant.on_token(token) if isinstance(e, SendToken)][0].token
+        assert sent.seq == 7
+        assert sent.aru == 3  # cannot advance: someone else is behind
+
+
+class TestFlowControlOnToken:
+    def test_fcc_reflects_current_round(self):
+        participant = make_participant()
+        submit_n(participant, 4)
+        effects = participant.on_token(initial_token(1))
+        token = drain_effects(effects, SendToken)[0].token
+        assert token.fcc == 4
+
+    def test_fcc_replaces_previous_contribution(self):
+        participant = make_participant()
+        submit_n(participant, 4)
+        token1 = [e for e in participant.on_token(initial_token(1))
+                  if isinstance(e, SendToken)][0].token
+        assert token1.fcc == 4
+        # next round: nothing to send; fcc should drop our 4
+        back = token1.copy()
+        back.token_id = 10
+        token2 = [e for e in participant.on_token(back)
+                  if isinstance(e, SendToken)][0].token
+        assert token2.fcc == 0
+
+    def test_global_window_limits_num_to_send(self):
+        config = ProtocolConfig(personal_window=10, accelerated_window=5,
+                                global_window=12)
+        participant = AcceleratedRingParticipant(0, [0, 1], config)
+        submit_n(participant, 10)
+        token = initial_token(1)
+        token.fcc = 9
+        effects = participant.on_token(token)
+        assert len(drain_effects(effects, MulticastData)) == 3
+
+
+class TestRetransmissions:
+    def test_answers_requests_it_can_serve(self):
+        participant = make_participant(pid=0)
+        submit_n(participant, 3)
+        participant.on_token(initial_token(1))  # originates 1..3
+        token = RegularToken(ring_id=1, token_id=5, seq=3, aru=0, rtr=[2, 3])
+        effects = participant.on_token(token)
+        retrans = [e for e in drain_effects(effects, MulticastData) if e.retransmission]
+        assert [r.message.seq for r in retrans] == [2, 3]
+        sent = drain_effects(effects, SendToken)[0].token
+        assert sent.rtr == []
+
+    def test_unanswerable_requests_stay_on_token(self):
+        participant = make_participant(pid=1)
+        token = RegularToken(ring_id=1, seq=5, aru=0, rtr=[4])
+        effects = participant.on_token(token)
+        sent = drain_effects(effects, SendToken)[0].token
+        assert 4 in sent.rtr
+
+    def test_accelerated_requests_lag_one_round(self):
+        # Paper §III-B2: request only up through the seq of the token
+        # received in the PREVIOUS round.
+        participant = make_participant(pid=1)
+        participant.on_data(data_message(1, pid=0))
+        token = RegularToken(ring_id=1, seq=5, aru=1)
+        sent = [e for e in participant.on_token(token) if isinstance(e, SendToken)][0].token
+        assert sent.rtr == []  # 2..5 may be in flight, not lost
+        # still missing next round: now they are requested
+        token2 = RegularToken(ring_id=1, token_id=5, seq=5, aru=1, aru_lowered_by=1)
+        sent2 = [e for e in participant.on_token(token2) if isinstance(e, SendToken)][0].token
+        assert sent2.rtr == [2, 3, 4, 5]
+
+    def test_original_requests_immediately(self):
+        participant = OriginalRingParticipant(1, [0, 1, 2])
+        participant.on_data(data_message(1, pid=0))
+        token = RegularToken(ring_id=1, seq=5, aru=1)
+        sent = [e for e in participant.on_token(token) if isinstance(e, SendToken)][0].token
+        assert sent.rtr == [2, 3, 4, 5]
+
+    def test_no_duplicate_requests_added(self):
+        participant = OriginalRingParticipant(1, [0, 1, 2])
+        participant.on_data(data_message(1, pid=0))
+        token = RegularToken(ring_id=1, seq=3, aru=1, rtr=[2])
+        sent = [e for e in participant.on_token(token) if isinstance(e, SendToken)][0].token
+        assert sorted(sent.rtr) == [2, 3]
+        assert len(sent.rtr) == len(set(sent.rtr))
+
+
+class TestRollback:
+    def test_rollback_frontier(self):
+        participant = make_participant(pid=1)
+        effects = participant.on_data(data_message(1, pid=0))
+        assert len(drain_effects(effects, Deliver)) == 1
+        participant.rollback_delivery_frontier(0)
+        assert participant.last_delivered == 0
+        # re-delivery possible
+        effects = participant.on_data(data_message(2, pid=0))
+        assert [e.message.seq for e in drain_effects(effects, Deliver)] == [1, 2]
+
+    def test_rollback_forward_rejected(self):
+        participant = make_participant()
+        with pytest.raises(ProtocolError):
+            participant.rollback_delivery_frontier(5)

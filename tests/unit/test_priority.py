@@ -1,0 +1,77 @@
+"""Unit tests for the §III-D token/data priority methods."""
+
+from repro.core.config import ProtocolConfig, TokenPriorityMethod
+from repro.core.original import OriginalRingParticipant
+from repro.core.participant import AcceleratedRingParticipant
+from repro.core.token import initial_token
+from tests.conftest import data_message
+
+
+def make_participant(method, pid=1, n=3):
+    config = ProtocolConfig(
+        personal_window=5,
+        accelerated_window=3 if method is not TokenPriorityMethod.NEVER else 0,
+        global_window=50,
+        priority_method=method,
+    )
+    cls = OriginalRingParticipant if method is TokenPriorityMethod.NEVER else AcceleratedRingParticipant
+    return cls(pid, list(range(n)), config)
+
+
+class TestAggressiveMethod:
+    def test_data_has_priority_after_token(self):
+        participant = make_participant(TokenPriorityMethod.AGGRESSIVE)
+        participant.on_token(initial_token(1))
+        assert not participant.token_has_priority
+
+    def test_any_next_round_predecessor_message_raises_priority(self):
+        participant = make_participant(TokenPriorityMethod.AGGRESSIVE, pid=1)
+        participant.on_token(initial_token(1))  # round 1
+        participant.on_data(data_message(1, pid=0, round=2, post_token=False))
+        assert participant.token_has_priority
+
+    def test_same_round_message_does_not_raise(self):
+        participant = make_participant(TokenPriorityMethod.AGGRESSIVE, pid=1)
+        participant.on_token(initial_token(1))
+        participant.on_data(data_message(1, pid=0, round=1))
+        assert not participant.token_has_priority
+
+    def test_non_predecessor_message_does_not_raise(self):
+        participant = make_participant(TokenPriorityMethod.AGGRESSIVE, pid=1)
+        participant.on_token(initial_token(1))
+        participant.on_data(data_message(1, pid=2, round=2))
+        assert not participant.token_has_priority
+
+
+class TestPostTokenMethod:
+    def test_pre_token_message_does_not_raise(self):
+        participant = make_participant(TokenPriorityMethod.POST_TOKEN, pid=1)
+        participant.on_token(initial_token(1))
+        participant.on_data(data_message(1, pid=0, round=2, post_token=False))
+        assert not participant.token_has_priority
+
+    def test_post_token_message_raises(self):
+        participant = make_participant(TokenPriorityMethod.POST_TOKEN, pid=1)
+        participant.on_token(initial_token(1))
+        participant.on_data(data_message(1, pid=0, round=2, post_token=True))
+        assert participant.token_has_priority
+
+
+class TestNeverMethod:
+    def test_token_never_prioritized(self):
+        participant = make_participant(TokenPriorityMethod.NEVER, pid=1)
+        participant.on_token(initial_token(1))
+        participant.on_data(data_message(1, pid=0, round=2, post_token=True))
+        assert not participant.token_has_priority
+
+
+class TestPriorityResets:
+    def test_priority_cleared_after_token_processed(self):
+        participant = make_participant(TokenPriorityMethod.AGGRESSIVE, pid=1)
+        participant.on_token(initial_token(1))
+        participant.on_data(data_message(1, pid=0, round=2))
+        assert participant.token_has_priority
+        token = initial_token(1)
+        token.token_id = 7
+        participant.on_token(token)
+        assert not participant.token_has_priority

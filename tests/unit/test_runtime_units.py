@@ -1,0 +1,85 @@
+"""Unit tests for runtime components that don't need sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.membership.params import MembershipTimeouts
+from repro.runtime.node import RUNTIME_TIMEOUTS, RingNode
+from repro.runtime.transport import PeerAddress, UdpTransport, local_ring_addresses
+
+
+class TestAddresses:
+    def test_ports_distinct_per_pid(self):
+        peers = local_ring_addresses(range(4), base_port=40000)
+        ports = set()
+        for peer in peers.values():
+            ports.add(peer.data_port)
+            ports.add(peer.token_port)
+        assert len(ports) == 8
+
+    def test_data_and_token_ports_adjacent(self):
+        peers = local_ring_addresses([3], base_port=40000)
+        assert peers[3].token_port == peers[3].data_port + 1
+
+
+class TestTransportValidation:
+    def test_own_pid_must_be_in_peers(self):
+        peers = local_ring_addresses(range(2), base_port=40100)
+        with pytest.raises(ValueError):
+            UdpTransport(pid=9, peers=peers, on_data=lambda d: None,
+                         on_token=lambda d: None)
+
+    def test_invalid_loss_rate_rejected(self):
+        peers = local_ring_addresses(range(2), base_port=40100)
+        with pytest.raises(ValueError):
+            UdpTransport(pid=0, peers=peers, on_data=lambda d: None,
+                         on_token=lambda d: None, loss_rate=1.0)
+
+    def test_send_before_start_raises(self):
+        peers = local_ring_addresses(range(2), base_port=40100)
+        transport = UdpTransport(pid=0, peers=peers, on_data=lambda d: None,
+                                 on_token=lambda d: None)
+        with pytest.raises(RuntimeError):
+            transport.multicast_data(b"x")
+
+    def test_loss_model_drops_incoming_data(self):
+        received = []
+        peers = local_ring_addresses(range(2), base_port=40100)
+        transport = UdpTransport(
+            pid=0, peers=peers, on_data=received.append,
+            on_token=lambda d: None, loss_rate=0.9999999, loss_seed=1,
+        )
+        transport._receive_data(b"frame")
+        assert received == []
+        assert transport.datagrams_dropped == 1
+
+
+class TestRuntimeTimeouts:
+    def test_defaults_are_wall_clock_scale(self):
+        assert RUNTIME_TIMEOUTS.token_loss >= 0.1
+        assert RUNTIME_TIMEOUTS.beacon_interval >= 0.1
+
+    def test_scaled_multiplies_everything(self):
+        scaled = RUNTIME_TIMEOUTS.scaled(2.0)
+        assert scaled.token_loss == pytest.approx(RUNTIME_TIMEOUTS.token_loss * 2)
+        assert scaled.consensus_settle == pytest.approx(
+            RUNTIME_TIMEOUTS.consensus_settle * 2
+        )
+
+
+class TestNodeDecodeErrors:
+    def test_garbage_datagrams_counted_not_fatal(self):
+        async def scenario():
+            peers = local_ring_addresses([0], base_port=40200)
+            node = RingNode(0, peers)
+            await node.start()
+            try:
+                node._enqueue_data(b"\x00garbage")
+                node._enqueue_token(b"")
+                await asyncio.sleep(0.05)
+                assert node.decode_errors == 2
+            finally:
+                await node.stop()
+
+        asyncio.run(scenario())

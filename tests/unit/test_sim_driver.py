@@ -1,0 +1,148 @@
+"""Unit tests for the sim driver, cluster builder, profiles, and trace."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import DeliveryService
+from repro.net.params import GIGABIT, TEN_GIGABIT
+from repro.sim.cluster import build_cluster
+from repro.sim.profiles import DAEMON, LIBRARY, PROFILES, SPREAD
+from repro.sim.trace import ScheduleTrace
+from repro.util.units import usec
+
+
+class TestProfiles:
+    def test_registry_contains_all_three(self):
+        assert set(PROFILES) == {"library", "daemon", "spread"}
+
+    def test_cost_hierarchy_library_cheapest(self):
+        # The meaningful per-message cost is receive-to-deliver: Spread's
+        # overhead is concentrated on delivery (group-name analysis, many
+        # clients), per the paper's §IV-A1 analysis.
+        for size in (1384, 9000):
+            def total(profile):
+                return profile.recv_cost(size) + profile.deliver_cpu
+
+            assert total(LIBRARY) < total(DAEMON) < total(SPREAD)
+        assert LIBRARY.deliver_cpu < DAEMON.deliver_cpu < SPREAD.deliver_cpu
+        assert LIBRARY.token_cpu < DAEMON.token_cpu < SPREAD.token_cpu
+
+    def test_header_hierarchy(self):
+        assert LIBRARY.data_header_bytes < DAEMON.data_header_bytes < SPREAD.data_header_bytes
+
+    def test_spread_payload_fits_mtu(self):
+        # Paper: 1350-byte payloads leave room for Spread's headers in a
+        # 1500-byte MTU.
+        assert 1350 + SPREAD.data_header_bytes == 1500
+
+    def test_library_has_no_ipc_cost(self):
+        assert LIBRARY.ingest_cpu == 0.0
+        assert DAEMON.ingest_cpu > 0.0
+
+    def test_per_byte_costs_positive(self):
+        for profile in PROFILES.values():
+            assert profile.per_byte_recv > 0
+            assert profile.per_byte_send > 0
+            assert profile.send_cost(1000) > profile.send_cpu
+
+    def test_with_name(self):
+        renamed = LIBRARY.with_name("lib2")
+        assert renamed.name == "lib2"
+        assert renamed.recv_cpu == LIBRARY.recv_cpu
+
+
+class TestCluster:
+    def test_build_cluster_rings_match(self):
+        cluster = build_cluster(num_hosts=4)
+        assert cluster.ring == [0, 1, 2, 3]
+        for pid, driver in cluster.drivers.items():
+            assert driver.participant.pid == pid
+            assert driver.participant.ring == [0, 1, 2, 3]
+
+    def test_original_flag_selects_baseline(self):
+        cluster = build_cluster(num_hosts=2, accelerated=False)
+        assert not cluster.drivers[0].participant.accelerated
+        cluster = build_cluster(num_hosts=2, accelerated=True)
+        assert cluster.drivers[0].participant.accelerated
+
+    def test_double_start_rejected(self):
+        cluster = build_cluster(num_hosts=2)
+        cluster.start()
+        with pytest.raises(RuntimeError):
+            cluster.start()
+
+    def test_token_circulates_when_idle(self):
+        cluster = build_cluster(num_hosts=3, params=GIGABIT)
+        cluster.start()
+        cluster.run(0.005)
+        stats = cluster.aggregate()
+        assert stats.token_rounds > 10  # idle rotation continues
+
+    def test_messages_flow_and_are_measured(self):
+        cluster = build_cluster(num_hosts=3, params=GIGABIT, profile=LIBRARY)
+        cluster.start()
+        for _ in range(5):
+            cluster.driver(0).client_submit(payload_size=500)
+        cluster.run(0.01)
+        stats = cluster.aggregate()
+        assert stats.latency.count == 15  # 5 messages delivered at 3 hosts
+        assert stats.goodput_bps > 0
+
+    def test_measure_from_excludes_warmup(self):
+        cluster = build_cluster(num_hosts=2, profile=LIBRARY)
+        cluster.set_measure_from(1.0)  # far future: nothing measured
+        cluster.start()
+        cluster.driver(0).client_submit(payload_size=100)
+        cluster.run(0.01)
+        assert cluster.aggregate().latency.count == 0
+
+    def test_safe_latency_exceeds_agreed(self):
+        def run(service):
+            cluster = build_cluster(num_hosts=3, profile=LIBRARY)
+            cluster.start()
+            cluster.sim.run(until=0.001)
+            cluster.driver(0).client_submit(payload_size=500, service=service)
+            cluster.run(0.02)
+            return cluster.aggregate().latency.mean
+
+        assert run(DeliveryService.SAFE) > run(DeliveryService.AGREED)
+
+
+class TestScheduleTrace:
+    def test_trace_captures_token_and_data(self):
+        cluster = build_cluster(num_hosts=3, profile=LIBRARY)
+        trace = ScheduleTrace()
+        trace.attach(cluster)
+        cluster.driver(0).client_submit(payload_size=100)
+        cluster.start()
+        cluster.run(0.002)
+        kinds = {event.kind for event in trace.events}
+        assert kinds == {"token", "data"}
+
+    def test_sequence_of_interleaves_in_time_order(self):
+        cluster = build_cluster(
+            num_hosts=3,
+            profile=LIBRARY,
+            config=ProtocolConfig(personal_window=5, accelerated_window=3,
+                                  global_window=50),
+        )
+        trace = ScheduleTrace()
+        trace.attach(cluster)
+        for _ in range(5):
+            cluster.driver(0).client_submit(payload_size=100)
+        cluster.start()
+        cluster.run(0.002)
+        schedule = trace.sequence_of(0)
+        assert schedule[:6] == ["1", "2", "T5", "3", "4", "5"]
+
+    def test_render_ascii_nonempty(self):
+        cluster = build_cluster(num_hosts=2, profile=LIBRARY)
+        trace = ScheduleTrace()
+        trace.attach(cluster)
+        cluster.driver(0).client_submit(payload_size=100)
+        cluster.start()
+        cluster.run(0.002)
+        assert "host 0" in trace.render_ascii()
+
+    def test_empty_trace_renders_placeholder(self):
+        assert ScheduleTrace().render_ascii() == "(no events)"

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.3, seen.append, "c")
+    sim.schedule(0.1, seen.append, "a")
+    sim.schedule(0.2, seen.append, "b")
+    sim.run_until_idle()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for label in "abcde":
+        sim.schedule(1.0, seen.append, label)
+    sim.run_until_idle()
+    assert seen == list("abcde")
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(0.1, seen.append, "no")
+    sim.schedule(0.2, seen.append, "yes")
+    handle.cancel()
+    sim.run_until_idle()
+    assert seen == ["yes"]
+
+
+def test_cancel_releases_callback_references():
+    sim = Simulator()
+    big = ["payload"]
+    handle = sim.schedule(0.1, big.append, "x")
+    handle.cancel()
+    assert handle.args == ()
+    sim.run_until_idle()
+    assert big == ["payload"]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.5, seen.append, "late")
+    sim.run(until=0.25)
+    assert sim.now == pytest.approx(0.25)
+    assert seen == []
+    sim.run(until=1.0)
+    assert seen == ["late"]
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_run_until_advances_clock_when_idle():
+    sim = Simulator()
+    sim.run(until=2.0)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(0.1, seen.append, "second")
+
+    sim.schedule(0.1, first)
+    sim.run_until_idle()
+    assert seen == ["first", "second"]
+    assert sim.now == pytest.approx(0.2)
+
+
+def test_max_events_limit():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.001, loop)
+
+    sim.schedule(0.001, loop)
+    sim.run(max_events=100)
+    assert sim.events_processed == 100
+
+
+def test_run_until_idle_backstop_raises():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.001, loop)
+
+    sim.schedule(0.001, loop)
+    with pytest.raises(RuntimeError):
+        sim.run_until_idle(max_events=50)
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(1.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    keep.cancel()
+    assert sim.pending_events == 0
+
+
+def test_determinism_across_runs():
+    def run_once():
+        sim = Simulator()
+        seen = []
+        for index in range(50):
+            sim.schedule((index * 7 % 13) / 100.0, seen.append, index)
+        sim.run_until_idle()
+        return seen
+
+    assert run_once() == run_once()

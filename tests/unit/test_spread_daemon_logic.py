@@ -1,0 +1,136 @@
+"""Unit tests for SpreadDaemon's envelope pipeline, without sockets.
+
+The daemon's delivery-side logic (unpacking, fragment reassembly, group
+updates, client fan-out) is exercised directly with stub sessions.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import DataMessage, DeliveryService
+from repro.runtime.transport import local_ring_addresses
+from repro.spread.daemon import SpreadDaemon, _ClientSession
+from repro.spread.packing import Packer
+from repro.spread.wire import AppData, Fragment, GroupJoin, GroupLeave, Packed
+
+
+class _StubWriter:
+    def __init__(self):
+        self.frames = []
+        self._closing = False
+
+    def write(self, data):
+        self.frames.append(data)
+
+    def is_closing(self):
+        return self._closing
+
+    def close(self):
+        self._closing = True
+
+
+def make_daemon(pid=0):
+    peers = local_ring_addresses(range(2), base_port=47000)
+    return SpreadDaemon(pid, peers, f"/tmp/unused-{pid}.sock")
+
+
+def ordered(payload: bytes, seq=1, pid=1, service=DeliveryService.AGREED):
+    return DataMessage(seq=seq, pid=pid, round=1, service=service, payload=payload)
+
+
+def attach_member(daemon, name, groups=()):
+    session = _ClientSession(name, _StubWriter())
+    daemon._sessions[name] = session
+    for group in groups:
+        daemon.directory.apply_join(name, group)
+    daemon.directory.take_dirty()
+    return session
+
+
+class TestOrderedDeliveryPipeline:
+    def test_app_data_fans_out_to_local_members_only(self):
+        daemon = make_daemon(pid=0)
+        local = attach_member(daemon, "a#0", groups=["g"])
+        daemon.directory.apply_join("remote#1", "g")  # lives elsewhere
+        bystander = attach_member(daemon, "b#0")  # not in the group
+        envelope = AppData("sender#1", ("g",), b"payload").encode()
+        daemon._ordered_delivery(ordered(envelope), config_id=1)
+        assert len(local.writer.frames) == 1
+        assert bystander.writer.frames == []
+        assert daemon.messages_delivered_to_clients == 1
+
+    def test_member_in_two_target_groups_gets_one_copy(self):
+        daemon = make_daemon()
+        both = attach_member(daemon, "a#0", groups=["g1", "g2"])
+        envelope = AppData("s#1", ("g1", "g2"), b"x").encode()
+        daemon._ordered_delivery(ordered(envelope), config_id=1)
+        assert len(both.writer.frames) == 1
+
+    def test_packed_envelopes_processed_in_order(self):
+        daemon = make_daemon()
+        member = attach_member(daemon, "a#0", groups=["g"])
+        first = AppData("s#1", ("g",), b"1").encode()
+        second = AppData("s#1", ("g",), b"2").encode()
+        payload = Packed((first, second)).encode()
+        daemon._ordered_delivery(ordered(payload), config_id=1)
+        assert len(member.writer.frames) == 2
+
+    def test_ordered_join_updates_directory_and_notifies(self):
+        daemon = make_daemon()
+        member = attach_member(daemon, "a#0")
+        daemon._ordered_delivery(
+            ordered(GroupJoin("a#0", "g").encode()), config_id=1
+        )
+        assert daemon.directory.is_member("a#0", "g")
+        assert len(member.writer.frames) == 1  # the group view
+
+    def test_ordered_leave_clears_membership(self):
+        daemon = make_daemon()
+        attach_member(daemon, "a#0", groups=["g"])
+        daemon._ordered_delivery(
+            ordered(GroupLeave("a#0", "g").encode()), config_id=1
+        )
+        assert not daemon.directory.is_member("a#0", "g")
+
+    def test_fragments_reassemble_across_orderings(self):
+        daemon = make_daemon()
+        member = attach_member(daemon, "a#0", groups=["g"])
+        big = AppData("s#1", ("g",), bytes(3000)).encode()
+        pieces = daemon.fragmenter.fragment(big)
+        assert len(pieces) > 1
+        for index, piece in enumerate(pieces):
+            daemon._ordered_delivery(ordered(piece, seq=index + 1), config_id=1)
+        assert len(member.writer.frames) == 1
+
+    def test_view_notification_goes_to_members_only(self):
+        daemon = make_daemon()
+        inside = attach_member(daemon, "in#0", groups=["g"])
+        outside = attach_member(daemon, "out#0")
+        daemon.directory.take_dirty()
+        daemon._ordered_delivery(
+            ordered(GroupJoin("late#0", "g").encode()), config_id=1
+        )
+        # 'late' has no session (stub only), 'in' gets the view
+        assert len(inside.writer.frames) == 1
+        assert outside.writer.frames == []
+
+
+class TestSubmissionPipeline:
+    def test_small_payload_submitted_unfragmented(self):
+        daemon = make_daemon()
+        submitted = []
+        daemon.node.submit = lambda payload, service: submitted.append(payload)
+        daemon._submit_envelope(AppData("a#0", ("g",), b"small").encode(),
+                                DeliveryService.AGREED)
+        assert len(submitted) == 1
+
+    def test_large_payload_fragmented_on_submit(self):
+        daemon = make_daemon()
+        submitted = []
+        daemon.node.submit = lambda payload, service: submitted.append(payload)
+        big = AppData("a#0", ("g",), bytes(5000)).encode()
+        daemon._submit_envelope(big, DeliveryService.SAFE)
+        assert len(submitted) >= 4
+        for piece in submitted:
+            assert len(piece) <= daemon.packer.budget + 64

@@ -1,0 +1,44 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    Gbps,
+    Mbps,
+    bits,
+    bytes_per_second,
+    msec,
+    seconds_to_usec,
+    usec,
+)
+
+
+def test_mbps():
+    assert Mbps(100) == 100e6
+
+
+def test_gbps():
+    assert Gbps(1) == 1e9
+
+
+def test_usec_roundtrip():
+    assert seconds_to_usec(usec(250)) == pytest.approx(250)
+
+
+def test_msec():
+    assert msec(1.5) == pytest.approx(0.0015)
+
+
+def test_bits():
+    assert bits(1500) == 12000
+
+
+def test_bytes_per_second():
+    assert bytes_per_second(Gbps(1)) == pytest.approx(125e6)
+
+
+def test_serialization_identity():
+    # 1350-byte payload at 1 Gbps with 66 overhead bytes + 34 header
+    # should take ~11.6 microseconds: the number the calibration relies on.
+    wire_bytes = 1350 + 34 + 66
+    assert bits(wire_bytes) / Gbps(1) == pytest.approx(11.6e-6)

@@ -1,0 +1,113 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import DeliveryService
+from repro.net.params import GIGABIT
+from repro.sim.cluster import build_cluster
+from repro.sim.profiles import LIBRARY
+from repro.util.units import Mbps
+from repro.workloads.generators import (
+    BurstWorkload,
+    ClosedLoopWorkload,
+    FixedRateWorkload,
+)
+
+
+def make_cluster(n=4):
+    return build_cluster(num_hosts=n, profile=LIBRARY, params=GIGABIT)
+
+
+class TestFixedRateWorkload:
+    def test_injection_count_matches_rate(self):
+        cluster = make_cluster()
+        workload = FixedRateWorkload(payload_size=1250, aggregate_rate_bps=Mbps(100))
+        workload.attach(cluster, start=0.0, stop=0.1)
+        cluster.start()
+        cluster.run(0.11)
+        # 100 Mbps of 1250-byte messages = 10000 msg/s -> ~1000 in 0.1 s
+        assert 950 <= workload.messages_injected <= 1050
+
+    def test_senders_share_rate_equally(self):
+        cluster = make_cluster()
+        workload = FixedRateWorkload(payload_size=1250, aggregate_rate_bps=Mbps(40))
+        workload.attach(cluster, start=0.0, stop=0.05)
+        cluster.start()
+        cluster.run(0.06)
+        counts = [driver.stats.messages_sent for driver in cluster.drivers.values()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_poisson_mode_differs_but_similar_volume(self):
+        cluster_a = make_cluster()
+        uniform = FixedRateWorkload(payload_size=1250, aggregate_rate_bps=Mbps(100))
+        uniform.attach(cluster_a, start=0.0, stop=0.1)
+        cluster_a.start()
+        cluster_a.run(0.11)
+        cluster_b = make_cluster()
+        poisson = FixedRateWorkload(payload_size=1250, aggregate_rate_bps=Mbps(100),
+                                    poisson=True, seed=5)
+        poisson.attach(cluster_b, start=0.0, stop=0.1)
+        cluster_b.start()
+        cluster_b.run(0.11)
+        assert poisson.messages_injected == pytest.approx(uniform.messages_injected,
+                                                          rel=0.25)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRateWorkload(payload_size=0, aggregate_rate_bps=1.0)
+        with pytest.raises(ValueError):
+            FixedRateWorkload(payload_size=100, aggregate_rate_bps=0.0)
+
+    def test_service_propagates(self):
+        cluster = make_cluster(n=2)
+        workload = FixedRateWorkload(
+            payload_size=1000,
+            aggregate_rate_bps=Mbps(10),
+            service=DeliveryService.SAFE,
+        )
+        workload.attach(cluster, start=0.0, stop=0.01)
+        cluster.start()
+        cluster.run(0.05)
+        delivered = cluster.driver(0).participant.messages_delivered
+        assert delivered > 0
+        assert cluster.driver(0).participant.buffer.discarded_up_to >= 0
+
+
+class TestClosedLoopWorkload:
+    def test_keeps_queues_topped_up(self):
+        config = ProtocolConfig(personal_window=10, accelerated_window=10,
+                                global_window=100)
+        cluster = build_cluster(num_hosts=2, profile=LIBRARY, config=config)
+        workload = ClosedLoopWorkload(payload_size=1000, depth_factor=2)
+        workload.attach(cluster, start=0.0, stop=0.01)
+        cluster.start()
+        cluster.run(0.005)
+        pending = cluster.driver(0).participant.pending_count
+        assert pending > 0
+        assert workload.messages_injected > 20
+
+
+class TestBurstWorkload:
+    def test_bursts_injected_at_interval(self):
+        cluster = make_cluster(n=2)
+        workload = BurstWorkload(payload_size=500, burst_size=10,
+                                 burst_interval=0.01)
+        workload.attach(cluster, start=0.0, stop=0.03)
+        cluster.start()
+        cluster.run(0.05)
+        # 2 senders x 3 bursts x 10 messages
+        assert workload.messages_injected == 60
+
+    def test_invalid_burst_size(self):
+        with pytest.raises(ValueError):
+            BurstWorkload(payload_size=10, burst_size=0, burst_interval=0.1)
+
+    def test_burst_messages_all_delivered(self):
+        cluster = make_cluster(n=2)
+        workload = BurstWorkload(payload_size=500, burst_size=5, burst_interval=0.02)
+        workload.attach(cluster, start=0.0, stop=0.02)
+        cluster.start()
+        cluster.run(0.05)
+        for driver in cluster.drivers.values():
+            assert driver.participant.messages_delivered == 10
