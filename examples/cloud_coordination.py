@@ -20,7 +20,7 @@ import tempfile
 
 from repro.core.messages import DeliveryService
 from repro.runtime.transport import local_ring_addresses
-from repro.spread.client_api import GroupMessage, GroupView, SpreadClient
+from repro.spread.client_api import SpreadClient
 from repro.spread.daemon import SpreadDaemon
 
 

@@ -21,6 +21,8 @@ for Modern Data Centers* (ICDCS 2015).  It provides:
   multicast, message packing and fragmentation.
 * :mod:`repro.workloads` / :mod:`repro.bench` — workload generators and the
   benchmark harness that regenerates every figure in the paper.
+* :mod:`repro.obs` — protocol observability: observer hooks on every
+  engine event, metric registries, and JSON/table exporters.
 """
 
 from repro.core.config import ProtocolConfig, TokenPriorityMethod
@@ -28,6 +30,14 @@ from repro.core.messages import DataMessage, DeliveryService
 from repro.core.token import RegularToken
 from repro.core.participant import AcceleratedRingParticipant
 from repro.core.original import OriginalRingParticipant
+from repro.obs.export import render_table, save_json, to_json
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import (
+    CompositeObserver,
+    MetricsObserver,
+    NullObserver,
+    ProtocolObserver,
+)
 from repro.sim.cluster import RingCluster, build_cluster
 from repro.sim.profiles import ImplementationProfile, LIBRARY, DAEMON, SPREAD
 from repro.net.params import NetworkParams, GIGABIT, TEN_GIGABIT
@@ -51,5 +61,16 @@ __all__ = [
     "NetworkParams",
     "GIGABIT",
     "TEN_GIGABIT",
+    "ProtocolObserver",
+    "NullObserver",
+    "CompositeObserver",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "to_json",
+    "save_json",
+    "render_table",
     "__version__",
 ]

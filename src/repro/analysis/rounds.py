@@ -11,7 +11,7 @@ reports the rotation-time distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.token import RegularToken
 from repro.net.packet import Frame, PortKind

@@ -25,21 +25,15 @@ from dataclasses import replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.bench.experiments import (
-    MEASURE,
     NUM_HOSTS,
-    WARMUP,
     ExperimentPoint,
-    _run_cluster,
     run_max_throughput,
     run_point,
 )
 from repro.core.config import ProtocolConfig, TokenPriorityMethod
-from repro.core.messages import DeliveryService
-from repro.net.params import GIGABIT, TEN_GIGABIT, NetworkParams
-from repro.sim.cluster import build_cluster
+from repro.net.params import GIGABIT, TEN_GIGABIT
 from repro.sim.profiles import DAEMON, SPREAD
 from repro.util.units import Mbps
-from repro.workloads.generators import FixedRateWorkload
 
 Series = Dict[str, List[ExperimentPoint]]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.config import ProtocolConfig
 from repro.core.messages import DeliveryService
@@ -21,6 +21,9 @@ from repro.sim.cluster import RingCluster, build_cluster
 from repro.sim.profiles import ImplementationProfile
 from repro.util.units import Mbps, seconds_to_usec
 from repro.workloads.generators import ClosedLoopWorkload, FixedRateWorkload
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 #: Setting REPRO_BENCH_FAST=1 shrinks measurement windows ~3x for smoke runs.
 FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
@@ -91,8 +94,13 @@ def run_point(
     loss_model: Optional[LossModel] = None,
     warmup: float = WARMUP,
     measure: float = MEASURE,
+    observer: Optional["ProtocolObserver"] = None,
 ) -> ExperimentPoint:
-    """One fixed-rate run; returns the measured operating point."""
+    """One fixed-rate run; returns the measured operating point.
+
+    Pass an ``observer`` (e.g. :class:`~repro.obs.observer.MetricsObserver`)
+    to collect protocol metrics alongside the benchmark numbers.
+    """
     from repro.bench.windows import window_for
 
     config = config or window_for(profile, params, accelerated, payload_size)
@@ -103,6 +111,7 @@ def run_point(
         params=params,
         config=config,
         loss_model=loss_model,
+        observer=observer,
     )
     workload = FixedRateWorkload(
         payload_size=payload_size,
@@ -141,6 +150,7 @@ def run_max_throughput(
     payload_size: int = 1350,
     service: DeliveryService = DeliveryService.AGREED,
     config: Optional[ProtocolConfig] = None,
+    observer: Optional["ProtocolObserver"] = None,
 ) -> ExperimentPoint:
     """Maximum sustainable goodput (closed-loop senders, §IV-A library
     methodology: send as much as flow control allows every round)."""
@@ -153,6 +163,7 @@ def run_max_throughput(
         profile=profile,
         params=params,
         config=config,
+        observer=observer,
     )
     workload = ClosedLoopWorkload(payload_size=payload_size, service=service)
     return _run_cluster(cluster, workload, WARMUP, MEASURE)

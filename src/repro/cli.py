@@ -16,11 +16,11 @@ import sys
 from typing import List, Optional
 
 from repro.bench.experiments import run_max_throughput, run_point
-from repro.bench.report import format_series
+from repro.bench.report import format_metrics, format_series, save_metrics_json
+from repro.obs.observer import MetricsObserver
 from repro.core.messages import DeliveryService
 from repro.net.params import GIGABIT, TEN_GIGABIT
 from repro.sim.profiles import PROFILES
-from repro.util.units import seconds_to_usec
 
 
 def _params(name: str):
@@ -35,7 +35,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
         f"{args.payload} B payloads / {args.service} delivery"
     )
     service = DeliveryService[args.service.upper()]
+    want_metrics = args.metrics or args.metrics_json is not None
     for accelerated, label in ((False, "original"), (True, "accelerated")):
+        observer = MetricsObserver() if want_metrics else None
         point = run_point(
             profile=profile,
             accelerated=accelerated,
@@ -43,12 +45,21 @@ def cmd_demo(args: argparse.Namespace) -> int:
             rate_mbps=args.rate,
             payload_size=args.payload,
             service=service,
+            observer=observer,
         )
         print(
             f"  {label:12s} goodput {point.goodput_mbps:7.1f} Mbps   "
             f"latency {point.latency_us:8.1f} us   "
             f"worst-5% {point.worst5_us:8.1f} us"
         )
+        if observer is not None:
+            if args.metrics:
+                print()
+                print(format_metrics(observer.registry, title=f"{label} protocol metrics"))
+                print()
+            if args.metrics_json is not None:
+                path = save_metrics_json(f"{args.metrics_json}-{label}.json", observer.registry)
+                print(f"  metrics saved to {path}")
     return 0
 
 
@@ -144,17 +155,25 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.runtime.ipc import UnixEndpoint, parse_endpoint
     from repro.runtime.transport import local_ring_addresses
     from repro.spread.daemon import SpreadDaemon
 
     pids = list(range(args.ring_size))
     peers = local_ring_addresses(pids, base_port=args.base_port)
+    endpoint = parse_endpoint(args.socket or f"/tmp/accelring-{args.pid}.sock")
+    if not isinstance(endpoint, UnixEndpoint):
+        print(
+            f"daemon --socket must be a unix endpoint, got {endpoint}",
+            file=sys.stderr,
+        )
+        return 2
 
     async def run() -> None:
         daemon = SpreadDaemon(
             args.pid,
             peers,
-            args.socket or f"/tmp/accelring-{args.pid}.sock",
+            endpoint.path,
             accelerated=not args.original,
         )
         await daemon.start()
@@ -195,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--rate", type=float, default=300.0, help="aggregate Mbps")
     demo.add_argument("--payload", type=int, default=1350)
     demo.add_argument("--service", choices=["agreed", "safe"], default="agreed")
+    demo.add_argument("--metrics", action="store_true",
+                      help="print per-protocol observer metrics tables")
+    demo.add_argument("--metrics-json", default=None, metavar="PREFIX",
+                      help="save observer metrics snapshots as "
+                           "benchmarks/results/PREFIX-<protocol>.json")
     demo.set_defaults(func=cmd_demo)
 
     sweep = sub.add_parser("sweep", help="latency vs throughput sweep")
@@ -224,7 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--pid", type=int, required=True)
     daemon.add_argument("--ring-size", type=int, default=3)
     daemon.add_argument("--base-port", type=int, default=28800)
-    daemon.add_argument("--socket", default=None, help="unix socket path")
+    daemon.add_argument(
+        "--socket",
+        default=None,
+        help="client endpoint: a unix socket path or unix:// spec",
+    )
     daemon.add_argument("--original", action="store_true",
                         help="run the original Totem Ring protocol")
     daemon.set_defaults(func=cmd_daemon)

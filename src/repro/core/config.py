@@ -59,6 +59,23 @@ class ProtocolConfig:
     priority_method: TokenPriorityMethod = TokenPriorityMethod.AGGRESSIVE
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ProtocolConfig":
+        """Reject nonsensical window combinations up front.
+
+        Called from ``__post_init__`` and from both participant
+        constructors, so a config that dodged construction-time checks
+        (pickling, ``object.__setattr__``, hand-built subclasses) still
+        fails loudly at the protocol boundary instead of deep inside
+        flow control.  Returns ``self`` so call sites can chain.
+        """
+        for name in ("personal_window", "accelerated_window", "global_window"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{name} must be an integer, got {value!r}"
+                )
         if self.personal_window < 1:
             raise ConfigurationError(
                 f"personal_window must be >= 1, got {self.personal_window}"
@@ -73,6 +90,12 @@ class ProtocolConfig:
                 f"global_window ({self.global_window}) must be >= "
                 f"personal_window ({self.personal_window})"
             )
+        if not isinstance(self.priority_method, TokenPriorityMethod):
+            raise ConfigurationError(
+                f"priority_method must be a TokenPriorityMethod, "
+                f"got {self.priority_method!r}"
+            )
+        return self
 
     @property
     def accelerated(self) -> bool:

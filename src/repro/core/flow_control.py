@@ -15,11 +15,19 @@ from repro.core.config import ProtocolConfig
 
 @dataclass(frozen=True)
 class FlowControlDecision:
-    """The sending plan for one token round."""
+    """The sending plan for one token round.
+
+    ``queued`` and ``global_headroom`` capture the inputs that bounded
+    the plan, so observers (:mod:`repro.obs`) can report the full fcc
+    accounting picture — was the sender application-limited, personal-
+    window-limited, or global-window-limited this round?
+    """
 
     num_to_send: int
     pre_token: int
     post_token: int
+    queued: int = 0
+    global_headroom: int = 0
 
     def __post_init__(self) -> None:
         assert self.num_to_send == self.pre_token + self.post_token
@@ -48,6 +56,8 @@ def plan_sending(
         num_to_send=num_to_send,
         pre_token=pre_token,
         post_token=post_token,
+        queued=queued,
+        global_headroom=max(0, global_headroom),
     )
 
 

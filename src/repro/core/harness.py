@@ -12,12 +12,12 @@ faithful message orderings.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.events import Deliver, MulticastData, SendToken, Stable
 from repro.core.messages import DataMessage
 from repro.core.participant import AcceleratedRingParticipant
-from repro.core.token import RegularToken, initial_token
+from repro.core.token import initial_token
 
 
 DropFn = Callable[[int, int, DataMessage], bool]  # (src, dst, message) -> drop?

@@ -16,11 +16,14 @@ protocol in exactly three ways:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.config import ProtocolConfig, TokenPriorityMethod
 from repro.core.participant import AcceleratedRingParticipant
 from repro.core.token import RegularToken
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 
 class OriginalRingParticipant(AcceleratedRingParticipant):
@@ -34,14 +37,18 @@ class OriginalRingParticipant(AcceleratedRingParticipant):
         ring: Sequence[int],
         config: Optional[ProtocolConfig] = None,
         ring_id: int = 1,
+        observer: Optional["ProtocolObserver"] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
-        config = config or ProtocolConfig()
+        config = (config or ProtocolConfig()).validate()
         pinned = replace(
             config,
             accelerated_window=0,
             priority_method=TokenPriorityMethod.NEVER,
         )
-        super().__init__(pid, ring, pinned, ring_id)
+        super().__init__(
+            pid, ring, pinned, ring_id, observer=observer, clock=clock
+        )
 
     def _retransmission_request_limit(self, received_token: RegularToken) -> int:
         # Everything reflected in the just-received token has already been

@@ -16,7 +16,7 @@ exactly as in the paper.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Sequence
 
 from repro.core.buffer import MessageBuffer
 from repro.core.config import ProtocolConfig, TokenPriorityMethod
@@ -25,6 +25,9 @@ from repro.core.flow_control import plan_sending, update_fcc
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.token import RegularToken
 from repro.util.errors import ProtocolError
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 
 class _PendingMessage:
@@ -55,6 +58,12 @@ class AcceleratedRingParticipant:
         config: flow-control windows and priority method.
         ring_id: identifier of the current ring configuration (from
             membership); tokens from other rings are ignored.
+        observer: optional :class:`~repro.obs.observer.ProtocolObserver`
+            receiving a callback at every protocol event.
+        clock: optional zero-argument callable returning the current time
+            in the hosting layer's clock domain; passed through to the
+            observer as ``now``.  Drivers bind this to simulated or
+            event-loop time.
     """
 
     #: True for engines that release the token before finishing multicasting.
@@ -66,6 +75,8 @@ class AcceleratedRingParticipant:
         ring: Sequence[int],
         config: Optional[ProtocolConfig] = None,
         ring_id: int = 1,
+        observer: Optional["ProtocolObserver"] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if pid not in ring:
             raise ProtocolError(f"pid {pid} not in ring {list(ring)}")
@@ -73,8 +84,10 @@ class AcceleratedRingParticipant:
             raise ProtocolError(f"ring contains duplicate ids: {list(ring)}")
         self.pid = pid
         self.ring = list(ring)
-        self.config = config or ProtocolConfig()
+        self.config = (config or ProtocolConfig()).validate()
         self.ring_id = ring_id
+        self.observer = observer
+        self.clock = clock
         index = self.ring.index(pid)
         self.successor = self.ring[(index + 1) % len(self.ring)]
         self.predecessor = self.ring[(index - 1) % len(self.ring)]
@@ -121,6 +134,10 @@ class AcceleratedRingParticipant:
     def pending_count(self) -> int:
         return len(self.pending)
 
+    def _now(self) -> Optional[float]:
+        """Current time in the hosting layer's clock domain, if bound."""
+        return self.clock() if self.clock is not None else None
+
     @property
     def local_aru(self) -> int:
         return self.buffer.local_aru
@@ -154,6 +171,11 @@ class AcceleratedRingParticipant:
         if self.pid == self.ring[0]:
             token.rotation += 1
 
+        observer = self.observer
+        now = self._now() if observer is not None else None
+        if observer is not None:
+            observer.on_token_received(self.pid, token, now=now)
+
         effects: List[Effect] = []
 
         # --- 1. Pre-token multicasting -------------------------------
@@ -165,14 +187,21 @@ class AcceleratedRingParticipant:
             if held is not None:
                 answered.append(requested)
                 effects.append(MulticastData(held, retransmission=True))
+                if observer is not None:
+                    observer.on_retransmit(self.pid, requested, now=now)
+                    observer.on_multicast(self.pid, held, retransmission=True, now=now)
         self.retransmissions_sent += len(answered)
 
         plan = plan_sending(self.config, len(self.pending), token.fcc, len(answered))
+        if observer is not None:
+            observer.on_flow_control(self.pid, plan, token.fcc, now=now)
         received_seq = token.seq
         received_aru = token.aru
         new_messages = self._stamp_new_messages(received_seq, plan.num_to_send, plan.pre_token)
         for message in new_messages[: plan.pre_token]:
             effects.append(MulticastData(message))
+            if observer is not None:
+                observer.on_multicast(self.pid, message, now=now)
 
         # --- 2. Updating and sending the token ------------------------
         request_limit = self._retransmission_request_limit(token)
@@ -183,13 +212,17 @@ class AcceleratedRingParticipant:
             token.fcc, self._sent_last_round, len(answered) + plan.num_to_send
         )
         self._sent_last_round = len(answered) + plan.num_to_send
-        self._update_rtr(token, answered, request_limit)
+        self._update_rtr(token, answered, request_limit, now=now)
         token.token_id += 1
         effects.append(SendToken(token, self.successor))
+        if observer is not None:
+            observer.on_token_sent(self.pid, token, now=now)
 
         # --- 3. Post-token multicasting --------------------------------
         for message in new_messages[plan.pre_token :]:
             effects.append(MulticastData(message))
+            if observer is not None:
+                observer.on_multicast(self.pid, message, now=now)
 
         # --- 4. Delivering and discarding ------------------------------
         # Safe delivery limit: the minimum of the aru on the token sent this
@@ -302,7 +335,11 @@ class AcceleratedRingParticipant:
         # Otherwise: some other participant governs the aru; leave it.
 
     def _update_rtr(
-        self, token: RegularToken, answered: List[int], request_limit: int
+        self,
+        token: RegularToken,
+        answered: List[int],
+        request_limit: int,
+        now: Optional[float] = None,
     ) -> None:
         """Remove answered requests; add our own missing sequence numbers."""
         answered_set = set(answered)
@@ -316,6 +353,8 @@ class AcceleratedRingParticipant:
                 kept.append(seq)
                 present.add(seq)
                 self.requests_made += 1
+                if self.observer is not None:
+                    self.observer.on_retransmit_requested(self.pid, seq, now=now)
         token.rtr = kept
 
     def _deliver_ready(self) -> List[Effect]:
@@ -325,6 +364,14 @@ class AcceleratedRingParticipant:
         contiguous; a Safe message blocks the frontier until the token aru
         proves stability (``_safe_limit``), preserving the single total
         order across services.
+
+        Observer note: ``on_deliver`` deliberately does NOT fire here.
+        Delivery is an application-visible act owned by the hosting layer
+        (sim driver, membership controller, runtime node) — the engine
+        only *proposes* deliveries via :class:`Deliver` effects, and the
+        membership layer may roll them back mid-view-change.  The owning
+        layer fires the hook, so observer delivery counts always match
+        what the application (and the EVS checker) saw.
         """
         effects: List[Effect] = []
         while True:

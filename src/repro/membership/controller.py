@@ -18,10 +18,21 @@ import random
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 from repro.core.config import ProtocolConfig
-from repro.core.events import Deliver, Effect, MulticastData, SendToken, Stable
+from repro.core.events import Deliver, Effect, SendToken, Stable
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.original import OriginalRingParticipant
 from repro.core.participant import AcceleratedRingParticipant
@@ -48,6 +59,9 @@ from repro.membership.ring_id import (
     encode_ring_id,
     encode_transitional_id,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 TIMER_TOKEN_LOSS = "token_loss"
 TIMER_JOIN = "join"
@@ -103,6 +117,11 @@ class MembershipController:
         protocol_config: windows/priority configuration for the ordering
             engine installed in each ring.
         timeouts: membership timer intervals.
+        observer: optional :class:`~repro.obs.observer.ProtocolObserver`;
+            receives membership events here and is handed down to every
+            ordering engine the controller installs.
+        clock: optional zero-argument callable for observer timestamps,
+            in the hosting layer's clock domain.
     """
 
     def __init__(
@@ -112,11 +131,15 @@ class MembershipController:
         protocol_config: Optional[ProtocolConfig] = None,
         timeouts: Optional[MembershipTimeouts] = None,
         initial_ring_seq: int = 0,
+        observer: Optional["ProtocolObserver"] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.pid = pid
         self.accelerated = accelerated
-        self.protocol_config = protocol_config or ProtocolConfig()
+        self.protocol_config = (protocol_config or ProtocolConfig()).validate()
         self.timeouts = timeouts or MembershipTimeouts()
+        self.observer = observer
+        self.clock = clock
 
         self.state = MemberState.GATHER
         self.ordering: Optional[AcceleratedRingParticipant] = None
@@ -169,6 +192,25 @@ class MembershipController:
         """Gather-phase timers get +/-25% deterministic jitter (see __init__)."""
         return delay * self._rng.uniform(0.75, 1.25)
 
+    def _now(self) -> Optional[float]:
+        return self.clock() if self.clock is not None else None
+
+    def _set_state(self, new_state: MemberState) -> None:
+        """Transition the membership state, notifying the observer.
+
+        Same-state transitions (e.g. a gather restart) are reported too:
+        they mark real protocol events, not bookkeeping noise.
+        """
+        old_state = self.state
+        self.state = new_state
+        if self.observer is not None:
+            self.observer.on_membership_event(
+                self.pid,
+                "state_change",
+                detail={"from": old_state.value, "to": new_state.value},
+                now=self._now(),
+            )
+
     def start(self) -> List[Effect]:
         """Begin membership: gather a first ring."""
         effects: List[Effect] = []
@@ -216,6 +258,13 @@ class MembershipController:
         if name == TIMER_TOKEN_LOSS:
             if self.state is MemberState.OPERATIONAL:
                 self.token_losses += 1
+                if self.observer is not None:
+                    self.observer.on_membership_event(
+                        self.pid,
+                        "token_loss",
+                        detail={"ring_id": self.ring_id},
+                        now=self._now(),
+                    )
                 self._enter_gather(effects)
         elif name == TIMER_JOIN:
             if self.state is MemberState.GATHER:
@@ -278,6 +327,10 @@ class MembershipController:
                         origin_ring=self.ring_config.config_id,
                     )
                 )
+                if self.observer is not None:
+                    self.observer.on_deliver(
+                        self.pid, effect.message, now=self._now()
+                    )
             elif isinstance(effect, Stable):
                 pass
             else:
@@ -336,7 +389,7 @@ class MembershipController:
     # ------------------------------------------------------------------
 
     def _enter_gather(self, effects: List[Effect]) -> None:
-        self.state = MemberState.GATHER
+        self._set_state(MemberState.GATHER)
         self._expected_members = None
         self._rec = None
         self._proc_set = {self.pid}
@@ -508,7 +561,7 @@ class MembershipController:
         self._enter_recover(token, effects)
 
     def _enter_commit(self, members: List[int], effects: List[Effect]) -> None:
-        self.state = MemberState.COMMIT
+        self._set_state(MemberState.COMMIT)
         self._expected_members = tuple(members)
         effects.append(CancelTimer(TIMER_GATHER_RESTART))
         effects.append(CancelTimer(TIMER_JOIN))
@@ -544,7 +597,7 @@ class MembershipController:
         self.highest_ring_seq = max(self.highest_ring_seq, seq)
         if self.pid not in token.infos:
             token.infos[self.pid] = self._my_info()
-        self.state = MemberState.COMMIT
+        self._set_state(MemberState.COMMIT)
         effects.append(CancelTimer(TIMER_JOIN))
         effects.append(CancelTimer(TIMER_CONSENSUS))
         effects.append(CancelTimer(TIMER_COMMIT))
@@ -560,7 +613,7 @@ class MembershipController:
     # ------------------------------------------------------------------
 
     def _enter_recover(self, token: CommitToken, effects: List[Effect]) -> None:
-        self.state = MemberState.RECOVER
+        self._set_state(MemberState.RECOVER)
         effects.append(CancelTimer(TIMER_COMMIT))
         effects.append(CancelTimer(TIMER_GATHER_RESTART))
         effects.append(CancelTimer(TIMER_JOIN))
@@ -747,6 +800,8 @@ class MembershipController:
                         origin_ring=rec.my_old_ring,
                     )
                 )
+                if self.observer is not None:
+                    self.observer.on_deliver(self.pid, message, now=self._now())
                 seq += 1
             # Transitional configuration: my old ring's survivors.
             transitional_members = [m for m in rec.old_members]
@@ -772,6 +827,8 @@ class MembershipController:
                             origin_ring=rec.my_old_ring,
                         )
                     )
+                    if self.observer is not None:
+                        self.observer.on_deliver(self.pid, message, now=self._now())
                 seq += 1
             self._old_buffer = ordering.buffer
             self._past_rings.add(ordering.ring_id)
@@ -786,6 +843,8 @@ class MembershipController:
             ring=members,
             config=self.protocol_config,
             ring_id=rec.new_ring_id,
+            observer=self.observer,
+            clock=self.clock,
         )
         participant.pending = carried
         while self._pre_ring_pending:
@@ -793,9 +852,23 @@ class MembershipController:
             participant.submit(payload, service, timestamp, size)
         self.ordering = participant
         self.ring_config = new_config
-        self.state = MemberState.OPERATIONAL
+        self._set_state(MemberState.OPERATIONAL)
         self.view_changes += 1
         self.recoveries_completed += 1
+        if self.observer is not None:
+            now = self._now()
+            self.observer.on_membership_event(
+                self.pid,
+                "ring_installed",
+                detail={"ring_id": rec.new_ring_id, "members": list(members)},
+                now=now,
+            )
+            self.observer.on_membership_event(
+                self.pid,
+                "view_change",
+                detail={"ring_id": rec.new_ring_id},
+                now=now,
+            )
         self._final_recovery = rec
         self._rec = None
         effects.append(CancelTimer(TIMER_RECOVERY_STATUS))

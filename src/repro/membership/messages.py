@@ -6,8 +6,8 @@ data path never has to inspect them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
 
 from repro.core.messages import DataMessage
 

@@ -1,0 +1,60 @@
+"""Protocol observability: metrics, observer hooks, and exporters.
+
+The observability layer has three parts:
+
+* :mod:`repro.obs.metrics` — zero-dependency counters, gauges, and
+  HDR-style fixed-bucket histograms with deterministic snapshots.
+* :mod:`repro.obs.observer` — the :class:`ProtocolObserver` hook
+  interface threaded through every layer of the stack, plus
+  :class:`MetricsObserver` which turns hooks into metrics.
+* :mod:`repro.obs.export` — JSON and table exporters for snapshots.
+
+Quickstart::
+
+    from repro import build_cluster
+    from repro.obs import MetricsObserver, to_json
+
+    observer = MetricsObserver()
+    cluster = build_cluster(num_hosts=8, observer=observer)
+    ...
+    print(to_json(observer.registry))
+"""
+
+from repro.obs.export import load_json, render_table, save_json, to_json
+from repro.obs.metrics import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    geometric_bounds,
+    merge_registries,
+)
+from repro.obs.observer import (
+    CompositeObserver,
+    MetricsObserver,
+    NullObserver,
+    ProtocolObserver,
+)
+
+__all__ = [
+    "COUNT_BOUNDS",
+    "LATENCY_BOUNDS",
+    "CompositeObserver",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "NullObserver",
+    "ProtocolObserver",
+    "geometric_bounds",
+    "load_json",
+    "merge_registries",
+    "render_table",
+    "save_json",
+    "to_json",
+]

@@ -1,0 +1,77 @@
+"""Snapshot exporters: JSON and a human-readable table.
+
+Snapshots are plain dicts (see :meth:`MetricsRegistry.snapshot`), so the
+JSON exporter is trivial; the table exporter renders the same data the
+way ``repro.bench.report`` renders figure series, and the benchmark
+harness uses both (``repro.bench.report.save_metrics_json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+Snapshot = Dict[str, Dict[str, object]]
+
+
+def _resolve(source: Union[MetricsRegistry, Snapshot]) -> Snapshot:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def to_json(source: Union[MetricsRegistry, Snapshot], indent: int = 2) -> str:
+    """Serialize a snapshot deterministically (sorted keys, stable floats)."""
+    return json.dumps(_resolve(source), indent=indent, sort_keys=True)
+
+
+def save_json(path: str, source: Union[MetricsRegistry, Snapshot]) -> str:
+    with open(path, "w") as handle:
+        handle.write(to_json(source) + "\n")
+    return path
+
+
+def load_json(path: str) -> Snapshot:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_table(source: Union[MetricsRegistry, Snapshot], title: str = "metrics") -> str:
+    """A paper-style fixed-width table of every metric in the snapshot."""
+    snapshot = _resolve(source)
+    lines: List[str] = [title, "=" * len(title)]
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        rows = [(name, _fmt(value)) for name, value in sorted(counters.items())]
+        rows += [(name, _fmt(value)) for name, value in sorted(gauges.items())]
+        width = max(len(name) for name, _ in rows)
+        lines.append("")
+        for name, value in rows:
+            lines.append(f"  {name.ljust(width)}  {value.rjust(12)}")
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        header = f"  {'histogram'.ljust(24)}{'count':>8}{'mean':>12}{'p50':>12}{'p99':>12}{'max':>12}"
+        lines.append(header)
+        for name, summary in sorted(histograms.items()):
+            count = summary.get("count", 0)
+            if not count:
+                lines.append(f"  {name.ljust(24)}{0:>8}")
+                continue
+            lines.append(
+                f"  {name.ljust(24)}{count:>8}"
+                f"{_fmt(summary['mean']):>12}{_fmt(summary['p50']):>12}"
+                f"{_fmt(summary['p99']):>12}{_fmt(summary['max']):>12}"
+            )
+    return "\n".join(lines)

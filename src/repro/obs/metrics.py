@@ -1,0 +1,287 @@
+"""Zero-dependency metric primitives: counters, gauges, histograms.
+
+The protocol's story is quantitative — token rotation time, per-round
+sent/delivered counts, retransmission rates — so the reproduction carries
+its own metrics layer instead of recomputing those numbers ad hoc in the
+benchmark harness.  Three primitives cover everything the paper reports:
+
+* :class:`Counter` — a monotonically increasing event count.
+* :class:`Gauge` — a last-written value (queue depth, fcc, headroom).
+* :class:`Histogram` — an HDR-style fixed-bucket distribution with
+  geometric bucket bounds, supporting lossless merge across participants
+  and quantile estimation by bucket interpolation.
+
+All primitives are deterministic: snapshots contain no wall-clock reads,
+so two identical simulated-time runs produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.util.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Misuse of the metrics layer (merge mismatch, bad bounds, ...)."""
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-written value (not aggregated over time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def merge(self, other: "Gauge") -> None:
+        # Gauges have no natural cross-instance aggregation; keep the max
+        # so merged snapshots reflect the worst observed level.
+        self.value = max(self.value, other.value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+def geometric_bounds(
+    minimum: float, maximum: float, buckets_per_decade: int = 5
+) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds from ``minimum`` to ``maximum``.
+
+    ``buckets_per_decade`` sub-buckets per power of ten bounds the
+    quantile estimation error to ~ ``10**(1/buckets_per_decade)`` — the
+    HDR-histogram tradeoff of fixed memory for bounded relative error.
+    """
+    if minimum <= 0 or maximum <= minimum:
+        raise MetricsError(f"need 0 < minimum < maximum, got {minimum}, {maximum}")
+    if buckets_per_decade < 1:
+        raise MetricsError(f"buckets_per_decade must be >= 1, got {buckets_per_decade}")
+    decades = math.log10(maximum / minimum)
+    count = int(math.ceil(decades * buckets_per_decade)) + 1
+    ratio = 10.0 ** (1.0 / buckets_per_decade)
+    return tuple(minimum * ratio**index for index in range(count))
+
+
+#: Default bounds for latency-like quantities: 1 microsecond to 100 seconds.
+LATENCY_BOUNDS = geometric_bounds(1e-6, 100.0, buckets_per_decade=5)
+
+#: Default bounds for count-like quantities (messages per round, ...).
+COUNT_BOUNDS = geometric_bounds(1.0, 1e6, buckets_per_decade=10)
+
+
+class Histogram:
+    """A fixed-bucket histogram with geometric bounds.
+
+    Values at or below ``bounds[i]`` (and above ``bounds[i-1]``) land in
+    bucket ``i``; values above the last bound land in an overflow bucket.
+    Exact ``count``/``sum``/``min``/``max`` are tracked alongside, so the
+    mean is exact and only quantiles are approximated.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BOUNDS) -> None:
+        ordered = tuple(float(bound) for bound in bounds)
+        if len(ordered) < 2 or any(
+            b <= a for a, b in zip(ordered, ordered[1:])
+        ):
+            raise MetricsError("histogram bounds must be strictly increasing")
+        self.bounds = ordered
+        self.buckets = [0] * (len(ordered) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise MetricsError(f"histogram values must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.buckets[self._index(value)] += 1
+
+    def _index(self, value: float) -> int:
+        # Binary search for the first bound >= value.
+        low, high = 0, len(self.bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if self.bounds[mid] < value:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise MetricsError("mean of empty histogram")
+        return self.total / self.count
+
+    def quantile(self, fraction: float) -> float:
+        """Approximate quantile by linear interpolation within the bucket."""
+        if self.count == 0:
+            raise MetricsError("quantile of empty histogram")
+        if not 0.0 <= fraction <= 1.0:
+            raise MetricsError(f"fraction must be in [0, 1], got {fraction}")
+        assert self.min is not None and self.max is not None
+        rank = fraction * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return upper
+                within = (rank - seen) / bucket_count
+                return lower + (upper - lower) * within
+            seen += bucket_count
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise MetricsError("cannot merge histograms with different bounds")
+        for index, bucket_count in enumerate(other.buckets):
+            self.buckets[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready summary; only non-empty buckets are listed."""
+        summary: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+        }
+        if self.count:
+            summary.update(
+                {
+                    "min": self.min,
+                    "max": self.max,
+                    "mean": self.mean,
+                    "p50": self.quantile(0.50),
+                    "p99": self.quantile(0.99),
+                }
+            )
+        summary["buckets"] = [
+            [self.bounds[i] if i < len(self.bounds) else None, n]
+            for i, n in enumerate(self.buckets)
+            if n
+        ]
+        return summary
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with deterministic snapshots.
+
+    Names are dotted paths (``token.rotation_time``); the registry is
+    lazy — ``counter(name)`` creates the metric on first use — so hook
+    implementations never need a registration step.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(bounds)
+        return metric
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (e.g. per-shard registries)."""
+        for name, counter in other._counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A deterministic, JSON-serializable view of every metric."""
+        return {
+            "counters": {
+                name: self._counters[name].snapshot()
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].snapshot() for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Merge several registries into a fresh one."""
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged

@@ -1,0 +1,239 @@
+"""The ``ProtocolObserver`` hook interface and standard implementations.
+
+Observers are the redesigned way to watch a running protocol stack:
+instead of scraping engine internals after a run, callers pass an
+observer to the constructors (``build_cluster(..., observer=...)``,
+``RingNode(..., observer=...)``, ``AcceleratedRingParticipant(...,
+observer=...)``) and receive a callback at every protocol event.
+
+Hook timing:
+
+* ``on_token_received`` / ``on_token_sent`` / ``on_multicast`` /
+  ``on_retransmit`` / ``on_retransmit_requested`` / ``on_flow_control``
+  fire inside the sans-io ordering engines at protocol-event time.
+* ``on_deliver`` fires in the layer that owns application delivery (the
+  sim driver or the membership controller), so its count is exactly the
+  application-visible delivery count — the same events the EVS checker
+  records.
+* ``on_membership_event`` fires in the membership controller on state
+  transitions, ring installs, and token losses.
+
+``now`` is whatever clock the hosting layer runs on — simulated seconds
+in :mod:`repro.sim`, the event-loop clock in :mod:`repro.runtime` — or
+``None`` for bare engines with no clock attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.messages import DataMessage
+from repro.core.token import RegularToken
+from repro.obs.metrics import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    MetricsRegistry,
+)
+
+
+class ProtocolObserver:
+    """Base class: every hook is a no-op.  Subclass and override."""
+
+    def on_token_received(
+        self, pid: int, token: RegularToken, now: Optional[float] = None
+    ) -> None:
+        """A regular token was accepted for processing (round start)."""
+
+    def on_token_sent(
+        self, pid: int, token: RegularToken, now: Optional[float] = None
+    ) -> None:
+        """The updated token was released to the successor."""
+
+    def on_multicast(
+        self,
+        pid: int,
+        message: DataMessage,
+        retransmission: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        """A data message (new or retransmitted) was multicast."""
+
+    def on_deliver(
+        self, pid: int, message: DataMessage, now: Optional[float] = None
+    ) -> None:
+        """A message was delivered to the local application."""
+
+    def on_retransmit(
+        self, pid: int, seq: int, now: Optional[float] = None
+    ) -> None:
+        """This participant answered a retransmission request for ``seq``."""
+
+    def on_retransmit_requested(
+        self, pid: int, seq: int, now: Optional[float] = None
+    ) -> None:
+        """This participant added ``seq`` to the token's request list."""
+
+    def on_flow_control(
+        self,
+        pid: int,
+        decision: object,
+        token_fcc: int,
+        now: Optional[float] = None,
+    ) -> None:
+        """The per-round sending plan (a ``FlowControlDecision``) was made."""
+
+    def on_membership_event(
+        self,
+        pid: int,
+        event: str,
+        detail: Optional[Dict[str, object]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """A membership-layer event: ``state_change``, ``ring_installed``,
+        ``token_loss``, ``view_change``."""
+
+
+class NullObserver(ProtocolObserver):
+    """Explicit no-op observer (the hooks are already no-ops)."""
+
+
+class CompositeObserver(ProtocolObserver):
+    """Fans every hook out to several observers, in order."""
+
+    def __init__(self, observers: Iterable[ProtocolObserver]) -> None:
+        self.observers: List[ProtocolObserver] = list(observers)
+
+    def on_token_received(self, pid, token, now=None):
+        for observer in self.observers:
+            observer.on_token_received(pid, token, now=now)
+
+    def on_token_sent(self, pid, token, now=None):
+        for observer in self.observers:
+            observer.on_token_sent(pid, token, now=now)
+
+    def on_multicast(self, pid, message, retransmission=False, now=None):
+        for observer in self.observers:
+            observer.on_multicast(pid, message, retransmission=retransmission, now=now)
+
+    def on_deliver(self, pid, message, now=None):
+        for observer in self.observers:
+            observer.on_deliver(pid, message, now=now)
+
+    def on_retransmit(self, pid, seq, now=None):
+        for observer in self.observers:
+            observer.on_retransmit(pid, seq, now=now)
+
+    def on_retransmit_requested(self, pid, seq, now=None):
+        for observer in self.observers:
+            observer.on_retransmit_requested(pid, seq, now=now)
+
+    def on_flow_control(self, pid, decision, token_fcc, now=None):
+        for observer in self.observers:
+            observer.on_flow_control(pid, decision, token_fcc, now=now)
+
+    def on_membership_event(self, pid, event, detail=None, now=None):
+        for observer in self.observers:
+            observer.on_membership_event(pid, event, detail=detail, now=now)
+
+
+class MetricsObserver(ProtocolObserver):
+    """Turns protocol events into metrics in a :class:`MetricsRegistry`.
+
+    Metric names (the stable, documented surface):
+
+    ==============================  ==========================================
+    ``token.received``            tokens accepted (counter)
+    ``token.sent``                tokens released (counter)
+    ``token.rotation_time``       per-participant token inter-arrival (histogram, s)
+    ``multicast.sent``            new data messages multicast (counter)
+    ``multicast.pre_token``       of which before the token release (counter)
+    ``multicast.post_token``      of which after the token release (counter)
+    ``retransmit.sent``           retransmissions answered (counter)
+    ``retransmit.requested``      sequence numbers requested (counter)
+    ``deliver.messages``          application deliveries (counter)
+    ``deliver.latency``           submit-to-deliver latency (histogram, s)
+    ``round.sent_messages``       new messages per token visit (histogram)
+    ``flow.fcc``                  last seen global-window usage (gauge)
+    ``flow.headroom``             last seen global-window headroom (gauge)
+    ``membership.state_changes``  controller state transitions (counter)
+    ``membership.ring_installs``  regular configurations installed (counter)
+    ``membership.token_losses``   token-loss timeouts fired (counter)
+    ==============================  ==========================================
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._last_token_at: Dict[int, float] = {}
+
+    # -- token ---------------------------------------------------------
+
+    def on_token_received(self, pid, token, now=None):
+        self.registry.counter("token.received").inc()
+        if now is not None:
+            previous = self._last_token_at.get(pid)
+            if previous is not None and now >= previous:
+                self.registry.histogram(
+                    "token.rotation_time", LATENCY_BOUNDS
+                ).record(now - previous)
+            self._last_token_at[pid] = now
+
+    def on_token_sent(self, pid, token, now=None):
+        self.registry.counter("token.sent").inc()
+
+    # -- data ----------------------------------------------------------
+
+    def on_multicast(self, pid, message, retransmission=False, now=None):
+        if retransmission:
+            return  # counted by on_retransmit
+        self.registry.counter("multicast.sent").inc()
+        if message.post_token:
+            self.registry.counter("multicast.post_token").inc()
+        else:
+            self.registry.counter("multicast.pre_token").inc()
+
+    def on_deliver(self, pid, message, now=None):
+        self.registry.counter("deliver.messages").inc()
+        if now is not None and message.timestamp is not None:
+            latency = now - message.timestamp
+            if latency >= 0:
+                self.registry.histogram(
+                    "deliver.latency", LATENCY_BOUNDS
+                ).record(latency)
+
+    # -- recovery ------------------------------------------------------
+
+    def on_retransmit(self, pid, seq, now=None):
+        self.registry.counter("retransmit.sent").inc()
+
+    def on_retransmit_requested(self, pid, seq, now=None):
+        self.registry.counter("retransmit.requested").inc()
+
+    # -- flow control --------------------------------------------------
+
+    def on_flow_control(self, pid, decision, token_fcc, now=None):
+        self.registry.gauge("flow.fcc").set(token_fcc)
+        headroom = getattr(decision, "global_headroom", None)
+        if headroom is not None:
+            self.registry.gauge("flow.headroom").set(headroom)
+        num_to_send = getattr(decision, "num_to_send", 0)
+        if num_to_send:
+            self.registry.histogram(
+                "round.sent_messages", COUNT_BOUNDS
+            ).record(num_to_send)
+
+    # -- membership ----------------------------------------------------
+
+    def on_membership_event(self, pid, event, detail=None, now=None):
+        if event == "state_change":
+            self.registry.counter("membership.state_changes").inc()
+        elif event == "ring_installed":
+            self.registry.counter("membership.ring_installs").inc()
+        elif event == "token_loss":
+            self.registry.counter("membership.token_losses").inc()
+        elif event == "view_change":
+            self.registry.counter("membership.view_changes").inc()
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return self.registry.snapshot()

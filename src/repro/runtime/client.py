@@ -7,7 +7,13 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.messages import DeliveryService
 from repro.runtime import ipc
-from repro.runtime.ipc import Delivery
+from repro.runtime.ipc import (
+    Delivery,
+    Endpoint,
+    EndpointSpec,
+    TcpEndpoint,
+    UnixEndpoint,
+)
 from repro.util.errors import CodecError
 
 #: Event types a client can receive.
@@ -15,34 +21,45 @@ ClientEvent = Union[Delivery, Tuple[List[int], bool]]
 
 
 class DaemonClient:
-    """Connects to a daemon — locally over its unix socket, or remotely
-    over TCP (``tcp_address=(host, port)``).
+    """Connects to a daemon at an :data:`~repro.runtime.ipc.Endpoint`.
 
-    The paper's advice applies: on LANs, co-locate clients with daemons
-    and use the unix socket; TCP is for remote clients.
+    ``endpoint`` accepts a :class:`~repro.runtime.ipc.UnixEndpoint`, a
+    :class:`~repro.runtime.ipc.TcpEndpoint`, a bare unix socket path, or
+    a spec string (``unix://...`` / ``tcp://host:port``).  The paper's
+    advice applies: on LANs, co-locate clients with daemons and use the
+    unix socket; TCP is for remote clients.
+
+    The pre-endpoint keywords ``socket_path=`` / ``tcp_address=`` still
+    work but emit a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
+        endpoint: Optional[EndpointSpec] = None,
+        *,
         socket_path: Optional[str] = None,
         tcp_address: Optional[Tuple[str, int]] = None,
     ) -> None:
-        if (socket_path is None) == (tcp_address is None):
-            raise ValueError("provide exactly one of socket_path or tcp_address")
-        self.socket_path = socket_path
-        self.tcp_address = tcp_address
+        self.endpoint: Endpoint = ipc.resolve_endpoint(
+            endpoint, socket_path, tcp_address, owner="DaemonClient"
+        )
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
+    @property
+    def socket_path(self) -> Optional[str]:
+        """Unix socket path, or None for TCP endpoints (legacy accessor)."""
+        return self.endpoint.path if isinstance(self.endpoint, UnixEndpoint) else None
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        """(host, port), or None for unix endpoints (legacy accessor)."""
+        if isinstance(self.endpoint, TcpEndpoint):
+            return (self.endpoint.host, self.endpoint.port)
+        return None
+
     async def connect(self) -> None:
-        if self.socket_path is not None:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self.socket_path
-            )
-        else:
-            assert self.tcp_address is not None
-            host, port = self.tcp_address
-            self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader, self._writer = await self.endpoint.open()
 
     async def close(self) -> None:
         if self._writer is not None:

@@ -10,14 +10,17 @@ from __future__ import annotations
 
 import asyncio
 import os
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
-from repro.core.messages import DataMessage, DeliveryService
+from repro.core.messages import DataMessage
 from repro.evs.configuration import Configuration
 from repro.runtime import ipc
 from repro.runtime.node import RingNode
 from repro.runtime.transport import PeerAddress
 from repro.util.errors import CodecError
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 
 class DaemonServer:
@@ -30,6 +33,7 @@ class DaemonServer:
         socket_path: str,
         accelerated: bool = True,
         tcp_port: Optional[int] = None,
+        observer: Optional["ProtocolObserver"] = None,
         **node_kwargs,
     ) -> None:
         self.pid = pid
@@ -38,7 +42,13 @@ class DaemonServer:
         #: Spread supports TCP clients but recommends co-locating clients
         #: with daemons on LANs; we offer the same choice.
         self.tcp_port = tcp_port
-        self.node = RingNode(pid=pid, peers=peers, accelerated=accelerated, **node_kwargs)
+        self.node = RingNode(
+            pid=pid,
+            peers=peers,
+            accelerated=accelerated,
+            observer=observer,
+            **node_kwargs,
+        )
         self.node.on_deliver = self._deliver
         self.node.on_config = self._config_changed
         self._server: Optional[asyncio.AbstractServer] = None

@@ -1,19 +1,138 @@
-"""Client-daemon IPC framing.
+"""Client-daemon IPC framing and endpoint addressing.
 
 Daemons and their local clients talk over a unix stream socket using
 length-prefixed frames: ``!BI`` (opcode, body length) followed by the
 body.  Mirrors Spread's IPC-socket client communication (paper §III-E).
+
+Where a client connects is described by an :data:`Endpoint` — either a
+:class:`UnixEndpoint` (co-located client, the paper's recommended LAN
+setup) or a :class:`TcpEndpoint` (remote client).  Client constructors
+take one ``endpoint`` argument instead of mutually-exclusive
+``socket_path``/``tcp_address`` keywords; :func:`resolve_endpoint`
+keeps the old keywords working behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import struct
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.core.messages import DeliveryService
 from repro.util.errors import CodecError
+
+
+@dataclass(frozen=True)
+class UnixEndpoint:
+    """A daemon's local unix stream socket."""
+
+    path: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.path, str) or not self.path:
+            raise ValueError(f"unix endpoint needs a non-empty path, got {self.path!r}")
+
+    async def open(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_unix_connection(self.path)
+
+    def __str__(self) -> str:
+        return f"unix://{self.path}"
+
+
+@dataclass(frozen=True)
+class TcpEndpoint:
+    """A daemon's TCP listener, for clients not co-located with it."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ValueError(f"tcp endpoint needs a non-empty host, got {self.host!r}")
+        if (
+            isinstance(self.port, bool)
+            or not isinstance(self.port, int)
+            or not 0 < self.port < 65536
+        ):
+            raise ValueError(f"tcp endpoint needs a port in 1..65535, got {self.port!r}")
+
+    async def open(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(self.host, self.port)
+
+    def __str__(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+
+#: Where a client connects: a unix socket or a TCP listener.
+Endpoint = Union[UnixEndpoint, TcpEndpoint]
+
+#: Anything :func:`parse_endpoint` accepts.
+EndpointSpec = Union[Endpoint, str, Tuple[str, int]]
+
+
+def parse_endpoint(spec: EndpointSpec) -> Endpoint:
+    """Interpret ``spec`` as an :data:`Endpoint`.
+
+    Accepts an :data:`Endpoint` (returned unchanged), ``"unix://<path>"``,
+    ``"tcp://<host>:<port>"``, a ``(host, port)`` tuple, or a bare path
+    string (treated as a unix socket path).
+    """
+    if isinstance(spec, (UnixEndpoint, TcpEndpoint)):
+        return spec
+    if isinstance(spec, tuple):
+        if len(spec) != 2:
+            raise ValueError(f"endpoint tuple must be (host, port), got {spec!r}")
+        host, port = spec
+        return TcpEndpoint(host=host, port=port)
+    if isinstance(spec, str):
+        if spec.startswith("unix://"):
+            return UnixEndpoint(path=spec[len("unix://") :])
+        if spec.startswith("tcp://"):
+            rest = spec[len("tcp://") :]
+            host, sep, port = rest.rpartition(":")
+            if not sep or not port.isdigit():
+                raise ValueError(f"malformed tcp endpoint {spec!r}; want tcp://host:port")
+            return TcpEndpoint(host=host, port=int(port))
+        return UnixEndpoint(path=spec)
+    raise ValueError(f"cannot interpret {spec!r} as an endpoint")
+
+
+def resolve_endpoint(
+    endpoint: Optional[EndpointSpec] = None,
+    socket_path: Optional[str] = None,
+    tcp_address: Optional[Tuple[str, int]] = None,
+    *,
+    owner: str = "client",
+) -> Endpoint:
+    """Resolve a constructor's endpoint arguments into one :data:`Endpoint`.
+
+    Exactly one of ``endpoint``, ``socket_path``, or ``tcp_address`` must be
+    given.  The latter two are the pre-endpoint API and emit a
+    :class:`DeprecationWarning`; new code passes ``endpoint``.
+    """
+    if socket_path is not None or tcp_address is not None:
+        warnings.warn(
+            f"{owner}: socket_path=/tcp_address= are deprecated; pass "
+            "endpoint=UnixEndpoint(path), endpoint=TcpEndpoint(host, port), "
+            'or a spec string like "tcp://host:port"',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    provided = [spec for spec in (endpoint, socket_path, tcp_address) if spec is not None]
+    if len(provided) != 1:
+        raise ValueError(
+            f"{owner} needs exactly one endpoint, got {len(provided)}: pass "
+            "endpoint= (an Endpoint, a path, or a unix://- or tcp://-spec)"
+        )
+    if socket_path is not None:
+        return UnixEndpoint(path=socket_path)
+    if tcp_address is not None:
+        host, port = tcp_address
+        return TcpEndpoint(host=host, port=port)
+    assert endpoint is not None
+    return parse_endpoint(endpoint)
 
 OP_SUBMIT = 1
 OP_DELIVER = 2

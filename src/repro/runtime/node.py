@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.events import Effect, MulticastData, SendToken
@@ -30,6 +30,9 @@ from repro.membership.effects import (
 from repro.membership.params import MembershipTimeouts
 from repro.runtime.transport import PeerAddress, UdpTransport
 from repro.util.errors import CodecError
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 #: Wall-clock membership timeouts suitable for loopback rings.
 RUNTIME_TIMEOUTS = MembershipTimeouts(
@@ -59,13 +62,16 @@ class RingNode:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
         token_loss_rate: float = 0.0,
+        observer: Optional["ProtocolObserver"] = None,
     ) -> None:
         self.pid = pid
+        self.observer = observer
         self.controller = MembershipController(
             pid=pid,
             accelerated=accelerated,
             protocol_config=protocol_config or ProtocolConfig(),
             timeouts=timeouts or RUNTIME_TIMEOUTS,
+            observer=observer,
         )
         self.transport = UdpTransport(
             pid=pid,
@@ -92,6 +98,10 @@ class RingNode:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
+        # Observer timestamps use the event-loop clock — the same clock
+        # ``submit`` stamps messages with, so delivery latencies subtract
+        # cleanly.
+        self.controller.clock = asyncio.get_running_loop().time
         await self.transport.start()
         self._loop_task = asyncio.get_running_loop().create_task(self._run())
         self._execute(self.controller.start())
@@ -126,6 +136,19 @@ class RingNode:
     @property
     def state(self) -> str:
         return self.controller.state.value
+
+    def metrics_snapshot(self):
+        """Snapshot of this node's observer metrics (wall-clock domain).
+
+        Requires an observer with a ``snapshot()`` method (e.g.
+        :class:`~repro.obs.observer.MetricsObserver`).
+        """
+        snapshot = getattr(self.observer, "snapshot", None)
+        if snapshot is None:
+            raise RuntimeError(
+                "node was not built with a metrics-collecting observer"
+            )
+        return snapshot()
 
     # ------------------------------------------------------------------
 

@@ -8,7 +8,7 @@ server runs one daemon, one sending client, and one receiving client.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
 from repro.core.config import ProtocolConfig
@@ -19,9 +19,10 @@ from repro.net.loss import LossModel
 from repro.net.params import NetworkParams, GIGABIT
 from repro.net.simulator import Simulator
 from repro.net.topology import StarTopology, build_star
+from repro.obs.observer import ProtocolObserver
 from repro.sim.driver import ProtocolHost
 from repro.sim.profiles import ImplementationProfile, LIBRARY
-from repro.util.stats import LatencyStats, RunStats
+from repro.util.stats import LatencyStats
 
 
 @dataclass
@@ -50,12 +51,15 @@ class RingCluster:
         topology: StarTopology,
         drivers: Dict[int, ProtocolHost],
         ring_id: int = 1,
+        observer: Optional[ProtocolObserver] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.drivers = drivers
         self.ring_id = ring_id
         self.ring = sorted(drivers)
+        #: The observer shared by every participant (None when unobserved).
+        self.observer = observer
         self._started = False
 
     @property
@@ -85,6 +89,19 @@ class RingCluster:
 
     def run(self, duration: float) -> None:
         self.sim.run(until=self.sim.now + duration)
+
+    def metrics_snapshot(self):
+        """Snapshot of the shared observer's metrics.
+
+        Requires an observer with a ``snapshot()`` method (e.g.
+        :class:`~repro.obs.observer.MetricsObserver`).
+        """
+        snapshot = getattr(self.observer, "snapshot", None)
+        if snapshot is None:
+            raise RuntimeError(
+                "cluster was not built with a metrics-collecting observer"
+            )
+        return snapshot()
 
     # ------------------------------------------------------------------
 
@@ -132,6 +149,7 @@ def build_cluster(
     config: Optional[ProtocolConfig] = None,
     loss_model: Optional[LossModel] = None,
     ring_id: int = 1,
+    observer: Optional[ProtocolObserver] = None,
 ) -> RingCluster:
     """Build the paper's testbed: ``num_hosts`` servers around one switch.
 
@@ -139,19 +157,33 @@ def build_cluster(
     same flow-control windows (the paper compares each implementation of
     the Accelerated Ring protocol to a corresponding implementation of the
     original protocol).
+
+    ``observer`` is shared by every participant and driver: it sees every
+    token movement, multicast, retransmission, and delivery on the whole
+    cluster, timestamped in simulated seconds.
     """
     sim = Simulator()
     topology = build_star(sim, num_hosts, params, loss_model=loss_model)
     ring = topology.host_ids
-    config = config or ProtocolConfig()
+    config = (config or ProtocolConfig()).validate()
     participant_cls: Type[AcceleratedRingParticipant]
     participant_cls = AcceleratedRingParticipant if accelerated else OriginalRingParticipant
     drivers: Dict[int, ProtocolHost] = {}
     for pid in ring:
-        participant = participant_cls(pid, ring, config, ring_id=ring_id)
+        participant = participant_cls(
+            pid,
+            ring,
+            config,
+            ring_id=ring_id,
+            observer=observer,
+            clock=lambda: sim.now,
+        )
         drivers[pid] = ProtocolHost(
             host=topology.host(pid),
             participant=participant,
             profile=profile,
+            observer=observer,
         )
-    return RingCluster(sim=sim, topology=topology, drivers=drivers, ring_id=ring_id)
+    return RingCluster(
+        sim=sim, topology=topology, drivers=drivers, ring_id=ring_id, observer=observer
+    )

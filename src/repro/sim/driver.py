@@ -18,12 +18,20 @@ from repro.core.token import RegularToken
 from repro.net.fragment import Reassembler, fragment_datagram
 from repro.net.host import SimHost
 from repro.net.packet import Frame, PortKind
+from repro.obs.observer import ProtocolObserver
 from repro.sim.profiles import ImplementationProfile
 from repro.util.stats import RunStats
 
 
 class ProtocolHost:
-    """One server: a protocol engine + its host machine + its clients."""
+    """One server: a protocol engine + its host machine + its clients.
+
+    ``observer`` defaults to the participant's observer; either way the
+    participant's clock is bound to simulated time, so every hook the
+    engine fires carries a simulated-seconds ``now`` and the driver can
+    report application deliveries (``on_deliver``) at the moment the
+    delivery CPU work actually completes.
+    """
 
     def __init__(
         self,
@@ -32,11 +40,17 @@ class ProtocolHost:
         profile: ImplementationProfile,
         stats: Optional[RunStats] = None,
         measure_from: float = 0.0,
+        observer: Optional[ProtocolObserver] = None,
     ) -> None:
         self.host = host
         self.participant = participant
         self.profile = profile
         self.stats = stats if stats is not None else RunStats()
+        self.observer = observer if observer is not None else participant.observer
+        if participant.observer is None:
+            participant.observer = observer
+        if participant.clock is None:
+            participant.clock = lambda: host.sim.now
         #: Deliveries of messages submitted before this time are excluded
         #: from latency statistics (warm-up window).
         self.measure_from = measure_from
@@ -196,6 +210,8 @@ class ProtocolHost:
     def _make_delivery(self, message: DataMessage):
         def run() -> None:
             now = self.host.sim.now
+            if self.observer is not None:
+                self.observer.on_deliver(self.participant.pid, message, now=now)
             if self.on_deliver is not None:
                 self.on_deliver(message)
             if self.keep_delivered_log:

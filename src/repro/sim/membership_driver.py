@@ -11,12 +11,11 @@ examples.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import ProtocolConfig
 from repro.core.events import Effect, MulticastData, SendToken
-from repro.core.messages import DataMessage, DeliveryService
-from repro.core.token import RegularToken
+from repro.core.messages import DeliveryService
 from repro.evs.checker import EvsChecker
 from repro.evs.events import ConfigDelivery, MessageDelivery
 from repro.membership.controller import MembershipController
@@ -35,6 +34,9 @@ from repro.net.params import NetworkParams, GIGABIT
 from repro.net.simulator import Simulator
 from repro.net.topology import StarTopology, build_star
 from repro.sim.profiles import ImplementationProfile, DAEMON
+
+if TYPE_CHECKING:
+    from repro.obs.observer import ProtocolObserver
 
 #: CPU cost charged for handling one membership control message.
 _CONTROL_CPU = 3e-6
@@ -200,12 +202,14 @@ class MembershipCluster:
         config: Optional[ProtocolConfig] = None,
         timeouts: Optional[MembershipTimeouts] = None,
         loss_model: Optional[LossModel] = None,
+        observer: Optional["ProtocolObserver"] = None,
     ) -> None:
         self.sim = Simulator()
         self.topology: StarTopology = build_star(
             self.sim, num_hosts, params, loss_model=loss_model
         )
         self.checker = EvsChecker()
+        self.observer = observer
         self.hosts: Dict[int, MembershipHost] = {}
         for pid in self.topology.host_ids:
             controller = MembershipController(
@@ -213,6 +217,8 @@ class MembershipCluster:
                 accelerated=accelerated,
                 protocol_config=config or ProtocolConfig(),
                 timeouts=timeouts or MembershipTimeouts(),
+                observer=observer,
+                clock=lambda: self.sim.now,
             )
             self.hosts[pid] = MembershipHost(
                 host=self.topology.host(pid),
@@ -257,6 +263,8 @@ class MembershipCluster:
             # Totem keeps the ring sequence number on stable storage so a
             # recovered process can never reuse one of its old ring ids.
             initial_ring_seq=host.controller.highest_ring_seq,
+            observer=self.observer,
+            clock=lambda: self.sim.now,
         )
         fresh = MembershipHost(
             host=sim_host,

@@ -10,7 +10,7 @@ and the ``figure1_schedule`` example render as per-participant lanes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.core.messages import DataMessage
 from repro.core.token import RegularToken

@@ -8,6 +8,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.messages import DeliveryService
 from repro.runtime import ipc
+from repro.runtime.ipc import Endpoint, EndpointSpec, TcpEndpoint, UnixEndpoint
 from repro.util.errors import CodecError
 
 
@@ -32,7 +33,14 @@ ClientEvent = Union[GroupMessage, GroupView]
 
 
 class SpreadClient:
-    """Connects to a local Spread-like daemon.
+    """Connects to a Spread-like daemon at an
+    :data:`~repro.runtime.ipc.Endpoint`.
+
+    ``endpoint`` accepts a :class:`~repro.runtime.ipc.UnixEndpoint`, a
+    :class:`~repro.runtime.ipc.TcpEndpoint`, a bare unix socket path, or
+    a spec string (``unix://...`` / ``tcp://host:port``).  The
+    pre-endpoint keywords ``socket_path=`` / ``tcp_address=`` still work
+    but emit a :class:`DeprecationWarning`.
 
     Usage::
 
@@ -45,30 +53,35 @@ class SpreadClient:
 
     def __init__(
         self,
-        socket_path: Optional[str] = None,
+        endpoint: Optional[EndpointSpec] = None,
         name: str = "",
+        *,
+        socket_path: Optional[str] = None,
         tcp_address: Optional[Tuple[str, int]] = None,
     ) -> None:
-        if (socket_path is None) == (tcp_address is None):
-            raise ValueError("provide exactly one of socket_path or tcp_address")
-        self.socket_path = socket_path
-        self.tcp_address = tcp_address
+        self.endpoint: Endpoint = ipc.resolve_endpoint(
+            endpoint, socket_path, tcp_address, owner="SpreadClient"
+        )
         self.private_name = name
         self.member_name: Optional[str] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
+    @property
+    def socket_path(self) -> Optional[str]:
+        """Unix socket path, or None for TCP endpoints (legacy accessor)."""
+        return self.endpoint.path if isinstance(self.endpoint, UnixEndpoint) else None
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        """(host, port), or None for unix endpoints (legacy accessor)."""
+        if isinstance(self.endpoint, TcpEndpoint):
+            return (self.endpoint.host, self.endpoint.port)
+        return None
+
     async def connect(self) -> str:
         """Connect and return the daemon-qualified member name."""
-        if self.socket_path is not None:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self.socket_path
-            )
-        else:
-            assert self.tcp_address is not None
-            self._reader, self._writer = await asyncio.open_connection(
-                *self.tcp_address
-            )
+        self._reader, self._writer = await self.endpoint.open()
         self._writer.write(ipc.pack_hello(self.private_name))
         opcode, body = await ipc.read_frame(self._reader)
         if opcode != ipc.OP_WELCOME:

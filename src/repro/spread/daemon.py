@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import asyncio
 import os
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.core.messages import DataMessage, DeliveryService
 from repro.evs.configuration import Configuration
-from repro.membership.ring_id import decode_ring_id
 from repro.runtime import ipc
 from repro.runtime.node import RingNode
 from repro.runtime.transport import PeerAddress

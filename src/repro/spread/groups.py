@@ -12,7 +12,7 @@ directory can prune members whose daemon left the configuration.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.util.errors import ProtocolError
 

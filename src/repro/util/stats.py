@@ -26,7 +26,10 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     if low == high:
         return ordered[low]
     weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+    value = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Multiplying denormal floats can underflow below the bracketing
+    # samples; clamp so the result always lies between them.
+    return min(max(value, ordered[low]), ordered[high])
 
 
 @dataclass

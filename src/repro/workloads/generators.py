@@ -11,7 +11,6 @@ many messages as flow control allows whenever it holds the token.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.messages import DeliveryService
 from repro.sim.cluster import RingCluster

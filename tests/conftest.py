@@ -6,9 +6,6 @@ import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.messages import DataMessage, DeliveryService
-from repro.core.participant import AcceleratedRingParticipant
-from repro.core.original import OriginalRingParticipant
-from repro.core.token import RegularToken, initial_token
 from repro.net.simulator import Simulator
 
 

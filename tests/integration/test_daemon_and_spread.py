@@ -4,14 +4,13 @@ import asyncio
 import os
 import tempfile
 
-import pytest
 
 from repro.core.messages import DeliveryService
 from repro.runtime.client import DaemonClient
 from repro.runtime.daemon import DaemonServer
 from repro.runtime.ipc import Delivery
 from repro.runtime.transport import local_ring_addresses
-from repro.spread.client_api import GroupMessage, GroupView, SpreadClient
+from repro.spread.client_api import SpreadClient
 from repro.spread.daemon import SpreadDaemon
 from tests.integration.test_runtime import FAST_TIMEOUTS, next_ports, wait_until
 

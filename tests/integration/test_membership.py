@@ -1,9 +1,7 @@
 """Integration tests for membership: crashes, partitions, merges, with
 EVS guarantees checked on every trace."""
 
-import pytest
 
-from repro.core.config import ProtocolConfig
 from repro.core.messages import DeliveryService
 from repro.sim.membership_driver import MembershipCluster
 

@@ -2,12 +2,10 @@
 
 import asyncio
 
-import pytest
 
-from repro.core.config import ProtocolConfig
 from repro.core.messages import DeliveryService
 from repro.membership.params import MembershipTimeouts
-from repro.runtime.node import RUNTIME_TIMEOUTS, RingNode
+from repro.runtime.node import RingNode
 from repro.runtime.transport import local_ring_addresses
 
 #: Faster wall-clock timeouts so tests stay snappy.

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig
 from repro.core.messages import DeliveryService
 from repro.net.params import GIGABIT, TEN_GIGABIT
 from repro.sim.cluster import build_cluster

@@ -4,13 +4,7 @@ import os
 
 import pytest
 
-from repro.bench.acceptance import (
-    CRITERIA,
-    SeriesPoint,
-    load_figure,
-    parse_results,
-    verify,
-)
+from repro.bench.acceptance import CRITERIA, parse_results, verify
 
 SAMPLE = """Fig X: sample
 =============

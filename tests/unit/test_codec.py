@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.codec import decode, encode, encode_data, encode_token
+from repro.core.codec import decode, encode
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.token import RegularToken
 from repro.membership.codec import decode_any, encode_any

@@ -51,3 +51,22 @@ def test_config_frozen():
     config = ProtocolConfig()
     with pytest.raises(AttributeError):
         config.personal_window = 99
+
+
+def test_validate_returns_self():
+    config = ProtocolConfig()
+    assert config.validate() is config
+
+
+def test_windows_must_be_integers():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(personal_window=2.5)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(accelerated_window="3")
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(global_window=True)
+
+
+def test_priority_method_must_be_enum():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(priority_method="always")

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.events import SendToken
 from repro.core.messages import DeliveryService
-from repro.core.token import RegularToken, initial_token
+from repro.core.token import initial_token
 from repro.membership.controller import (
     MemberState,
     MembershipController,

@@ -1,11 +1,9 @@
 """Edge-case unit tests for the membership controller's commit/recovery
 handling: stash replay, stale traffic filtering, recovery message rules."""
 
-import pytest
 
-from repro.core.events import SendToken
 from repro.core.messages import DeliveryService
-from repro.core.token import RegularToken, initial_token
+from repro.core.token import initial_token
 from repro.membership.controller import (
     MemberState,
     MembershipController,
@@ -128,7 +126,7 @@ def test_submissions_survive_one_view_change():
 
 
 def test_token_for_current_ring_resets_loss_timer():
-    from repro.membership.effects import CancelTimer, SetTimer
+    from repro.membership.effects import SetTimer
 
     controller = two_member_controller(pid=0)
     token = initial_token(controller.ring_id)

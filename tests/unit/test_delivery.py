@@ -1,10 +1,10 @@
 """Unit tests for Agreed/Safe delivery semantics (paper §III-B4, §III-C)."""
 
 from repro.core.config import ProtocolConfig
-from repro.core.events import Deliver, SendToken, Stable
+from repro.core.events import Deliver, Stable
 from repro.core.messages import DeliveryService
 from repro.core.participant import AcceleratedRingParticipant
-from repro.core.token import RegularToken, initial_token
+from repro.core.token import RegularToken
 from tests.conftest import data_message, drain_effects
 
 

@@ -1,6 +1,5 @@
 """Unit tests for flow-control arithmetic (paper §III-B1)."""
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.flow_control import plan_sending, update_fcc

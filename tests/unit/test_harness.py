@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig
 from repro.core.harness import InstantNetwork
-from repro.core.messages import DeliveryService
 from repro.core.original import OriginalRingParticipant
 from repro.core.participant import AcceleratedRingParticipant
 from tests.conftest import make_ring, submit_n

@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.core.messages import DeliveryService
 from repro.runtime import ipc

@@ -1,8 +1,6 @@
 """Unit tests for the sim membership driver plumbing."""
 
-import pytest
 
-from repro.core.messages import DeliveryService
 from repro.sim.membership_driver import MembershipCluster
 
 

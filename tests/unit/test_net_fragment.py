@@ -1,6 +1,5 @@
 """Unit tests for network-level datagram fragmentation/reassembly."""
 
-import pytest
 
 from repro.net.fragment import Reassembler, fragment_datagram
 from repro.net.packet import PortKind

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.params import GIGABIT, TEN_GIGABIT, NetworkParams
+from repro.net.params import GIGABIT, TEN_GIGABIT
 
 
 def test_serialization_delay_includes_overhead():

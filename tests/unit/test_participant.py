@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig, TokenPriorityMethod
-from repro.core.events import Deliver, MulticastData, SendToken, Stable
-from repro.core.messages import DeliveryService
+from repro.core.config import ProtocolConfig
+from repro.core.events import Deliver, MulticastData, SendToken
 from repro.core.original import OriginalRingParticipant
 from repro.core.participant import AcceleratedRingParticipant
 from repro.core.token import RegularToken, initial_token
 from repro.util.errors import ProtocolError
-from tests.conftest import data_message, drain_effects, make_ring, submit_n
+from tests.conftest import data_message, drain_effects, submit_n
 
 
 def make_participant(pid=0, n=3, personal=5, accel=3, ring_id=1):

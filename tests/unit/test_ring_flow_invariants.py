@@ -8,7 +8,7 @@ senders share capacity fairly.
 """
 
 from repro.core.config import ProtocolConfig
-from repro.core.events import MulticastData, SendToken
+from repro.core.events import SendToken
 from repro.core.harness import InstantNetwork
 from repro.core.participant import AcceleratedRingParticipant
 from tests.conftest import submit_n

@@ -4,9 +4,8 @@ import asyncio
 
 import pytest
 
-from repro.membership.params import MembershipTimeouts
 from repro.runtime.node import RUNTIME_TIMEOUTS, RingNode
-from repro.runtime.transport import PeerAddress, UdpTransport, local_ring_addresses
+from repro.runtime.transport import UdpTransport, local_ring_addresses
 
 
 class TestAddresses:

@@ -4,11 +4,10 @@ import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.messages import DeliveryService
-from repro.net.params import GIGABIT, TEN_GIGABIT
+from repro.net.params import GIGABIT
 from repro.sim.cluster import build_cluster
 from repro.sim.profiles import DAEMON, LIBRARY, PROFILES, SPREAD
 from repro.sim.trace import ScheduleTrace
-from repro.util.units import usec
 
 
 class TestProfiles:

@@ -4,15 +4,12 @@ The daemon's delivery-side logic (unpacking, fragment reassembly, group
 updates, client fan-out) is exercised directly with stub sessions.
 """
 
-import asyncio
 
-import pytest
 
 from repro.core.messages import DataMessage, DeliveryService
 from repro.runtime.transport import local_ring_addresses
 from repro.spread.daemon import SpreadDaemon, _ClientSession
-from repro.spread.packing import Packer
-from repro.spread.wire import AppData, Fragment, GroupJoin, GroupLeave, Packed
+from repro.spread.wire import AppData, GroupJoin, GroupLeave, Packed
 
 
 class _StubWriter:
