@@ -23,6 +23,9 @@ for Modern Data Centers* (ICDCS 2015).  It provides:
   benchmark harness that regenerates every figure in the paper.
 * :mod:`repro.obs` — protocol observability: observer hooks on every
   engine event, metric registries, and JSON/table exporters.
+* :mod:`repro.faults` — deterministic fault injection: typed fault
+  plans, a seeded injector over first-class injection points, and an
+  EVS-checked chaos-scenario library (``repro chaos``).
 """
 
 from repro.core.config import ProtocolConfig, TokenPriorityMethod
@@ -38,6 +41,7 @@ from repro.obs.observer import (
     NullObserver,
     ProtocolObserver,
 )
+from repro.faults import FaultInjector, FaultPlan, PlanBuilder, run_scenario
 from repro.sim.cluster import RingCluster, build_cluster
 from repro.sim.profiles import ImplementationProfile, LIBRARY, DAEMON, SPREAD
 from repro.net.params import NetworkParams, GIGABIT, TEN_GIGABIT
@@ -72,5 +76,9 @@ __all__ = [
     "to_json",
     "save_json",
     "render_table",
+    "FaultInjector",
+    "FaultPlan",
+    "PlanBuilder",
+    "run_scenario",
     "__version__",
 ]

@@ -6,6 +6,7 @@
 * ``sweep`` — a latency-vs-throughput sweep (mini Fig. 2/4).
 * ``maxtp`` — the headline maximum-throughput table.
 * ``figure`` — regenerate one paper figure by number.
+* ``chaos`` — run a named fault-injection scenario under EVS checking.
 * ``daemon`` — run a real daemon (UDP ring + unix client socket).
 """
 
@@ -152,6 +153,46 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import SCENARIOS, run_scenario
+
+    if args.list or (args.scenario is None and not args.all):
+        for name in sorted(SCENARIOS):
+            print(f"  {name:16s} {SCENARIOS[name].summary}")
+        return 0
+
+    names = sorted(SCENARIOS) if args.all else [args.scenario]
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario {unknown[0]!r}; choose from {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+    for name in names:
+        report = run_scenario(name, seed=args.seed)
+        if args.json:
+            print(report.to_json())
+        else:
+            status = "PASS" if report.ok else "FAIL"
+            print(
+                f"  {status}  {name:16s} seed={report.seed} "
+                f"hosts={report.num_hosts} events={len(report.events)} "
+                f"deliveries={sum(report.deliveries.values())} "
+                f"sim_time={report.sim_time:.3f}s"
+            )
+            for violation in report.violations:
+                print(f"        violation: {violation}")
+        if not report.ok:
+            failures += 1
+    if not args.json:
+        print()
+        print(f"{len(names) - failures} passed, {failures} failed")
+    return 1 if failures else 0
+
+
 def cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -243,6 +284,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="check saved benchmark results against the paper's shape criteria",
     )
     verify.set_defaults(func=cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario and check EVS invariants",
+    )
+    chaos.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name (omit with --list or --all)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed: same seed, byte-identical report")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full scenario report as JSON")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios")
+    chaos.add_argument("--all", action="store_true",
+                       help="run every scenario (CI's chaos-smoke job)")
+    chaos.set_defaults(func=cmd_chaos)
 
     daemon = sub.add_parser("daemon", help="run a real daemon over UDP")
     daemon.add_argument("--pid", type=int, required=True)

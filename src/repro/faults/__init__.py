@@ -1,0 +1,75 @@
+"""Deterministic fault injection and chaos scenarios.
+
+The faults layer turns the simulator's ad-hoc fault hooks into scripted,
+reproducible chaos experiments:
+
+* :mod:`repro.faults.events` — typed fault events (crash, recover,
+  partition, heal, token drop, loss burst, pause/resume).
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a validated,
+  time-ordered schedule with a builder DSL and JSON round-trip.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: compiles a
+  plan into simulator events via first-class injection points (switch
+  frame filters, host receive interceptors, the cluster fault surface).
+* :mod:`repro.faults.scenarios` — a named scenario library whose
+  reports are EVS-checked and byte-identical per seed.
+
+Quickstart::
+
+    from repro.faults import PlanBuilder, FaultInjector
+    from repro.sim.membership_driver import MembershipCluster
+
+    cluster = MembershipCluster(num_hosts=4)
+    cluster.start(); cluster.run(0.08)
+    plan = PlanBuilder().crash(1, at=0.02).recover(1, at=0.2).build()
+    FaultInjector(cluster, plan, seed=7).arm()
+    cluster.run(1.0)
+    cluster.checker.check(crashed={1})
+
+or from the command line: ``python -m repro chaos partition-heal --seed 7``.
+"""
+
+from repro.faults.events import (
+    Crash,
+    EVENT_TYPES,
+    FaultEvent,
+    Heal,
+    LossBurst,
+    Partition,
+    Pause,
+    Recover,
+    Resume,
+    TokenDrop,
+    event_from_dict,
+)
+from repro.faults.injector import FaultInjector, run_plan
+from repro.faults.plan import FaultPlan, PlanBuilder
+from repro.faults.scenarios import (
+    SCENARIOS,
+    ScenarioReport,
+    ScenarioSpec,
+    run_all,
+    run_scenario,
+)
+
+__all__ = [
+    "Crash",
+    "EVENT_TYPES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "Heal",
+    "LossBurst",
+    "Partition",
+    "Pause",
+    "PlanBuilder",
+    "Recover",
+    "Resume",
+    "SCENARIOS",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "TokenDrop",
+    "event_from_dict",
+    "run_all",
+    "run_plan",
+    "run_scenario",
+]

@@ -1,0 +1,349 @@
+"""Named chaos scenarios with machine-checked outcomes.
+
+Each scenario is a reproducible experiment: build a membership cluster,
+arm a :class:`~repro.faults.plan.FaultPlan`, drive deterministic client
+traffic through the chaos window, then (a) wait for the survivors to
+re-converge to one operational ring and (b) run the full EVS checker
+over every delivery trace.  The result is a :class:`ScenarioReport`
+whose JSON form is byte-identical across runs with the same seed —
+chaos runs are diffable artifacts, not flaky demos.
+
+The library maps to the paper's robustness story:
+
+* ``leader-crash`` / ``cascade`` — fail-stop + recovery (§II's failure
+  model; the membership algorithm's gather/commit/recovery path).
+* ``token-loss`` — lost token frames during the accelerated window,
+  the event the token-loss timeout turns into a ring reformation.
+* ``partition-heal`` — a symmetric 4/4 split of the 8-server testbed
+  and its merge (EVS transitional-configuration machinery).
+* ``lossy-flap`` — a flapping lossy link layered over background
+  uniform loss, the §IV-A4 regime pushed into burst territory.
+* ``gc-stall`` — a process freezes past the token-loss timeout and
+  returns: the ring reforms around it, then merges it back.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.messages import DeliveryService
+from repro.evs.checker import EvsViolation
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, PlanBuilder
+from repro.net.loss import LossModel, UniformLoss
+from repro.obs.observer import MetricsObserver
+from repro.sim.membership_driver import MembershipCluster
+from repro.util.errors import FaultError
+
+#: Simulated time given to the cluster to boot into one ring before the
+#: injector is armed (matches the integration-test bring-up window).
+_BOOT = 0.08
+
+#: Convergence polling: run in fixed slices so the check sequence is
+#: itself deterministic.
+_CONVERGE_SLICE = 0.25
+_CONVERGE_SLICES = 12
+
+
+@dataclass
+class ScenarioSpec:
+    """Declarative description of one chaos scenario."""
+
+    name: str
+    summary: str
+    num_hosts: int
+    #: Simulated seconds to run after arming the plan (the chaos window).
+    duration: float
+    #: Build the fault plan; receives the scenario RNG for randomized
+    #: variants (the library's plans are fixed; the seed still drives
+    #: loss models and burst sampling).
+    plan: Callable[[random.Random], FaultPlan]
+    #: (time-after-arm, pid, service) triples of client submissions.
+    traffic: List[tuple] = field(default_factory=list)
+    #: Optional background loss model sharing the scenario RNG.
+    loss_model: Optional[Callable[[random.Random], LossModel]] = None
+    accelerated: bool = True
+
+
+@dataclass
+class ScenarioReport:
+    """The checked outcome of one scenario run."""
+
+    name: str
+    seed: int
+    num_hosts: int
+    ok: bool
+    converged: bool
+    violations: List[str]
+    events: List[Dict[str, Any]]
+    final_rings: Dict[int, List[int]]
+    final_states: Dict[int, str]
+    deliveries: Dict[int, int]
+    submissions: Dict[int, int]
+    fault_metrics: Dict[str, int]
+    sim_time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "num_hosts": self.num_hosts,
+            "ok": self.ok,
+            "converged": self.converged,
+            "violations": self.violations,
+            "events": self.events,
+            "final_rings": {str(pid): ring for pid, ring in self.final_rings.items()},
+            "final_states": {str(pid): s for pid, s in self.final_states.items()},
+            "deliveries": {str(pid): n for pid, n in self.deliveries.items()},
+            "submissions": {str(pid): n for pid, n in self.submissions.items()},
+            "fault_metrics": self.fault_metrics,
+            "sim_time": round(self.sim_time, 9),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# The scenario library
+# ----------------------------------------------------------------------
+
+def _spread_traffic(pids: List[int], start: float, stop: float, per_pid: int) -> List[tuple]:
+    """Evenly spaced submissions per pid, alternating agreed/safe."""
+    schedule: List[tuple] = []
+    step = (stop - start) / max(per_pid, 1)
+    for index in range(per_pid):
+        when = start + index * step
+        service = DeliveryService.SAFE if index % 2 else DeliveryService.AGREED
+        for pid in pids:
+            schedule.append((when, pid, service))
+    return schedule
+
+
+def _leader_crash(rng: random.Random) -> FaultPlan:
+    return (
+        PlanBuilder()
+        .crash(0, at=0.02)
+        .recover(0, at=0.3)
+        .build()
+    )
+
+
+def _token_loss(rng: random.Random) -> FaultPlan:
+    # Two token-loss episodes inside the accelerated window: one single
+    # drop (recovered by the token-loss timeout) and one double drop.
+    return (
+        PlanBuilder()
+        .token_drop(at=0.02, count=1)
+        .token_drop(at=0.12, count=2)
+        .build()
+    )
+
+
+def _partition_heal(rng: random.Random) -> FaultPlan:
+    return (
+        PlanBuilder()
+        .partition({0, 1, 2, 3}, {4, 5, 6, 7}, at=0.03)
+        .heal(at=0.35)
+        .build()
+    )
+
+
+def _cascade(rng: random.Random) -> FaultPlan:
+    return (
+        PlanBuilder()
+        .crash(1, at=0.02)
+        .crash(2, at=0.1)
+        .recover(1, at=0.22)
+        .recover(2, at=0.34)
+        .build()
+    )
+
+
+def _lossy_flap(rng: random.Random) -> FaultPlan:
+    return (
+        PlanBuilder()
+        .loss_burst(at=0.02, duration=0.05, rate=0.25, pids={1})
+        .loss_burst(at=0.12, duration=0.05, rate=0.25, pids={1})
+        .loss_burst(at=0.22, duration=0.05, rate=0.25, pids={1})
+        .build()
+    )
+
+
+def _gc_stall(rng: random.Random) -> FaultPlan:
+    # The pause (15 ms) comfortably exceeds the 5 ms token-loss timeout:
+    # the survivors must evict the stalled node, then merge it back.
+    return (
+        PlanBuilder()
+        .pause(2, at=0.02)
+        .resume(2, at=0.035)
+        .build()
+    )
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="leader-crash",
+            summary="crash the ring leader mid-round, recover it, merge back",
+            num_hosts=4,
+            duration=0.6,
+            plan=_leader_crash,
+            traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.2, per_pid=4),
+        ),
+        ScenarioSpec(
+            name="token-loss",
+            summary="drop token frames during the accelerated window",
+            num_hosts=4,
+            duration=0.4,
+            plan=_token_loss,
+            traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.25, per_pid=4),
+        ),
+        ScenarioSpec(
+            name="partition-heal",
+            summary="symmetric 4/4 partition of the 8-server testbed + heal",
+            num_hosts=8,
+            duration=0.8,
+            plan=_partition_heal,
+            traffic=_spread_traffic(list(range(8)), 0.005, 0.5, per_pid=3),
+        ),
+        ScenarioSpec(
+            name="cascade",
+            summary="cascading crash-recover of two processes",
+            num_hosts=5,
+            duration=0.7,
+            plan=_cascade,
+            traffic=_spread_traffic([0, 1, 2, 3, 4], 0.005, 0.4, per_pid=3),
+        ),
+        ScenarioSpec(
+            name="lossy-flap",
+            summary="flapping lossy link over background uniform loss",
+            num_hosts=4,
+            duration=0.6,
+            plan=_lossy_flap,
+            traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.4, per_pid=4),
+            loss_model=lambda rng: UniformLoss(0.01, rng=rng),
+        ),
+        ScenarioSpec(
+            name="gc-stall",
+            summary="GC-stall one process past the token-loss timeout",
+            num_hosts=4,
+            duration=0.6,
+            plan=_gc_stall,
+            traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.3, per_pid=4),
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioReport:
+    """Run one named scenario and return its checked report.
+
+    Two calls with the same ``name`` and ``seed`` return reports whose
+    ``to_json()`` output is byte-identical.
+    """
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        raise FaultError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    rng = random.Random(seed)
+    observer = MetricsObserver()
+    cluster = MembershipCluster(
+        num_hosts=spec.num_hosts,
+        accelerated=spec.accelerated,
+        observer=observer,
+        loss_model=spec.loss_model(rng) if spec.loss_model is not None else None,
+    )
+    cluster.start()
+    cluster.run(_BOOT)
+
+    injector = FaultInjector(cluster, spec.plan(rng), rng=rng, observer=observer)
+    injector.arm()
+    base = cluster.sim.now
+    for when, pid, service in spec.traffic:
+        cluster.sim.schedule_at(base + when, _submit, cluster, pid, service)
+    cluster.run(spec.duration)
+
+    # Quiesce: remove any leftover partition and let membership settle.
+    cluster.heal()
+    converged = _wait_converged(cluster)
+
+    violations: List[str] = []
+    crashed_waiver = injector.plan.crashed_pids()
+    try:
+        cluster.checker.check(crashed=crashed_waiver)
+    except EvsViolation as violation:
+        violations.append(str(violation))
+    if not converged:
+        violations.append(
+            f"live nodes failed to reconverge: rings={cluster.rings()}"
+        )
+
+    snapshot = observer.snapshot()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    fault_metrics = {
+        name: int(value)
+        for name, value in sorted(counters.items())
+        if name.startswith("fault.")
+    }
+    fault_metrics.update(
+        {
+            name: int(value)
+            for name, value in sorted(gauges.items())
+            if name.startswith("fault.")
+        }
+    )
+
+    return ScenarioReport(
+        name=spec.name,
+        seed=seed,
+        num_hosts=spec.num_hosts,
+        ok=not violations,
+        converged=converged,
+        violations=violations,
+        events=injector.applied,
+        final_rings={pid: list(ring) for pid, ring in sorted(cluster.rings().items())},
+        final_states=dict(sorted(cluster.states().items())),
+        deliveries={
+            pid: len(host.delivered) for pid, host in sorted(cluster.hosts.items())
+        },
+        submissions=dict(sorted(cluster.checker.submissions.items())),
+        fault_metrics=fault_metrics,
+        sim_time=cluster.sim.now,
+    )
+
+
+def run_all(seed: int = 0) -> List[ScenarioReport]:
+    """Run the whole library (CI's chaos-smoke job)."""
+    return [run_scenario(name, seed=seed) for name in sorted(SCENARIOS)]
+
+
+def _submit(cluster: MembershipCluster, pid: int, service: DeliveryService) -> None:
+    host = cluster.hosts.get(pid)
+    if host is None or host.host.crashed or host._paused:
+        return  # the client's daemon is down (or frozen): nothing to hand off
+    host.submit(payload_size=64, service=service)
+
+
+def _wait_converged(cluster: MembershipCluster) -> bool:
+    """Deterministically poll until live nodes share one operational ring."""
+    for _ in range(_CONVERGE_SLICES):
+        live = cluster.live_pids()
+        expected = tuple(live)
+        rings = set(cluster.rings().values())
+        states = set(cluster.states().values())
+        if rings == {expected} and states == {"operational"}:
+            return True
+        cluster.run(_CONVERGE_SLICE)
+    live = cluster.live_pids()
+    return set(cluster.rings().values()) == {tuple(live)} and set(
+        cluster.states().values()
+    ) == {"operational"}

@@ -10,7 +10,7 @@ explicit that the daemon must not consume more than a single core.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.net.loss import LossModel, NoLoss
 from repro.net.nic import Nic
@@ -73,6 +73,7 @@ class Cpu:
         self._sim = sim
         self._queue: Deque[tuple] = deque()
         self._busy = False
+        self._stalled = False
         self.idle_hook: Optional[Callable[[], Optional[tuple]]] = None
         self.busy_time = 0.0
         self.tasks_executed = 0
@@ -80,6 +81,23 @@ class Cpu:
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def stall(self) -> None:
+        """Freeze the CPU (GC-pause-style): the in-flight task finishes,
+        then nothing runs until :meth:`resume`.  Queued work is kept."""
+        self._stalled = True
+
+    def resume(self) -> None:
+        """End a stall and pull the next piece of work."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        if not self._busy:
+            self._start_next()
 
     def submit(self, cost: float, fn: Callable[[], None]) -> None:
         """Queue ``fn`` to run for ``cost`` seconds of CPU time."""
@@ -93,6 +111,9 @@ class Cpu:
             self._start_next()
 
     def _start_next(self) -> None:
+        if self._stalled:
+            self._busy = False
+            return
         task = None
         if self._queue:
             task = self._queue.popleft()
@@ -132,15 +153,35 @@ class SimHost:
         self.data_socket = SocketBuffer(params.socket_buffer_bytes)
         self.loss_model = loss_model or NoLoss()
         self.frames_lost_to_model = 0
+        self.frames_intercepted = 0
         self.crashed = False
+        #: Receive interceptors: callables ``fn(frame) -> bool`` consulted
+        #: before the loss model; any True drops the frame.  The fault
+        #: injector installs these for loss bursts scoped to one host.
+        self._interceptors: List[Callable[[Frame], bool]] = []
 
     def socket_for(self, kind: PortKind) -> SocketBuffer:
         return self.token_socket if kind is PortKind.TOKEN else self.data_socket
+
+    def add_interceptor(self, fn: Callable[[Frame], bool]) -> None:
+        """Install a receive-side drop interceptor (see ``_interceptors``)."""
+        self._interceptors.append(fn)
+
+    def remove_interceptor(self, fn: Callable[[Frame], bool]) -> None:
+        """Remove a previously installed interceptor (no-op if absent)."""
+        try:
+            self._interceptors.remove(fn)
+        except ValueError:
+            pass
 
     def receive(self, frame: Frame) -> None:
         """A frame has fully arrived from the switch output port."""
         if self.crashed:
             return
+        for fn in list(self._interceptors):
+            if fn(frame):
+                self.frames_intercepted += 1
+                return
         # Paper §IV-A4: each daemon is instrumented to randomly drop a
         # percentage of the *data* messages it receives; token loss is out
         # of scope for the normal-case protocol (handled by membership).
@@ -156,3 +197,16 @@ class SimHost:
 
     def recover(self) -> None:
         self.crashed = False
+        # A restarted process starts with a fresh, unstalled CPU.
+        self.cpu.resume()
+
+    def pause(self) -> None:
+        """Stall the CPU without dropping frames (GC-stall-style slowdown).
+
+        Arriving frames keep accumulating in the kernel socket buffers,
+        exactly as for a live-but-unscheduled process.
+        """
+        self.cpu.stall()
+
+    def unpause(self) -> None:
+        self.cpu.resume()

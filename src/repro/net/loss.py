@@ -4,6 +4,12 @@ The paper's loss experiments (§IV-A4) instrument each daemon to randomly
 drop a percentage of the data messages it receives, independently per
 receiver.  Fig. 13 uses a positional variant: each daemon drops 20% of the
 messages sent by the daemon a fixed number of ring positions before it.
+
+Randomness discipline: no model ever touches the module-level ``random``
+state.  Each stochastic model draws from its own ``random.Random(seed)``,
+or — when an ``rng`` instance is passed — from a caller-owned generator,
+which is how the fault injector makes mixed loss+fault runs reproducible
+from one seed (``repro.faults``).
 """
 
 from __future__ import annotations
@@ -36,11 +42,13 @@ class UniformLoss(LossModel):
     per-daemon rate — the effect the paper highlights.
     """
 
-    def __init__(self, rate: float, seed: int = 0) -> None:
+    def __init__(
+        self, rate: float, seed: int = 0, rng: Optional[random.Random] = None
+    ) -> None:
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {rate}")
         self.rate = rate
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def should_drop(self, receiver_id: int, frame: Frame) -> bool:
         if self.rate == 0.0:
@@ -62,13 +70,14 @@ class PositionalLoss(LossModel):
         distance: int,
         rate: float = 0.2,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not 1 <= distance < len(ring_order):
             raise ValueError(f"distance must be in [1, {len(ring_order) - 1}], got {distance}")
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {rate}")
         self.rate = rate
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         # receiver -> the single source it loses from
         self._lossy_source: Dict[int, int] = {}
         n = len(ring_order)
@@ -90,14 +99,20 @@ class BurstLoss(LossModel):
     length ``burst_length``.
     """
 
-    def __init__(self, enter_rate: float, burst_length: float = 4.0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        enter_rate: float,
+        burst_length: float = 4.0,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         if not 0.0 <= enter_rate < 1.0:
             raise ValueError(f"enter_rate must be in [0, 1), got {enter_rate}")
         if burst_length < 1.0:
             raise ValueError(f"burst_length must be >= 1, got {burst_length}")
         self.enter_rate = enter_rate
         self.exit_probability = 1.0 / burst_length
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self._in_burst: Dict[int, bool] = {}
 
     def should_drop(self, receiver_id: int, frame: Frame) -> bool:

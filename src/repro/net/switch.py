@@ -12,7 +12,7 @@ behind the protocol's controlled parallelism.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict
+from typing import Callable, Deque, Dict, List
 
 from repro.net.packet import Frame
 from repro.net.params import NetworkParams
@@ -79,7 +79,13 @@ class Switch:
         self._ports: Dict[int, OutputPort] = {}
         self.frames_received = 0
         self.frames_partitioned = 0
+        self.frames_filtered = 0
         self._partition: Dict[int, int] = {}  # host -> partition group
+        #: Frame filters: callables ``fn(frame, dst) -> bool`` consulted once
+        #: per (frame, destination) pair during forwarding; any True drops
+        #: that copy.  The fault injector installs these for token drops and
+        #: link-level loss without monkey-patching the forwarding path.
+        self._filters: List[Callable[[Frame, int], bool]] = []
 
     def set_partition(self, *groups) -> None:
         """Partition the network: frames cross only within a group.
@@ -96,6 +102,26 @@ class Switch:
     def heal(self) -> None:
         """Remove any partition."""
         self._partition = {}
+
+    def add_filter(self, fn: Callable[[Frame, int], bool]) -> None:
+        """Install a drop filter (see ``_filters``)."""
+        self._filters.append(fn)
+
+    def remove_filter(self, fn: Callable[[Frame, int], bool]) -> None:
+        """Remove a previously installed filter (no-op if absent)."""
+        try:
+            self._filters.remove(fn)
+        except ValueError:
+            pass
+
+    def _filtered(self, frame: Frame, dst: int) -> bool:
+        if not self._filters:
+            return False
+        for fn in list(self._filters):
+            if fn(frame, dst):
+                self.frames_filtered += 1
+                return True
+        return False
 
     def _connected(self, src: int, dst: int) -> bool:
         if not self._partition:
@@ -128,6 +154,8 @@ class Switch:
                 if not self._connected(frame.src, host_id):
                     self.frames_partitioned += 1
                     continue
+                if self._filtered(frame, host_id):
+                    continue
                 port.enqueue(frame.clone_for(host_id))
         else:
             port = self._ports.get(frame.dst)
@@ -135,5 +163,7 @@ class Switch:
                 raise KeyError(f"frame for unattached host {frame.dst}")
             if not self._connected(frame.src, frame.dst):
                 self.frames_partitioned += 1
+                return
+            if self._filtered(frame, frame.dst):
                 return
             port.enqueue(frame)

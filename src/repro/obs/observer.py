@@ -92,6 +92,21 @@ class ProtocolObserver:
         """A membership-layer event: ``state_change``, ``ring_installed``,
         ``token_loss``, ``view_change``."""
 
+    def on_fault(
+        self,
+        kind: str,
+        detail: Optional[Dict[str, object]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """A fault was injected by :mod:`repro.faults`: ``crash``,
+        ``recover``, ``partition``, ``heal``, ``token_drop``,
+        ``loss_burst`` / ``loss_burst_end``, ``pause``, ``resume``.
+
+        ``detail`` carries the event's parameters (pid, groups, rate, …).
+        Faults are cluster-scoped, so unlike the protocol hooks there is
+        no ``pid`` first argument; per-process faults name their target in
+        ``detail["pid"]``."""
+
 
 class NullObserver(ProtocolObserver):
     """Explicit no-op observer (the hooks are already no-ops)."""
@@ -135,6 +150,10 @@ class CompositeObserver(ProtocolObserver):
         for observer in self.observers:
             observer.on_membership_event(pid, event, detail=detail, now=now)
 
+    def on_fault(self, kind, detail=None, now=None):
+        for observer in self.observers:
+            observer.on_fault(kind, detail=detail, now=now)
+
 
 class MetricsObserver(ProtocolObserver):
     """Turns protocol events into metrics in a :class:`MetricsRegistry`.
@@ -158,6 +177,15 @@ class MetricsObserver(ProtocolObserver):
     ``membership.state_changes``  controller state transitions (counter)
     ``membership.ring_installs``  regular configurations installed (counter)
     ``membership.token_losses``   token-loss timeouts fired (counter)
+    ``fault.crashes``             crashes injected (counter)
+    ``fault.recoveries``          recoveries injected (counter)
+    ``fault.partitions``          partitions injected (counter)
+    ``fault.heals``               heals injected (counter)
+    ``fault.partitions_active``   partitions currently in force (gauge)
+    ``fault.token_drops``         token frames deliberately dropped (counter)
+    ``fault.loss_bursts``         loss bursts injected (counter)
+    ``fault.pauses``              GC-stall pauses injected (counter)
+    ``fault.resumes``             pause resumes injected (counter)
     ==============================  ==========================================
     """
 
@@ -232,6 +260,33 @@ class MetricsObserver(ProtocolObserver):
             self.registry.counter("membership.token_losses").inc()
         elif event == "view_change":
             self.registry.counter("membership.view_changes").inc()
+
+    # -- injected faults -----------------------------------------------
+
+    def on_fault(self, kind, detail=None, now=None):
+        detail = detail or {}
+        if kind == "crash":
+            self.registry.counter("fault.crashes").inc()
+        elif kind == "recover":
+            self.registry.counter("fault.recoveries").inc()
+        elif kind == "partition":
+            self.registry.counter("fault.partitions").inc()
+            self.registry.gauge("fault.partitions_active").set(
+                int(detail.get("active", 1))
+            )
+        elif kind == "heal":
+            self.registry.counter("fault.heals").inc()
+            self.registry.gauge("fault.partitions_active").set(
+                int(detail.get("active", 0))
+            )
+        elif kind == "token_drop":
+            self.registry.counter("fault.token_drops").inc(int(detail.get("count", 1)))
+        elif kind == "loss_burst":
+            self.registry.counter("fault.loss_bursts").inc()
+        elif kind == "pause":
+            self.registry.counter("fault.pauses").inc()
+        elif kind == "resume":
+            self.registry.counter("fault.resumes").inc()
 
     # ------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.net.topology import StarTopology, build_star
 from repro.obs.observer import ProtocolObserver
 from repro.sim.driver import ProtocolHost
 from repro.sim.profiles import ImplementationProfile, LIBRARY
+from repro.util.errors import FaultError
 from repro.util.stats import LatencyStats
 
 
@@ -89,6 +90,35 @@ class RingCluster:
 
     def run(self, duration: float) -> None:
         self.sim.run(until=self.sim.now + duration)
+
+    # -- fault surface (driven by repro.faults) ------------------------
+
+    def _driver(self, pid: int) -> ProtocolHost:
+        try:
+            return self.drivers[pid]
+        except KeyError:
+            raise FaultError(
+                f"unknown pid {pid}: cluster hosts are {self.ring}"
+            ) from None
+
+    def crash(self, pid: int) -> None:
+        """Fail-stop ``pid``.  With no membership layer the ring cannot
+        reform — normal-case clusters use this only to measure stall
+        behaviour.  Idempotent."""
+        self._driver(pid).host.crash()
+
+    def pause(self, pid: int) -> None:
+        """GC-stall ``pid``: frames accumulate, nothing executes."""
+        self._driver(pid).host.pause()
+
+    def resume(self, pid: int) -> None:
+        self._driver(pid).host.unpause()
+
+    def partition(self, *groups) -> None:
+        self.topology.switch.set_partition(*groups)
+
+    def heal(self) -> None:
+        self.topology.switch.heal()
 
     def metrics_snapshot(self):
         """Snapshot of the shared observer's metrics.

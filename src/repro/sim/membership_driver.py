@@ -34,6 +34,7 @@ from repro.net.params import NetworkParams, GIGABIT
 from repro.net.simulator import Simulator
 from repro.net.topology import StarTopology, build_star
 from repro.sim.profiles import ImplementationProfile, DAEMON
+from repro.util.errors import FaultError
 
 if TYPE_CHECKING:
     from repro.obs.observer import ProtocolObserver
@@ -59,6 +60,10 @@ class MembershipHost:
         self.delivered: List[object] = []
         self.configurations: List[object] = []
         self._timers: Dict[str, object] = {}
+        self._paused = False
+        #: Timers that fired while paused; they run, late, at resume —
+        #: exactly how a GC-stalled process experiences its own timers.
+        self._deferred_timers: List[str] = []
         host.cpu.idle_hook = self._select_work
 
     # ------------------------------------------------------------------
@@ -93,6 +98,27 @@ class MembershipHost:
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
+        self._paused = False
+        self._deferred_timers.clear()
+
+    def pause(self) -> None:
+        """Stall the process (GC-stall-style): no frame processing, no
+        timer handling, but frames keep arriving in the kernel buffers."""
+        if self._paused or self.host.crashed:
+            return
+        self._paused = True
+        self.host.pause()
+
+    def resume(self) -> None:
+        """End a stall; deferred timers fire now, late."""
+        if not self._paused:
+            return
+        self._paused = False
+        self.host.unpause()
+        deferred, self._deferred_timers = self._deferred_timers, []
+        for name in deferred:
+            self._execute(self.controller.on_timer(name))
+        self.host.cpu.kick()
 
     # ------------------------------------------------------------------
 
@@ -117,6 +143,9 @@ class MembershipHost:
         if self.host.crashed:
             return
         self._timers.pop(name, None)
+        if self._paused:
+            self._deferred_timers.append(name)
+            return
         self._execute(self.controller.on_timer(name))
         self.host.cpu.kick()
 
@@ -234,8 +263,18 @@ class MembershipCluster:
     def run(self, duration: float) -> None:
         self.sim.run(until=self.sim.now + duration)
 
+    def _host(self, pid: int) -> MembershipHost:
+        try:
+            return self.hosts[pid]
+        except KeyError:
+            raise FaultError(
+                f"unknown pid {pid}: cluster hosts are {sorted(self.hosts)}"
+            ) from None
+
     def crash(self, pid: int) -> None:
-        self.hosts[pid].crash()
+        """Fail-stop ``pid``.  Idempotent: crashing a crashed process is
+        a no-op, so scripted fault plans can overlap hand-driven faults."""
+        self._host(pid).crash()
 
     def restart(self, pid: int) -> None:
         """Recover a crashed process (paper §II: "process crashes and
@@ -246,8 +285,12 @@ class MembershipCluster:
         restarted daemon would.  Its pre-crash delivery trace stays in the
         checker; EVS guarantees for the crashed incarnation are waived by
         passing the pid in ``crashed`` when checking.
+
+        Idempotent: restarting a live process is a no-op.
         """
-        host = self.hosts[pid]
+        host = self._host(pid)
+        if not host.host.crashed:
+            return
         sim_host = host.host
         sim_host.recover()
         # Drop any stale frames that accumulated in the kernel buffers.
@@ -275,11 +318,24 @@ class MembershipCluster:
         self.hosts[pid] = fresh
         fresh.start()
 
+    def pause(self, pid: int) -> None:
+        """GC-stall ``pid``: the process stops executing but keeps
+        receiving frames into its kernel buffers."""
+        self._host(pid).pause()
+
+    def resume(self, pid: int) -> None:
+        self._host(pid).resume()
+
     def partition(self, *groups) -> None:
         self.topology.switch.set_partition(*groups)
 
     def heal(self) -> None:
         self.topology.switch.heal()
+
+    def live_pids(self) -> List[int]:
+        return sorted(
+            pid for pid, host in self.hosts.items() if not host.host.crashed
+        )
 
     def states(self) -> Dict[int, str]:
         return {

@@ -21,3 +21,8 @@ class CodecError(ReproError):
 
 class MembershipError(ReproError):
     """The membership algorithm reached an inconsistent state."""
+
+
+class FaultError(ReproError):
+    """A fault-injection request was invalid (unknown pid, bad plan,
+    or an unsupported operation for the targeted cluster)."""

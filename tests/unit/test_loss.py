@@ -104,3 +104,41 @@ class TestScriptedLoss:
         assert not model.should_drop(2, frame(5))
         assert not model.should_drop(1, frame(5))
         assert model.dropped[2] == [5, 7]
+
+
+class TestSharedRng:
+    """One random.Random(seed) threads through every stochastic model, so
+    mixed loss+fault runs are reproducible from a single seed."""
+
+    def test_rng_instance_overrides_seed(self):
+        import random
+
+        rng_a = random.Random(42)
+        rng_b = random.Random(42)
+        a = UniformLoss(0.5, seed=999, rng=rng_a)
+        b = UniformLoss(0.5, seed=111, rng=rng_b)
+        assert [a.should_drop(0, frame(i)) for i in range(200)] == [
+            b.should_drop(0, frame(i)) for i in range(200)
+        ]
+
+    def test_models_sharing_one_rng_are_jointly_reproducible(self):
+        import random
+
+        def decisions(seed):
+            rng = random.Random(seed)
+            uniform = UniformLoss(0.3, rng=rng)
+            burst = BurstLoss(enter_rate=0.2, rng=rng)
+            out = []
+            for i in range(200):
+                out.append(uniform.should_drop(0, frame(i)))
+                out.append(burst.should_drop(1, frame(i)))
+            return out
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_positional_accepts_rng(self):
+        import random
+
+        model = PositionalLoss([0, 1, 2], distance=1, rate=0.5, rng=random.Random(3))
+        assert isinstance(model.should_drop(0, frame(src=2)), bool)
