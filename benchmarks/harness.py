@@ -1,0 +1,14 @@
+#!/usr/bin/env python
+"""Thin wrapper so the harness can run without installing the package:
+
+    PYTHONPATH=src python benchmarks/harness.py --suite smoke --check-baseline
+
+Equivalent to ``repro bench`` with the same arguments.
+"""
+
+import sys
+
+from repro.bench.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

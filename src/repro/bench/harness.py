@@ -1,0 +1,430 @@
+"""Regression-gated benchmark harness.
+
+Runs a named *suite* of benchmark cases, emits a ``BENCH_<suite>.json``
+results file, and optionally compares it against a committed baseline,
+exiting nonzero on regression.  Designed to be run three ways:
+
+* ``repro bench --suite smoke --check-baseline`` (the CLI subcommand),
+* ``python benchmarks/harness.py --suite headline`` (thin wrapper),
+* from CI, where the ``perf-smoke`` job gates merges on the smoke suite.
+
+Two kinds of metric get two kinds of tolerance:
+
+* **Deterministic simulation metrics** — ``events_processed``,
+  ``goodput_mbps``, ``latency_us`` — are reproducible bit-for-bit on any
+  machine (the simulator is seeded and single-threaded), so they are
+  compared near-exactly (relative tolerance ``REPRO_BENCH_EXACT_TOL``,
+  default 1e-6).  A drift here means the protocol or simulator *behavior*
+  changed, not the hardware.
+* **Wall-clock metrics** — ``events_per_sec``, ``wall_time_s`` — vary
+  with the machine, so only large regressions fail: the run fails when
+  ``events_per_sec`` drops more than ``REPRO_BENCH_WALL_TOL`` (default
+  0.5, i.e. half) below the baseline.
+
+Suites hardcode their measurement windows rather than reading
+``REPRO_BENCH_FAST`` so the deterministic metrics in a committed baseline
+mean the same thing on every machine and in CI.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import resource
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.messages import DeliveryService
+from repro.net.params import GIGABIT, TEN_GIGABIT, NetworkParams
+from repro.sim.cluster import RingCluster, build_cluster
+from repro.sim.profiles import LIBRARY, ImplementationProfile
+from repro.util.units import Mbps
+from repro.workloads.generators import ClosedLoopWorkload, FixedRateWorkload
+
+#: Relative tolerance for deterministic simulation metrics.
+EXACT_TOL = float(os.environ.get("REPRO_BENCH_EXACT_TOL", "1e-6"))
+#: Allowed fractional drop in events/sec before a wall-clock regression.
+WALL_TOL = float(os.environ.get("REPRO_BENCH_WALL_TOL", "0.5"))
+#: Default repeat count per case (medians are reported).
+DEFAULT_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+#: Metrics compared near-exactly (simulator-deterministic).
+DETERMINISTIC_METRICS = ("events_processed", "goodput_mbps", "latency_us")
+
+NUM_HOSTS = 8
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark case: a cluster/workload builder plus its windows."""
+
+    name: str
+    build: Callable[[], Tuple[RingCluster, object]]
+    warmup: float
+    measure: float
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Median-of-repeats measurements for one case."""
+
+    name: str
+    events_processed: int
+    wall_time_s: float
+    events_per_sec: float
+    goodput_mbps: float
+    latency_us: float
+    peak_rss_kb: int
+    repeats: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events_processed": self.events_processed,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "goodput_mbps": round(self.goodput_mbps, 3),
+            "latency_us": round(self.latency_us, 3),
+            "peak_rss_kb": self.peak_rss_kb,
+            "repeats": self.repeats,
+        }
+
+
+# ----------------------------------------------------------------------
+# Case builders
+# ----------------------------------------------------------------------
+
+
+def _closed_loop(
+    profile: ImplementationProfile,
+    params: NetworkParams,
+    payload_size: int = 1350,
+    service: DeliveryService = DeliveryService.AGREED,
+) -> Callable[[], Tuple[RingCluster, object]]:
+    def build() -> Tuple[RingCluster, object]:
+        from repro.bench.windows import window_for
+
+        config = window_for(profile, params, True, payload_size)
+        cluster = build_cluster(
+            num_hosts=NUM_HOSTS,
+            accelerated=True,
+            profile=profile,
+            params=params,
+            config=config,
+        )
+        workload = ClosedLoopWorkload(payload_size=payload_size, service=service)
+        return cluster, workload
+
+    return build
+
+
+def _fixed_rate(
+    profile: ImplementationProfile,
+    params: NetworkParams,
+    rate_mbps: float,
+    payload_size: int = 1350,
+    service: DeliveryService = DeliveryService.AGREED,
+) -> Callable[[], Tuple[RingCluster, object]]:
+    def build() -> Tuple[RingCluster, object]:
+        from repro.bench.windows import window_for
+
+        config = window_for(profile, params, True, payload_size)
+        cluster = build_cluster(
+            num_hosts=NUM_HOSTS,
+            accelerated=True,
+            profile=profile,
+            params=params,
+            config=config,
+        )
+        workload = FixedRateWorkload(
+            payload_size=payload_size,
+            aggregate_rate_bps=Mbps(rate_mbps),
+            service=service,
+        )
+        return cluster, workload
+
+    return build
+
+
+SUITES: Dict[str, List[BenchCase]] = {
+    # Fast enough for a CI gate (~seconds): short windows, two regimes.
+    "smoke": [
+        BenchCase(
+            name="agreed-1g-200",
+            build=_fixed_rate(LIBRARY, GIGABIT, rate_mbps=200.0),
+            warmup=0.01,
+            measure=0.02,
+        ),
+        BenchCase(
+            name="closed-loop-10g",
+            build=_closed_loop(LIBRARY, TEN_GIGABIT),
+            warmup=0.005,
+            measure=0.01,
+        ),
+    ],
+    # The full-size engine benchmark: the paper's library methodology at
+    # maximum sustainable throughput.  Its events_per_sec is the number
+    # the hot-path optimization work is gated on.
+    "headline": [
+        BenchCase(
+            name="max-throughput-10g",
+            build=_closed_loop(LIBRARY, TEN_GIGABIT),
+            warmup=0.04,
+            measure=0.08,
+        ),
+        BenchCase(
+            name="agreed-1g-500",
+            build=_fixed_rate(LIBRARY, GIGABIT, rate_mbps=500.0),
+            warmup=0.04,
+            measure=0.08,
+        ),
+        BenchCase(
+            name="safe-10g",
+            build=_closed_loop(
+                LIBRARY, TEN_GIGABIT, service=DeliveryService.SAFE
+            ),
+            warmup=0.04,
+            measure=0.08,
+        ),
+    ],
+}
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS) -> CaseResult:
+    """Run one case ``repeats`` times; report medians.
+
+    The wall clock covers only ``cluster.run`` (the event loop), not
+    cluster construction.  The deterministic metrics are identical across
+    repeats by construction; this is asserted, since a repeat-to-repeat
+    drift would mean hidden global state.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    walls: List[float] = []
+    events: List[int] = []
+    goodputs: List[float] = []
+    latencies: List[float] = []
+    for _ in range(repeats):
+        cluster, workload = case.build()
+        start = 0.002
+        stop = start + case.warmup + case.measure
+        workload.attach(cluster, start=start, stop=stop)
+        cluster.set_measure_from(start + case.warmup)
+        cluster.start()
+        # Collect garbage from the previous repeat so its timing noise
+        # does not land inside this repeat's measured window.
+        gc.collect()
+        t0 = time.perf_counter()
+        cluster.run(stop + 0.01)
+        walls.append(time.perf_counter() - t0)
+        events.append(cluster.sim.events_processed)
+        stats = cluster.aggregate()
+        goodputs.append(stats.goodput_bps / 1e6)
+        latencies.append(stats.mean_latency * 1e6)
+    if len(set(events)) != 1:
+        raise RuntimeError(
+            f"case {case.name}: events_processed varied across repeats "
+            f"({sorted(set(events))}) — the simulation is not deterministic"
+        )
+    wall = statistics.median(walls)
+    return CaseResult(
+        name=case.name,
+        events_processed=events[0],
+        wall_time_s=wall,
+        events_per_sec=events[0] / wall if wall > 0 else 0.0,
+        goodput_mbps=statistics.median(goodputs),
+        latency_us=statistics.median(latencies),
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        repeats=repeats,
+    )
+
+
+def run_suite(
+    suite: str,
+    repeats: int = DEFAULT_REPEATS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run every case in ``suite``; returns the results document."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; have {sorted(SUITES)}")
+    cases: Dict[str, Dict[str, object]] = {}
+    for case in SUITES[suite]:
+        if progress is not None:
+            progress(f"running {suite}/{case.name} ({repeats} repeats)...")
+        result = run_case(case, repeats=repeats)
+        cases[case.name] = result.to_dict()
+        if progress is not None:
+            progress(
+                f"  {case.name}: {result.events_per_sec:,.0f} events/s, "
+                f"goodput {result.goodput_mbps:.1f} Mbps, "
+                f"latency {result.latency_us:.1f} us"
+            )
+    return {"suite": suite, "repeats": repeats, "cases": cases}
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+
+
+def compare_results(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    exact_tol: float = EXACT_TOL,
+    wall_tol: float = WALL_TOL,
+) -> List[str]:
+    """Compare a results document against a baseline document.
+
+    Returns a list of human-readable regression messages; empty means the
+    run is within tolerance.  Deterministic metrics use a near-exact
+    relative tolerance in both directions (any drift is a behavior
+    change); wall-clock throughput only fails on a *drop* beyond
+    ``wall_tol`` (getting faster is never a regression).
+    """
+    problems: List[str] = []
+    base_cases = baseline.get("cases", {})
+    cur_cases = current.get("cases", {})
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        for metric in DETERMINISTIC_METRICS:
+            expected = base.get(metric)
+            if expected is None:
+                continue
+            actual = cur.get(metric)
+            if actual is None:
+                problems.append(f"{name}: metric {metric} missing")
+                continue
+            if expected == 0:
+                drift = abs(actual)
+            else:
+                drift = abs(actual - expected) / abs(expected)
+            if drift > exact_tol:
+                problems.append(
+                    f"{name}: {metric} drifted {drift:.2%} "
+                    f"(baseline {expected}, got {actual}) — deterministic "
+                    f"metrics must match the committed baseline"
+                )
+        expected_rate = base.get("events_per_sec")
+        if expected_rate:
+            actual_rate = cur.get("events_per_sec", 0.0)
+            floor = expected_rate * (1.0 - wall_tol)
+            if actual_rate < floor:
+                problems.append(
+                    f"{name}: events_per_sec regressed to {actual_rate:,.0f} "
+                    f"(baseline {expected_rate:,.0f}, floor {floor:,.0f} at "
+                    f"tolerance {wall_tol:.0%})"
+                )
+    return problems
+
+
+def results_path(suite: str, directory: Optional[Path] = None) -> Path:
+    base = directory if directory is not None else Path(".")
+    return base / f"BENCH_{suite}.json"
+
+
+def baseline_path(suite: str, root: Optional[Path] = None) -> Path:
+    base = root if root is not None else Path(".")
+    return base / "benchmarks" / "baselines" / f"BENCH_{suite}.json"
+
+
+def save_results(results: Dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def load_results(path: Path) -> Dict[str, object]:
+    return json.loads(path.read_text())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point shared by ``repro bench`` and ``benchmarks/harness.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="run a benchmark suite and gate on a committed baseline"
+    )
+    parser.add_argument(
+        "--suite", default="smoke", choices=sorted(SUITES), help="suite to run"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="repetitions per case (medians reported)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="results file (default BENCH_<suite>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default benchmarks/baselines/BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="compare against the baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the results over the baseline file as the new baseline",
+    )
+    args = parser.parse_args(argv)
+    return run_from_args(
+        suite=args.suite,
+        repeats=args.repeats,
+        output=args.output,
+        baseline=args.baseline,
+        check_baseline=args.check_baseline,
+        update_baseline=args.update_baseline,
+    )
+
+
+def run_from_args(
+    suite: str,
+    repeats: int = DEFAULT_REPEATS,
+    output: Optional[Path] = None,
+    baseline: Optional[Path] = None,
+    check_baseline: bool = False,
+    update_baseline: bool = False,
+) -> int:
+    if suite not in SUITES:
+        print(f"unknown suite {suite!r}; available: {', '.join(sorted(SUITES))}")
+        return 2
+    results = run_suite(suite, repeats=repeats, progress=print)
+    out_path = output if output is not None else results_path(suite)
+    save_results(results, out_path)
+    print(f"wrote {out_path}")
+    base_path = baseline if baseline is not None else baseline_path(suite)
+    if update_baseline:
+        save_results(results, base_path)
+        print(f"updated baseline {base_path}")
+        return 0
+    if check_baseline:
+        if not base_path.exists():
+            print(f"BASELINE MISSING: {base_path} — run with --update-baseline")
+            return 1
+        problems = compare_results(results, load_results(base_path))
+        if problems:
+            print(f"REGRESSIONS vs {base_path}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"within tolerance of baseline {base_path}")
+    return 0

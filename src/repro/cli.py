@@ -7,6 +7,7 @@
 * ``maxtp`` — the headline maximum-throughput table.
 * ``figure`` — regenerate one paper figure by number.
 * ``chaos`` — run a named fault-injection scenario under EVS checking.
+* ``bench`` — run a benchmark suite, gated on a committed baseline.
 * ``daemon`` — run a real daemon (UDP ring + unix client socket).
 """
 
@@ -242,6 +243,21 @@ def cmd_daemon(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.harness import DEFAULT_REPEATS, run_from_args
+
+    return run_from_args(
+        suite=args.suite,
+        repeats=args.repeats if args.repeats is not None else DEFAULT_REPEATS,
+        output=Path(args.output) if args.output is not None else None,
+        baseline=Path(args.baseline) if args.baseline is not None else None,
+        check_baseline=args.check_baseline,
+        update_baseline=args.update_baseline,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="accelring",
@@ -304,6 +320,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--all", action="store_true",
                        help="run every scenario (CI's chaos-smoke job)")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a benchmark suite; optionally gate on a committed baseline",
+    )
+    bench.add_argument("--suite", default="smoke",
+                       help="suite name (smoke, headline)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="repetitions per case (medians reported)")
+    bench.add_argument("--output", default=None,
+                       help="results file (default BENCH_<suite>.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline file (default "
+                            "benchmarks/baselines/BENCH_<suite>.json)")
+    bench.add_argument("--check-baseline", action="store_true",
+                       help="compare against the baseline; exit 1 on regression")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="write the results as the new baseline")
+    bench.set_defaults(func=cmd_bench)
 
     daemon = sub.add_parser("daemon", help="run a real daemon over UDP")
     daemon.add_argument("--pid", type=int, required=True)

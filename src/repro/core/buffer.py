@@ -46,14 +46,21 @@ class MessageBuffer:
 
         Advances the local aru over any newly contiguous prefix.
         """
-        if message.seq in self._messages or message.seq <= self._discarded_up_to:
+        # Hot path: one call per received (or self-originated) message;
+        # attribute loads are hoisted into locals.
+        seq = message.seq
+        messages = self._messages
+        if seq in messages or seq <= self._discarded_up_to:
             self.duplicates += 1
             return False
-        self._messages[message.seq] = message
-        if message.seq > self._max_seq:
-            self._max_seq = message.seq
-        while (self._local_aru + 1) in self._messages:
-            self._local_aru += 1
+        messages[seq] = message
+        if seq > self._max_seq:
+            self._max_seq = seq
+        aru = self._local_aru
+        while aru + 1 in messages:
+            aru += 1
+        if aru != self._local_aru:
+            self._local_aru = aru
         return True
 
     def get(self, seq: int) -> Optional[DataMessage]:

@@ -29,7 +29,14 @@ WireMessage = Union[DataMessage, RegularToken]
 
 
 def encode_data(message: DataMessage) -> bytes:
-    header = _DATA_HEADER.pack(
+    # One exactly-sized buffer, header packed in place and the payload
+    # copied once — no intermediate header bytes + concatenation copy.
+    payload = message.payload
+    header_size = _DATA_HEADER.size
+    out = bytearray(header_size + len(payload))
+    _DATA_HEADER.pack_into(
+        out,
+        0,
         MAGIC,
         TYPE_DATA,
         int(message.service),
@@ -39,13 +46,21 @@ def encode_data(message: DataMessage) -> bytes:
         message.round,
         message.ring_id,
         message.timestamp if message.timestamp is not None else -1.0,
-        len(message.payload),
+        len(payload),
     )
-    return header + message.payload
+    out[header_size:] = payload
+    return bytes(out)
 
 
 def encode_token(token: RegularToken) -> bytes:
-    header = _TOKEN_HEADER.pack(
+    # Same single-buffer scheme as encode_data: header and rtr list are
+    # packed into one exactly-sized buffer with no intermediate copies.
+    rtr = token.rtr
+    header_size = _TOKEN_HEADER.size
+    out = bytearray(header_size + 8 * len(rtr))
+    _TOKEN_HEADER.pack_into(
+        out,
+        0,
         MAGIC,
         TYPE_TOKEN,
         token.ring_id,
@@ -55,10 +70,11 @@ def encode_token(token: RegularToken) -> bytes:
         token.aru_lowered_by if token.aru_lowered_by is not None else -1,
         token.fcc,
         token.rotation,
-        len(token.rtr),
+        len(rtr),
     )
-    body = struct.pack(f"!{len(token.rtr)}Q", *token.rtr) if token.rtr else b""
-    return header + body
+    if rtr:
+        struct.pack_into(f"!{len(rtr)}Q", out, header_size, *rtr)
+    return bytes(out)
 
 
 def encode(message: WireMessage) -> bytes:

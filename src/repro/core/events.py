@@ -5,11 +5,14 @@ effects.  Order is semantically meaningful: effects before a
 :class:`SendToken` constitute the pre-token multicast phase, effects after
 it the post-token phase, and the driver executes them sequentially on the
 single-threaded CPU.
+
+Effects are allocated on the benchmark hot path (one per multicast /
+delivery / token send), so they are hand-written ``__slots__`` classes
+rather than dataclasses (Python 3.9 lacks ``dataclass(slots=True)``).
+Equality and repr match the dataclasses they replaced.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.core.messages import DataMessage
 from repro.core.token import RegularToken
@@ -21,30 +24,71 @@ class Effect:
     __slots__ = ()
 
 
-@dataclass
 class MulticastData(Effect):
     """Multicast a data message to the ring (IP-multicast on the LAN)."""
 
-    message: DataMessage
-    retransmission: bool = False
+    __slots__ = ("message", "retransmission")
+
+    def __init__(self, message: DataMessage, retransmission: bool = False) -> None:
+        self.message = message
+        self.retransmission = retransmission
+
+    def __repr__(self) -> str:
+        return (
+            f"MulticastData(message={self.message!r}, "
+            f"retransmission={self.retransmission!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not MulticastData:
+            return NotImplemented
+        return (
+            self.message == other.message
+            and self.retransmission == other.retransmission
+        )
+
+    __hash__ = None
 
 
-@dataclass
 class SendToken(Effect):
     """Unicast the updated token to the next participant in the ring."""
 
-    token: RegularToken
-    destination: int
+    __slots__ = ("token", "destination")
+
+    def __init__(self, token: RegularToken, destination: int) -> None:
+        self.token = token
+        self.destination = destination
+
+    def __repr__(self) -> str:
+        return f"SendToken(token={self.token!r}, destination={self.destination!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not SendToken:
+            return NotImplemented
+        return self.token == other.token and self.destination == other.destination
+
+    __hash__ = None
 
 
-@dataclass
 class Deliver(Effect):
     """Deliver a message to the local application (in total order)."""
 
-    message: DataMessage
+    __slots__ = ("message",)
+
+    def __init__(self, message: DataMessage) -> None:
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"Deliver(message={self.message!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Deliver:
+            return NotImplemented
+        return self.message == other.message
+
+    __hash__ = None
 
 
-@dataclass
 class Stable(Effect):
     """Messages up to ``seq`` are stable everywhere and were discarded.
 
@@ -52,4 +96,17 @@ class Stable(Effect):
     ignore it.
     """
 
-    seq: int
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return f"Stable(seq={self.seq!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Stable:
+            return NotImplemented
+        return self.seq == other.seq
+
+    __hash__ = None

@@ -11,7 +11,6 @@ service requested by the application.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional
 
@@ -37,7 +36,6 @@ class DeliveryService(IntEnum):
         return self is DeliveryService.SAFE
 
 
-@dataclass
 class DataMessage:
     """One totally ordered multicast message.
 
@@ -45,21 +43,74 @@ class DataMessage:
     records the moment the application handed the payload to the sender and
     is used only for latency measurement (like the client timestamping in
     the paper's benchmarks).
+
+    A hand-written ``__slots__`` class (not a dataclass): one instance is
+    allocated per multicast, making this one of the hottest allocations in
+    a benchmark run.  Python 3.9 lacks ``dataclass(slots=True)``, hence
+    the explicit form; constructor semantics (including the
+    ``payload_size`` default of ``len(payload)``) match the dataclass it
+    replaced.
     """
 
-    seq: int
-    pid: int
-    round: int
-    service: DeliveryService
-    payload: bytes = b""
-    post_token: bool = False
-    payload_size: Optional[int] = None
-    timestamp: Optional[float] = None
-    ring_id: int = 1
+    __slots__ = (
+        "seq",
+        "pid",
+        "round",
+        "service",
+        "payload",
+        "post_token",
+        "payload_size",
+        "timestamp",
+        "ring_id",
+    )
 
-    def __post_init__(self) -> None:
-        if self.payload_size is None:
-            self.payload_size = len(self.payload)
+    def __init__(
+        self,
+        seq: int,
+        pid: int,
+        round: int,
+        service: DeliveryService,
+        payload: bytes = b"",
+        post_token: bool = False,
+        payload_size: Optional[int] = None,
+        timestamp: Optional[float] = None,
+        ring_id: int = 1,
+    ) -> None:
+        self.seq = seq
+        self.pid = pid
+        self.round = round
+        self.service = service
+        self.payload = payload
+        self.post_token = post_token
+        self.payload_size = payload_size if payload_size is not None else len(payload)
+        self.timestamp = timestamp
+        self.ring_id = ring_id
+
+    def __repr__(self) -> str:
+        return (
+            f"DataMessage(seq={self.seq!r}, pid={self.pid!r}, "
+            f"round={self.round!r}, service={self.service!r}, "
+            f"payload={self.payload!r}, post_token={self.post_token!r}, "
+            f"payload_size={self.payload_size!r}, timestamp={self.timestamp!r}, "
+            f"ring_id={self.ring_id!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not DataMessage:
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.pid == other.pid
+            and self.round == other.round
+            and self.service == other.service
+            and self.payload == other.payload
+            and self.post_token == other.post_token
+            and self.payload_size == other.payload_size
+            and self.timestamp == other.timestamp
+            and self.ring_id == other.ring_id
+        )
+
+    __hash__ = None  # mutable, like the dataclass it replaced
 
     def wire_size(self, header_bytes: int) -> int:
         """Bytes this message occupies in a UDP datagram, given the

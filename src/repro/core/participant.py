@@ -24,10 +24,15 @@ from repro.core.events import Deliver, Effect, MulticastData, SendToken, Stable
 from repro.core.flow_control import plan_sending, update_fcc
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.token import RegularToken
+from repro.obs.observer import effective_observer
 from repro.util.errors import ProtocolError
 
 if TYPE_CHECKING:
     from repro.obs.observer import ProtocolObserver
+
+# Hoisted enum member for the delivery hot loop (one global load instead
+# of a module global plus an enum attribute lookup per call).
+_SAFE = DeliveryService.SAFE
 
 
 class _PendingMessage:
@@ -86,7 +91,9 @@ class AcceleratedRingParticipant:
         self.ring = list(ring)
         self.config = (config or ProtocolConfig()).validate()
         self.ring_id = ring_id
-        self.observer = observer
+        # A bare NullObserver collapses to None so the hot-path hook
+        # guards (`observer is not None`) skip no-op calls entirely.
+        self.observer = effective_observer(observer)
         self.clock = clock
         index = self.ring.index(pid)
         self.successor = self.ring[(index + 1) % len(self.ring)]
@@ -265,7 +272,11 @@ class AcceleratedRingParticipant:
             return []
         if not self.buffer.insert(message):
             return []
-        self._maybe_raise_token_priority(message)
+        # Guard duplicates _maybe_raise_token_priority's rejection test so
+        # the common case (message not from the predecessor's next round)
+        # skips the call entirely.
+        if message.pid == self.predecessor and message.round > self.round:
+            self._maybe_raise_token_priority(message)
         return self._deliver_ready()
 
     # ------------------------------------------------------------------
@@ -374,24 +385,38 @@ class AcceleratedRingParticipant:
         what the application (and the EVS checker) saw.
         """
         effects: List[Effect] = []
+        # Hot loop: runs once per received data message; locals avoid
+        # repeated attribute loads and the SAFE check is an identity test
+        # (the only service with requires_stability == True).
+        messages = self.buffer._messages
+        last_delivered = self._last_delivered
+        safe_limit = self._safe_limit
+        safe = _SAFE
+        append = effects.append
+        delivered = 0
         while True:
-            next_seq = self._last_delivered + 1
-            message = self.buffer.get(next_seq)
+            next_seq = last_delivered + 1
+            message = messages.get(next_seq)
             if message is None:
                 break
-            if message.service.requires_stability and next_seq > self._safe_limit:
+            if message.service is safe and next_seq > safe_limit:
                 break
-            self._last_delivered = next_seq
-            self.messages_delivered += 1
-            effects.append(Deliver(message))
+            last_delivered = next_seq
+            delivered += 1
+            append(Deliver(message))
+        if delivered:
+            self._last_delivered = last_delivered
+            self.messages_delivered += delivered
         return effects
 
     def _maybe_raise_token_priority(self, message: DataMessage) -> None:
         """Paper §III-D: decide when the token outranks data again."""
+        # The pid/round test rejects almost every message, so it runs
+        # before the config lookup (outcome is identical either way).
+        if message.pid != self.predecessor or message.round <= self.round:
+            return
         method = self.config.priority_method
         if method is TokenPriorityMethod.NEVER:
-            return
-        if message.pid != self.predecessor or message.round <= self.round:
             return
         if method is TokenPriorityMethod.AGGRESSIVE or message.post_token:
             self.token_has_priority = True

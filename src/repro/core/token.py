@@ -23,32 +23,91 @@ for diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 
-@dataclass
 class RegularToken:
-    """The circulating ordering token."""
+    """The circulating ordering token.
 
-    ring_id: int
-    token_id: int = 0
-    seq: int = 0
-    aru: int = 0
-    aru_lowered_by: Optional[int] = None
-    fcc: int = 0
-    rtr: List[int] = field(default_factory=list)
-    rotation: int = 0
+    A hand-written ``__slots__`` class (not a dataclass): one token is
+    copied per ring rotation, so compact instances and a cheap
+    :meth:`copy` matter on the benchmark hot path.  Python 3.9 lacks
+    ``dataclass(slots=True)``, hence the explicit form.
+    """
+
+    __slots__ = (
+        "ring_id",
+        "token_id",
+        "seq",
+        "aru",
+        "aru_lowered_by",
+        "fcc",
+        "rtr",
+        "rotation",
+    )
 
     # Base wire size of the fixed fields; each rtr entry adds 4 bytes.
     BASE_SIZE = 40
     RTR_ENTRY_SIZE = 4
 
+    def __init__(
+        self,
+        ring_id: int,
+        token_id: int = 0,
+        seq: int = 0,
+        aru: int = 0,
+        aru_lowered_by: Optional[int] = None,
+        fcc: int = 0,
+        rtr: Optional[List[int]] = None,
+        rotation: int = 0,
+    ) -> None:
+        self.ring_id = ring_id
+        self.token_id = token_id
+        self.seq = seq
+        self.aru = aru
+        self.aru_lowered_by = aru_lowered_by
+        self.fcc = fcc
+        self.rtr = rtr if rtr is not None else []
+        self.rotation = rotation
+
+    def __repr__(self) -> str:
+        return (
+            f"RegularToken(ring_id={self.ring_id!r}, token_id={self.token_id!r}, "
+            f"seq={self.seq!r}, aru={self.aru!r}, "
+            f"aru_lowered_by={self.aru_lowered_by!r}, fcc={self.fcc!r}, "
+            f"rtr={self.rtr!r}, rotation={self.rotation!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not RegularToken:
+            return NotImplemented
+        return (
+            self.ring_id == other.ring_id
+            and self.token_id == other.token_id
+            and self.seq == other.seq
+            and self.aru == other.aru
+            and self.aru_lowered_by == other.aru_lowered_by
+            and self.fcc == other.fcc
+            and self.rtr == other.rtr
+            and self.rotation == other.rotation
+        )
+
+    __hash__ = None  # mutable, like the dataclass it replaced
+
     def wire_size(self) -> int:
         return self.BASE_SIZE + self.RTR_ENTRY_SIZE * len(self.rtr)
 
     def copy(self) -> "RegularToken":
-        return replace(self, rtr=list(self.rtr))
+        return RegularToken(
+            self.ring_id,
+            self.token_id,
+            self.seq,
+            self.aru,
+            self.aru_lowered_by,
+            self.fcc,
+            list(self.rtr),
+            self.rotation,
+        )
 
     def validate(self) -> None:
         """Sanity-check invariants that must hold on any well-formed token."""

@@ -32,8 +32,9 @@ def fragment_datagram(
 
     Returns a single unfragmented frame when ``size`` fits in the MTU.
     """
+    acquire = Frame.acquire
     if size <= mtu:
-        return [Frame(src=src, dst=dst, kind=kind, size=size, payload=payload)]
+        return [acquire(src, dst, kind, size, payload)]
     datagram_id = next(_datagram_ids)
     total = -(-size // mtu)  # ceil division
     frames = []
@@ -42,14 +43,7 @@ def fragment_datagram(
         frag_size = min(mtu, remaining)
         remaining -= frag_size
         frames.append(
-            Frame(
-                src=src,
-                dst=dst,
-                kind=kind,
-                size=frag_size,
-                payload=payload,
-                fragment=(datagram_id, index, total),
-            )
+            acquire(src, dst, kind, frag_size, payload, (datagram_id, index, total))
         )
     return frames
 

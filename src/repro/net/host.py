@@ -10,6 +10,7 @@ explicit that the daemon must not consume more than a single core.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, List, Optional
 
 from repro.net.loss import LossModel, NoLoss
@@ -17,6 +18,10 @@ from repro.net.nic import Nic
 from repro.net.packet import Frame, PortKind
 from repro.net.params import NetworkParams
 from repro.net.simulator import Simulator
+
+# Hoisted enum member for the receive hot path (one global load instead of
+# a module global plus an enum attribute lookup per frame).
+_DATA = PortKind.DATA
 
 
 class SocketBuffer:
@@ -99,9 +104,14 @@ class Cpu:
         if not self._busy:
             self._start_next()
 
-    def submit(self, cost: float, fn: Callable[[], None]) -> None:
-        """Queue ``fn`` to run for ``cost`` seconds of CPU time."""
-        self._queue.append((cost, fn))
+    def submit(self, cost: float, fn: Callable[..., None], *args: object) -> None:
+        """Queue ``fn(*args)`` to run for ``cost`` seconds of CPU time.
+
+        Passing arguments positionally (instead of closing over them)
+        keeps the per-task cost to one tuple — no closure allocation on
+        the per-frame hot path.
+        """
+        self._queue.append((cost, fn, args))
         if not self._busy:
             self._start_next()
 
@@ -122,15 +132,50 @@ class Cpu:
         if task is None:
             self._busy = False
             return
-        cost, fn = task
+        try:
+            cost, fn, args = task
+        except ValueError:  # (cost, fn) from an idle hook predating task args
+            cost, fn = task
+            args = ()
+        if cost < 0:
+            raise ValueError(f"negative CPU cost {cost}")
         self._busy = True
         self.busy_time += cost
-        self._sim.schedule(cost, self._finish, fn)
+        sim = self._sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim.now + cost, seq, self._finish, (fn, args)))
 
-    def _finish(self, fn: Callable[[], None]) -> None:
+    def _finish(self, fn: Callable[..., None], args: tuple) -> None:
+        # Hot path: one _finish per CPU task.  The dispatch of the next
+        # task is inlined (rather than calling _start_next) and the event
+        # is pushed straight onto the simulator heap, skipping the
+        # Simulator.post call frame.  Must stay semantically identical to
+        # _start_next or seeded traces change.
         self.tasks_executed += 1
-        fn()
-        self._start_next()
+        fn(*args)
+        if self._stalled:
+            self._busy = False
+            return
+        queue = self._queue
+        if queue:
+            task = queue.popleft()
+        else:
+            hook = self.idle_hook
+            task = hook() if hook is not None else None
+            if task is None:
+                self._busy = False
+                return
+        try:
+            cost, next_fn, args = task
+        except ValueError:  # (cost, fn) from an idle hook predating task args
+            cost, next_fn = task
+            args = ()
+        if cost < 0:
+            raise ValueError(f"negative CPU cost {cost}")
+        self.busy_time += cost
+        sim = self._sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim.now + cost, seq, self._finish, (next_fn, args)))
 
 
 class SimHost:
@@ -152,6 +197,9 @@ class SimHost:
         self.token_socket = SocketBuffer(params.socket_buffer_bytes)
         self.data_socket = SocketBuffer(params.socket_buffer_bytes)
         self.loss_model = loss_model or NoLoss()
+        #: Hot-path flag: skip the per-frame ``should_drop`` call entirely
+        #: when no loss model is configured.
+        self._lossless = loss_model is None or isinstance(self.loss_model, NoLoss)
         self.frames_lost_to_model = 0
         self.frames_intercepted = 0
         self.crashed = False
@@ -178,18 +226,34 @@ class SimHost:
         """A frame has fully arrived from the switch output port."""
         if self.crashed:
             return
-        for fn in list(self._interceptors):
-            if fn(frame):
-                self.frames_intercepted += 1
-                return
+        if self._interceptors:
+            for fn in list(self._interceptors):
+                if fn(frame):
+                    self.frames_intercepted += 1
+                    return
         # Paper §IV-A4: each daemon is instrumented to randomly drop a
         # percentage of the *data* messages it receives; token loss is out
         # of scope for the normal-case protocol (handled by membership).
-        if frame.kind is PortKind.DATA and self.loss_model.should_drop(self.host_id, frame):
-            self.frames_lost_to_model += 1
+        if frame.kind is _DATA:
+            if not self._lossless and self.loss_model.should_drop(self.host_id, frame):
+                self.frames_lost_to_model += 1
+                return
+            socket = self.data_socket
+        else:
+            socket = self.token_socket
+        # SocketBuffer.push inlined: one call per received frame saved.
+        queued = socket._queued_bytes + frame.size
+        if queued > socket._capacity:
+            socket.frames_dropped += 1
             return
-        if self.socket_for(frame.kind).push(frame):
-            self.cpu.kick()
+        socket._queue.append(frame)
+        socket._queued_bytes = queued
+        socket.frames_received += 1
+        if queued > socket.peak_queue_bytes:
+            socket.peak_queue_bytes = queued
+        cpu = self.cpu
+        if not cpu._busy:
+            cpu._start_next()
 
     def crash(self) -> None:
         """Stop receiving and processing (fail-stop)."""

@@ -9,6 +9,7 @@ ingress after serialization plus propagation.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, Optional
 
 from repro.net.packet import Frame
@@ -33,6 +34,11 @@ class Nic:
         self._queued_bytes = 0
         self._capacity = tx_queue_bytes if tx_queue_bytes is not None else 4 * 1024 * 1024
         self._busy = False
+        # Hoisted for the per-frame hot path; must reproduce
+        # params.serialization_delay(size) bit-for-bit.
+        self._overhead = params.per_frame_overhead
+        self._rate_bps = params.rate_bps
+        self._propagation = params.propagation
         self.frames_sent = 0
         self.frames_dropped = 0
         self.bytes_sent = 0
@@ -63,12 +69,35 @@ class Nic:
             return
         self._busy = True
         frame = self._queue.popleft()
-        self._queued_bytes -= frame.size
-        delay = self._params.serialization_delay(frame.size)
-        self._sim.schedule(delay, self._finish, frame)
+        size = frame.size
+        self._queued_bytes -= size
+        sim = self._sim
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            sim._queue,
+            (sim.now + (size + self._overhead) * 8.0 / self._rate_bps, seq, self._finish, (frame,)),
+        )
 
     def _finish(self, frame: Frame) -> None:
+        # Hot path (one call per frame serialized): the propagation post
+        # and the next serialization start are pushed straight onto the
+        # simulator heap in the same order Simulator.post would assign.
+        size = frame.size
         self.frames_sent += 1
-        self.bytes_sent += frame.size
-        self._sim.schedule(self._params.propagation, self._on_wire, frame)
-        self._start_next()
+        self.bytes_sent += size
+        sim = self._sim
+        queue = sim._queue
+        sim._seq = seq = sim._seq + 1
+        heappush(queue, (sim.now + self._propagation, seq, self._on_wire, (frame,)))
+        pending = self._queue
+        if not pending:
+            self._busy = False
+            return
+        frame = pending.popleft()
+        size = frame.size
+        self._queued_bytes -= size
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            queue,
+            (sim.now + (size + self._overhead) * 8.0 / self._rate_bps, seq, self._finish, (frame,)),
+        )

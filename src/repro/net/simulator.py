@@ -1,9 +1,25 @@
 """Deterministic discrete-event simulation engine.
 
-A minimal, fast event loop: a binary heap of ``(time, sequence, callback)``
-entries.  The monotonically increasing sequence number makes execution order
-deterministic when events share a timestamp, which the test-suite relies on
-for exact-trace assertions.
+A minimal, fast event loop: a binary heap of ``(time, sequence, callback,
+args)`` entries.  The monotonically increasing sequence number makes
+execution order deterministic when events share a timestamp, which the
+test-suite relies on for exact-trace assertions.
+
+Hot-path design notes (the simulator dominates benchmark wall time):
+
+* Heap entries are plain tuples, so ``heapq`` compares them with C-level
+  tuple comparison instead of calling a Python ``__lt__`` per comparison.
+  ``(time, seq)`` is unique, so later tuple elements are never compared.
+* :meth:`Simulator.post` is the fire-and-forget fast path used by the
+  network models (NIC, switch, CPU): it pushes a bare tuple and skips
+  allocating an :class:`EventHandle`.  :meth:`schedule` keeps the
+  cancellable-handle API for timers.
+* :meth:`run` inlines the pop/dispatch loop with all lookups bound to
+  locals and dispatches same-timestamp batches without re-entering
+  :meth:`step`.
+* Cancellation stays lazy, but the heap is compacted whenever cancelled
+  entries exceed half the queue (see :meth:`_compact`), so timer-heavy
+  workloads cannot grow the heap without bound.
 """
 
 from __future__ import annotations
@@ -11,29 +27,50 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+#: Sentinel marking a heap entry whose third element is an EventHandle
+#: (cancellable) rather than a bare callback.
+_HANDLE = object()
+
+#: Compaction is considered once the queue holds this many entries.
+_COMPACT_MIN = 64
+
 
 class EventHandle:
     """Handle for a scheduled event; supports cancellation.
 
-    Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped.  This keeps :meth:`Simulator.schedule` and cancel both O(log n)
-    amortized.
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped.  This keeps :meth:`Simulator.schedule` and cancel both
+    O(log n) amortized; the owning simulator compacts the heap when more
+    than half of it is cancelled entries.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled timers don't pin protocol state alive.
         self.callback = _noop
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -48,20 +85,34 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[EventHandle] = []
+        self._queue: List[tuple] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
 
     @property
+    def cancelled_pending(self) -> int:
+        """Cancelled handles still occupying heap slots."""
+        return self._cancelled_pending
+
+    @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled_pending
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns a cancellable :class:`EventHandle`.  Callers that never
+        cancel should prefer :meth:`post`, which is cheaper.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule event in the past (delay={delay})")
         return self.schedule_at(self.now + delay, callback, *args)
@@ -70,20 +121,80 @@ class Simulator:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise ValueError(f"cannot schedule event at {time} < now {self.now}")
-        self._seq += 1
-        event = EventHandle(time, self._seq, callback, args)
-        heapq.heappush(self._queue, event)
+        self._seq = seq = self._seq + 1
+        event = EventHandle(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, event, _HANDLE))
         return event
+
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget fast path: like :meth:`schedule` but without
+        allocating a cancellable handle.  Used by the per-frame network
+        hot paths (NIC serialization, switch forwarding, CPU tasks)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, seq, callback, args))
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Absolute-time variant of :meth:`post`."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule event at {time} < now {self.now}")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """A handle in the queue was cancelled; compact when the heap is
+        mostly dead weight (> 50% cancelled entries)."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        ``(time, seq)`` totally orders live entries, so compaction never
+        changes dispatch order — it only frees memory and shrinks every
+        subsequent push/pop.
+
+        The list is mutated *in place*: :meth:`run` and :meth:`step` hold
+        a local reference to it across callbacks, and compaction can be
+        triggered from inside a callback (any timer ``cancel()``).
+        Rebinding ``self._queue`` here would leave the dispatch loop
+        draining a stale copy and re-dispatch every live entry.
+        """
+        queue = self._queue
+        queue[:] = [
+            entry for entry in queue if entry[3] is not _HANDLE or not entry[2].cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        queue = self._queue
+        while queue:
+            time, _seq, callback, args = heapq.heappop(queue)
+            if args is _HANDLE:
+                handle = callback
+                if handle.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                callback = handle.callback
+                args = handle.args
+            self.now = time
             self._events_processed += 1
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -94,19 +205,61 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the queue empties earlier, so rate meters see a full window.
         """
-        processed = 0
-        while self._queue:
-            if max_events is not None and processed >= max_events:
+        queue = self._queue
+        pop = heapq.heappop
+        handle_tag = _HANDLE
+        events_processed = self._events_processed
+        try:
+            if max_events is None and until is not None:
+                # Benchmark fast path: no per-event max_events check, the
+                # clock is written once per same-timestamp batch, and each
+                # batch runs without re-checking `until` (equal-time events
+                # cannot exceed it once the first one passed).
+                while queue:
+                    time = queue[0][0]
+                    if time > until:
+                        self.now = until
+                        return
+                    self.now = time
+                    while queue and queue[0][0] == time:
+                        _t, _seq, callback, args = pop(queue)
+                        if args is handle_tag:
+                            handle = callback
+                            if handle.cancelled:
+                                self._cancelled_pending -= 1
+                                continue
+                            callback = handle.callback
+                            args = handle.args
+                        events_processed += 1
+                        callback(*args)
+                # Queue drained before `until`: advance the clock so rate
+                # meters still see the full window.
+                if self.now < until:
+                    self.now = until
                 return
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
-                self.now = until
-                return
-            self.step()
-            processed += 1
+            processed = 0
+            while queue:
+                if max_events is not None and processed >= max_events:
+                    return
+                head = queue[0]
+                time = head[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                _t, _seq, callback, args = pop(queue)
+                if args is handle_tag:
+                    handle = callback
+                    if handle.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    callback = handle.callback
+                    args = handle.args
+                self.now = time
+                events_processed += 1
+                processed += 1
+                callback(*args)
+        finally:
+            self._events_processed = events_processed
         if until is not None and self.now < until:
             self.now = until
 

@@ -12,6 +12,7 @@ behind the protocol's controlled parallelism.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, Dict, List
 
 from repro.net.packet import Frame
@@ -34,6 +35,12 @@ class OutputPort:
         self._queue: Deque[Frame] = deque()
         self._queued_bytes = 0
         self._busy = False
+        # Hoisted for the per-frame hot path; must reproduce
+        # params.serialization_delay(size) bit-for-bit.
+        self._overhead = params.per_frame_overhead
+        self._rate_bps = params.rate_bps
+        self._propagation = params.propagation
+        self._capacity = params.switch_buffer_bytes
         self.frames_forwarded = 0
         self.frames_dropped = 0
         self.peak_queue_bytes = 0
@@ -43,13 +50,15 @@ class OutputPort:
         return self._queued_bytes
 
     def enqueue(self, frame: Frame) -> bool:
-        if self._queued_bytes + frame.size > self._params.switch_buffer_bytes:
+        size = frame.size
+        queued = self._queued_bytes + size
+        if queued > self._capacity:
             self.frames_dropped += 1
             return False
         self._queue.append(frame)
-        self._queued_bytes += frame.size
-        if self._queued_bytes > self.peak_queue_bytes:
-            self.peak_queue_bytes = self._queued_bytes
+        self._queued_bytes = queued
+        if queued > self.peak_queue_bytes:
+            self.peak_queue_bytes = queued
         if not self._busy:
             self._start_next()
         return True
@@ -60,14 +69,36 @@ class OutputPort:
             return
         self._busy = True
         frame = self._queue.popleft()
-        self._queued_bytes -= frame.size
-        delay = self._params.serialization_delay(frame.size)
-        self._sim.schedule(delay, self._finish, frame)
+        size = frame.size
+        self._queued_bytes -= size
+        sim = self._sim
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            sim._queue,
+            (sim.now + (size + self._overhead) * 8.0 / self._rate_bps, seq, self._finish, (frame,)),
+        )
 
     def _finish(self, frame: Frame) -> None:
+        # Hot path (one call per frame per output port): propagation post
+        # and next serialization start pushed straight onto the simulator
+        # heap, in the same order Simulator.post would assign.
         self.frames_forwarded += 1
-        self._sim.schedule(self._params.propagation, self._deliver, frame)
-        self._start_next()
+        sim = self._sim
+        queue = sim._queue
+        sim._seq = seq = sim._seq + 1
+        heappush(queue, (sim.now + self._propagation, seq, self._deliver, (frame,)))
+        pending = self._queue
+        if not pending:
+            self._busy = False
+            return
+        frame = pending.popleft()
+        size = frame.size
+        self._queued_bytes -= size
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            queue,
+            (sim.now + (size + self._overhead) * 8.0 / self._rate_bps, seq, self._finish, (frame,)),
+        )
 
 
 class Switch:
@@ -76,6 +107,7 @@ class Switch:
     def __init__(self, sim: Simulator, params: NetworkParams) -> None:
         self._sim = sim
         self._params = params
+        self._latency = params.switch_latency
         self._ports: Dict[int, OutputPort] = {}
         self.frames_received = 0
         self.frames_partitioned = 0
@@ -144,26 +176,40 @@ class Switch:
     def ingress(self, frame: Frame) -> None:
         """A frame has fully arrived from a host NIC."""
         self.frames_received += 1
-        self._sim.schedule(self._params.switch_latency, self._forward, frame)
+        sim = self._sim
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            sim._queue,
+            (sim.now + self._latency, seq, self._forward, (frame,)),
+        )
 
     def _forward(self, frame: Frame) -> None:
-        if frame.is_multicast():
+        # Hot path: partition/filter checks are hoisted so the common
+        # (unpartitioned, unfiltered) case costs no extra method calls.
+        partition = self._partition
+        filters = self._filters
+        if frame.dst is None:
+            src = frame.src
+            clone_for = frame.clone_for
             for host_id, port in self._ports.items():
-                if host_id == frame.src:
+                if host_id == src:
                     continue
-                if not self._connected(frame.src, host_id):
+                if partition and not self._connected(src, host_id):
                     self.frames_partitioned += 1
                     continue
-                if self._filtered(frame, host_id):
+                if filters and self._filtered(frame, host_id):
                     continue
-                port.enqueue(frame.clone_for(host_id))
+                port.enqueue(clone_for(host_id))
+            # The fan-out copies are what travels on; the ingress original
+            # is dead now and can return to the frame pool.
+            frame.recycle()
         else:
             port = self._ports.get(frame.dst)
             if port is None:
                 raise KeyError(f"frame for unattached host {frame.dst}")
-            if not self._connected(frame.src, frame.dst):
+            if partition and not self._connected(frame.src, frame.dst):
                 self.frames_partitioned += 1
                 return
-            if self._filtered(frame, frame.dst):
+            if filters and self._filtered(frame, frame.dst):
                 return
             port.enqueue(frame)

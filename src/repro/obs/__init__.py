@@ -37,6 +37,7 @@ from repro.obs.observer import (
     MetricsObserver,
     NullObserver,
     ProtocolObserver,
+    effective_observer,
 )
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "MetricsRegistry",
     "NullObserver",
     "ProtocolObserver",
+    "effective_observer",
     "geometric_bounds",
     "load_json",
     "merge_registries",

@@ -112,6 +112,22 @@ class NullObserver(ProtocolObserver):
     """Explicit no-op observer (the hooks are already no-ops)."""
 
 
+def effective_observer(
+    observer: Optional[ProtocolObserver],
+) -> Optional[ProtocolObserver]:
+    """Normalize an observer for hot-path dispatch.
+
+    A bare :class:`NullObserver` (not a subclass) collapses to ``None`` so
+    engines and drivers can guard hook calls with a plain ``is not None``
+    test instead of paying a no-op method call per protocol event.
+    Subclasses pass through untouched: overriding any hook makes the
+    observer meaningful again.
+    """
+    if observer is None or type(observer) is NullObserver:
+        return None
+    return observer
+
+
 class CompositeObserver(ProtocolObserver):
     """Fans every hook out to several observers, in order."""
 

@@ -18,7 +18,7 @@ from repro.core.token import RegularToken
 from repro.net.fragment import Reassembler, fragment_datagram
 from repro.net.host import SimHost
 from repro.net.packet import Frame, PortKind
-from repro.obs.observer import ProtocolObserver
+from repro.obs.observer import ProtocolObserver, effective_observer
 from repro.sim.profiles import ImplementationProfile
 from repro.util.stats import RunStats
 
@@ -46,9 +46,29 @@ class ProtocolHost:
         self.participant = participant
         self.profile = profile
         self.stats = stats if stats is not None else RunStats()
+        # A bare NullObserver collapses to None so hot-path hook guards
+        # (`observer is not None`) skip no-op calls entirely.
+        observer = effective_observer(observer)
         self.observer = observer if observer is not None else participant.observer
         if participant.observer is None:
             participant.observer = observer
+        # Hot-path caches: the profile is a frozen dataclass, so its cost
+        # model is hoisted into locals once.  The inlined cost expressions
+        # below must keep the exact arithmetic shape of
+        # ImplementationProfile.recv_cost/send_cost and
+        # DataMessage.wire_size or seeded traces change.
+        self._recv_cpu = profile.recv_cpu
+        self._per_byte_recv = profile.per_byte_recv
+        self._send_cpu = profile.send_cpu
+        self._per_byte_send = profile.per_byte_send
+        self._header_bytes = profile.data_header_bytes
+        self._token_cpu = profile.token_cpu
+        self._token_send_cpu = profile.token_send_cpu
+        self._deliver_cpu = profile.deliver_cpu
+        self._ingest_cpu = profile.ingest_cpu
+        # Non-final fragments all cost the same and carry no arguments, so
+        # a single shared task tuple serves every one of them.
+        self._fragment_task = (profile.fragment_cpu, _noop, ())
         if participant.clock is None:
             participant.clock = lambda: host.sim.now
         #: Deliveries of messages submitted before this time are excluded
@@ -88,8 +108,8 @@ class ProtocolHost:
             payload_size=payload_size,
         )
         self.stats.messages_sent += 1
-        if self.profile.ingest_cpu > 0.0:
-            self.host.cpu.submit(self.profile.ingest_cpu, _noop)
+        if self._ingest_cpu > 0.0:
+            self.host.cpu.submit(self._ingest_cpu, _noop)
         else:
             self.host.cpu.kick()
 
@@ -108,123 +128,169 @@ class ProtocolHost:
     # CPU loop
     # ------------------------------------------------------------------
 
-    def _select_work(self) -> Optional[Tuple[float, Callable[[], None]]]:
+    def _select_work(self) -> Optional[Tuple[float, Callable[..., None], tuple]]:
         """Pick the next frame to process, honoring token/data priority.
 
         Called by the CPU whenever its explicit queue drains.  After a
         token is processed data has high priority; the engine raises
         ``token_has_priority`` per the configured §III-D method.
+
+        Returns ``(cost, fn, args)`` tasks — arguments ride in the tuple
+        so no closure is allocated per frame.
         """
-        if self.host.crashed:
+        host = self.host
+        if host.crashed:
             return None
-        token_avail = len(self.host.token_socket) > 0
-        data_avail = len(self.host.data_socket) > 0
-        if token_avail and (self.participant.token_has_priority or not data_avail):
-            frame = self.host.token_socket.pop()
-            return (self.profile.token_cpu, lambda: self._process_token(frame))
+        token_socket = host.token_socket
+        data_socket = host.data_socket
+        # Emptiness tests go straight to the deques: this hook runs once
+        # per frame processed, and SocketBuffer.__len__ adds two calls.
+        data_avail = bool(data_socket._queue)
+        if token_socket._queue and (
+            self.participant.token_has_priority or not data_avail
+        ):
+            frame = token_socket._queue.popleft()
+            token_socket._queued_bytes -= frame.size
+            token = frame.payload
+            frame.recycle()
+            return (self._token_cpu, self._process_token, (token,))
         if data_avail:
-            frame = self.host.data_socket.pop()
-            datagram = self.reassembler.accept(frame)
-            if datagram is None:
-                # A non-final fragment: cheap kernel work, no protocol event.
-                return (self.profile.fragment_cpu, _noop)
-            cost = self.profile.recv_cost(
-                datagram.wire_size(self.profile.data_header_bytes)
+            frame = data_socket._queue.popleft()
+            data_socket._queued_bytes -= frame.size
+            # Reassembler.accept inlined for the unfragmented common case
+            # (same counter updates); fragments take the slow path.  The
+            # per-destination clone is consumed either way: return it to
+            # the frame pool (the MTU-fragmentation hot path allocates one
+            # clone per fragment per receiver).
+            if frame.fragment is None:
+                self.reassembler.datagrams_completed += 1
+                datagram = frame.payload
+                frame.recycle()
+            else:
+                datagram = self.reassembler.accept(frame)
+                frame.recycle()
+                if datagram is None:
+                    # A non-final fragment: cheap kernel work, no protocol
+                    # event.
+                    return self._fragment_task
+            # profile.recv_cost(datagram.wire_size(header)) inlined —
+            # identical arithmetic shape, two method calls saved per
+            # data message.
+            cost = self._recv_cpu + self._per_byte_recv * (
+                self._header_bytes + int(datagram.payload_size)
             )
-            return (cost, lambda: self._process_data(datagram))
+            return (cost, self._process_data, (datagram,))
         return None
 
-    def _process_token(self, frame: Frame) -> None:
-        token = frame.payload
+    def _process_token(self, token: RegularToken) -> None:
         effects = self.participant.on_token(token)
         if effects:
             self.stats.token_rounds += 1
         self._execute(effects)
 
     def _process_data(self, message: DataMessage) -> None:
-        self._execute(self.participant.on_data(message))
+        effects = self.participant.on_data(message)
+        if effects:
+            self._execute(effects)
 
     # ------------------------------------------------------------------
     # Effects
     # ------------------------------------------------------------------
 
     def _execute(self, effects: List[Effect]) -> None:
+        # Cpu.submit is bypassed: tasks are appended straight onto the CPU
+        # queue and the CPU is kicked once at the end.  When _execute runs
+        # inside a CPU task (the normal case) the CPU is busy and the kick
+        # is a no-op, exactly as the per-submit kicks were; when it is
+        # idle, deferring the kick to after the batch starts the same
+        # first task with the same event sequence numbers.
+        cpu = self.host.cpu
+        append = cpu._queue.append
+        queued = False
         for effect in effects:
-            if isinstance(effect, MulticastData):
-                self.host.cpu.submit(
-                    self.profile.send_cost(
-                        effect.message.wire_size(self.profile.data_header_bytes)
-                    ),
-                    self._make_multicast(effect.message, effect.retransmission),
+            kind = type(effect)
+            # Deliver dominates (one per delivered message vs one
+            # MulticastData per send), so it is tested first.
+            if kind is Deliver:
+                append((self._deliver_cpu, self._run_delivery, (effect.message,)))
+            elif kind is MulticastData:
+                message = effect.message
+                # profile.send_cost(message.wire_size(header)) inlined —
+                # identical arithmetic shape.
+                append(
+                    (
+                        self._send_cpu
+                        + self._per_byte_send
+                        * (self._header_bytes + int(message.payload_size)),
+                        self._run_multicast,
+                        (message, effect.retransmission),
+                    )
                 )
-            elif isinstance(effect, SendToken):
-                self.host.cpu.submit(
-                    self.profile.token_send_cpu,
-                    self._make_token_send(effect.token, effect.destination),
+            elif kind is SendToken:
+                append(
+                    (
+                        self._token_send_cpu,
+                        self._run_token_send,
+                        (effect.token, effect.destination),
+                    )
                 )
-            elif isinstance(effect, Deliver):
-                self.host.cpu.submit(
-                    self.profile.deliver_cpu,
-                    self._make_delivery(effect.message),
-                )
-            elif isinstance(effect, Stable):
-                pass
+            elif kind is Stable:
+                continue
             else:
                 raise TypeError(f"unknown effect {effect!r}")
+            queued = True
+        if queued and not cpu._busy:
+            cpu._start_next()
 
-    def _make_multicast(self, message: DataMessage, retransmission: bool):
-        def run() -> None:
-            size = message.wire_size(self.profile.data_header_bytes)
-            frames = fragment_datagram(
-                src=self.participant.pid,
-                dst=None,
-                kind=PortKind.DATA,
-                size=size,
-                payload=message,
-                mtu=self.host.params.mtu,
+    def _run_multicast(self, message: DataMessage, retransmission: bool) -> None:
+        size = self._header_bytes + int(message.payload_size)
+        frames = fragment_datagram(
+            src=self.participant.pid,
+            dst=None,
+            kind=PortKind.DATA,
+            size=size,
+            payload=message,
+            mtu=self.host.params.mtu,
+        )
+        on_transmit = self.on_transmit
+        send = self.host.nic.send
+        for frame in frames:
+            if on_transmit is not None:
+                on_transmit(frame)
+            send(frame)
+        if retransmission:
+            self.stats.retransmissions += 1
+
+    def _run_token_send(self, token: RegularToken, destination: int) -> None:
+        frame = Frame.acquire(
+            self.participant.pid,
+            destination,
+            PortKind.TOKEN,
+            token.wire_size(),
+            token,
+        )
+        if self.on_transmit is not None:
+            self.on_transmit(frame)
+        self.host.nic.send(frame)
+
+    def _run_delivery(self, message: DataMessage) -> None:
+        now = self.host.sim.now
+        observer = self.observer
+        if observer is not None:
+            observer.on_deliver(self.participant.pid, message, now=now)
+        on_deliver = self.on_deliver
+        if on_deliver is not None:
+            on_deliver(message)
+        if self.keep_delivered_log:
+            self.delivered_log.append(message)
+        timestamp = message.timestamp
+        if timestamp is not None and timestamp >= self.measure_from:
+            # payload_size is always a non-negative int (DataMessage
+            # defaults it to len(payload)), so the old int(... or 0)
+            # coercion is value-identical and dropped.
+            self.stats.record_delivery(
+                now, message.pid, now - timestamp, message.payload_size
             )
-            for frame in frames:
-                if self.on_transmit is not None:
-                    self.on_transmit(frame)
-                self.host.nic.send(frame)
-            if retransmission:
-                self.stats.retransmissions += 1
-
-        return run
-
-    def _make_token_send(self, token: RegularToken, destination: int):
-        def run() -> None:
-            frame = Frame(
-                src=self.participant.pid,
-                dst=destination,
-                kind=PortKind.TOKEN,
-                size=token.wire_size(),
-                payload=token,
-            )
-            if self.on_transmit is not None:
-                self.on_transmit(frame)
-            self.host.nic.send(frame)
-
-        return run
-
-    def _make_delivery(self, message: DataMessage):
-        def run() -> None:
-            now = self.host.sim.now
-            if self.observer is not None:
-                self.observer.on_deliver(self.participant.pid, message, now=now)
-            if self.on_deliver is not None:
-                self.on_deliver(message)
-            if self.keep_delivered_log:
-                self.delivered_log.append(message)
-            if message.timestamp is not None and message.timestamp >= self.measure_from:
-                self.stats.record_delivery(
-                    now=now,
-                    sender=message.pid,
-                    latency=now - message.timestamp,
-                    payload_size=int(message.payload_size or 0),
-                )
-
-        return run
 
 
 def _noop() -> None:

@@ -122,18 +122,18 @@ class MembershipHost:
 
     # ------------------------------------------------------------------
 
-    def _select_work(self) -> Optional[Tuple[float, object]]:
+    def _select_work(self) -> Optional[Tuple[float, object, tuple]]:
         if self.host.crashed:
             return None
         token_avail = len(self.host.token_socket) > 0
         data_avail = len(self.host.data_socket) > 0
         if token_avail and (self.controller.token_has_priority or not data_avail):
             frame = self.host.token_socket.pop()
-            return (_CONTROL_CPU, lambda: self._process(frame))
+            return (_CONTROL_CPU, self._process, (frame,))
         if data_avail:
             frame = self.host.data_socket.pop()
             cost = self.profile.recv_cost(frame.size)
-            return (cost, lambda: self._process(frame))
+            return (cost, self._process, (frame,))
         return None
 
     def _process(self, frame: Frame) -> None:

@@ -109,7 +109,22 @@ class Fragment:
     chunk: bytes
 
     def encode(self) -> bytes:
-        return _FRAGMENT_HEADER.pack(ENV_FRAGMENT, self.frag_id, self.index, self.total) + self.chunk
+        return encode_fragment(self.frag_id, self.index, self.total, self.chunk)
+
+
+def encode_fragment(frag_id: int, index: int, total: int, chunk: "bytes") -> bytes:
+    """Encode a Fragment envelope straight from any buffer slice.
+
+    Accepts a ``memoryview`` as well as ``bytes``: the chunk is copied
+    exactly once, into the output buffer — there is no intermediate
+    header-plus-chunk concatenation copy.  Byte-compatible with
+    :meth:`Fragment.encode`.
+    """
+    header_size = _FRAGMENT_HEADER.size
+    out = bytearray(header_size + len(chunk))
+    _FRAGMENT_HEADER.pack_into(out, 0, ENV_FRAGMENT, frag_id, index, total)
+    out[header_size:] = chunk
+    return bytes(out)
 
 
 Envelope = Union[AppData, GroupJoin, GroupLeave, Packed, Fragment]

@@ -1,0 +1,209 @@
+"""Tests for the regression-gated benchmark harness (repro.bench.harness)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    SUITES,
+    BenchCase,
+    baseline_path,
+    compare_results,
+    load_results,
+    results_path,
+    run_case,
+    run_from_args,
+    run_suite,
+    save_results,
+)
+
+
+def _doc(cases):
+    return {"suite": "smoke", "repeats": 3, "cases": cases}
+
+
+def _case(**overrides):
+    base = {
+        "events_processed": 100_000,
+        "wall_time_s": 0.5,
+        "events_per_sec": 200_000.0,
+        "goodput_mbps": 500.0,
+        "latency_us": 80.0,
+        "peak_rss_kb": 60_000,
+        "repeats": 3,
+    }
+    base.update(overrides)
+    return base
+
+
+# ----------------------------------------------------------------------
+# compare_results semantics
+# ----------------------------------------------------------------------
+
+
+def test_identical_results_pass():
+    doc = _doc({"a": _case()})
+    assert compare_results(doc, doc) == []
+
+
+def test_deterministic_drift_fails_in_both_directions():
+    baseline = _doc({"a": _case()})
+    higher = _doc({"a": _case(events_processed=100_100)})
+    lower = _doc({"a": _case(events_processed=99_900)})
+    assert any("events_processed" in p for p in compare_results(higher, baseline))
+    assert any("events_processed" in p for p in compare_results(lower, baseline))
+
+
+def test_deterministic_metrics_allow_tiny_tolerance():
+    baseline = _doc({"a": _case(goodput_mbps=500.0)})
+    current = _doc({"a": _case(goodput_mbps=500.0 * (1 + 1e-9))})
+    assert compare_results(current, baseline) == []
+
+
+def test_wall_clock_regression_fails_only_beyond_tolerance():
+    baseline = _doc({"a": _case(events_per_sec=200_000.0)})
+    slightly_slower = _doc({"a": _case(events_per_sec=150_000.0)})
+    assert compare_results(slightly_slower, baseline, wall_tol=0.5) == []
+    much_slower = _doc({"a": _case(events_per_sec=90_000.0)})
+    problems = compare_results(much_slower, baseline, wall_tol=0.5)
+    assert any("events_per_sec" in p for p in problems)
+
+
+def test_faster_wall_clock_is_never_a_regression():
+    baseline = _doc({"a": _case(events_per_sec=200_000.0)})
+    faster = _doc({"a": _case(events_per_sec=900_000.0)})
+    assert compare_results(faster, baseline) == []
+
+
+def test_missing_case_is_a_regression():
+    baseline = _doc({"a": _case(), "b": _case()})
+    current = _doc({"a": _case()})
+    problems = compare_results(current, baseline)
+    assert any(p.startswith("b:") for p in problems)
+
+
+def test_missing_metric_is_a_regression():
+    current_case = _case()
+    del current_case["latency_us"]
+    problems = compare_results(_doc({"a": current_case}), _doc({"a": _case()}))
+    assert any("latency_us" in p for p in problems)
+
+
+def test_extra_current_case_is_ignored():
+    baseline = _doc({"a": _case()})
+    current = _doc({"a": _case(), "new": _case()})
+    assert compare_results(current, baseline) == []
+
+
+# ----------------------------------------------------------------------
+# Paths and persistence
+# ----------------------------------------------------------------------
+
+
+def test_results_and_baseline_paths(tmp_path):
+    assert results_path("smoke", tmp_path) == tmp_path / "BENCH_smoke.json"
+    assert (
+        baseline_path("headline", tmp_path)
+        == tmp_path / "benchmarks" / "baselines" / "BENCH_headline.json"
+    )
+
+
+def test_save_load_round_trip(tmp_path):
+    doc = _doc({"a": _case()})
+    path = tmp_path / "nested" / "BENCH_smoke.json"
+    save_results(doc, path)
+    assert load_results(path) == doc
+    # Stable on-disk form: sorted keys, trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Suite definitions and runners
+# ----------------------------------------------------------------------
+
+
+def test_suites_are_defined():
+    assert set(SUITES) >= {"smoke", "headline"}
+    for cases in SUITES.values():
+        names = [case.name for case in cases]
+        assert len(names) == len(set(names))
+        for case in cases:
+            assert case.warmup > 0 and case.measure > 0
+
+
+def test_run_suite_rejects_unknown_suite():
+    with pytest.raises(ValueError):
+        run_suite("no-such-suite")
+
+
+def test_run_from_args_unknown_suite_exits_2():
+    assert run_from_args("no-such-suite") == 2
+
+
+def test_check_baseline_missing_exits_1(tmp_path, monkeypatch):
+    # Point the output and baseline into tmp so no repo files are touched;
+    # use a tiny synthetic suite so the check is fast.
+    tiny = BenchCase(
+        name="tiny",
+        build=SUITES["smoke"][0].build,
+        warmup=0.001,
+        measure=0.002,
+    )
+    monkeypatch.setitem(SUITES, "tiny", [tiny])
+    rc = run_from_args(
+        "tiny",
+        repeats=1,
+        output=tmp_path / "BENCH_tiny.json",
+        baseline=tmp_path / "missing" / "BENCH_tiny.json",
+        check_baseline=True,
+    )
+    assert rc == 1
+
+
+def test_run_case_rejects_bad_repeats():
+    with pytest.raises(ValueError):
+        run_case(SUITES["smoke"][0], repeats=0)
+
+
+def test_run_case_is_deterministic_across_repeats():
+    tiny = BenchCase(
+        name="tiny",
+        build=SUITES["smoke"][0].build,
+        warmup=0.001,
+        measure=0.002,
+    )
+    result = run_case(tiny, repeats=2)
+    assert result.repeats == 2
+    assert result.events_processed > 0
+    assert result.wall_time_s > 0
+    assert result.events_per_sec > 0
+    assert result.peak_rss_kb > 0
+    # Self-check: a second run of the same case reproduces the
+    # deterministic metrics exactly.
+    again = run_case(tiny, repeats=1)
+    assert again.events_processed == result.events_processed
+    assert again.goodput_mbps == result.goodput_mbps
+    assert again.latency_us == result.latency_us
+
+
+def test_update_then_check_baseline_round_trip(tmp_path, monkeypatch):
+    tiny = BenchCase(
+        name="tiny",
+        build=SUITES["smoke"][0].build,
+        warmup=0.001,
+        measure=0.002,
+    )
+    monkeypatch.setitem(SUITES, "tiny", [tiny])
+    out = tmp_path / "BENCH_tiny.json"
+    base = tmp_path / "baselines" / "BENCH_tiny.json"
+    assert (
+        run_from_args("tiny", repeats=1, output=out, baseline=base, update_baseline=True)
+        == 0
+    )
+    assert base.exists()
+    assert (
+        run_from_args("tiny", repeats=1, output=out, baseline=base, check_baseline=True)
+        == 0
+    )

@@ -1,0 +1,135 @@
+"""Heap-compaction and frame-pool tests for the hot-path engine.
+
+Compaction rewrites the event heap *in place* (``queue[:] = ...``)
+because :meth:`Simulator.run` and :meth:`Simulator.step` hold a local
+reference to the queue list across callbacks.  These tests pin both the
+cancellation bookkeeping and that aliasing contract, plus the bounded
+:class:`Frame` free list.
+"""
+
+from repro.net import packet
+from repro.net.packet import Frame, PortKind
+from repro.net.simulator import _COMPACT_MIN, Simulator
+
+
+def test_mass_cancel_compacts_heap():
+    sim = Simulator()
+    seen = []
+    live = [sim.schedule(2.0, seen.append, i) for i in range(10)]
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(110)]
+    for handle in doomed:
+        handle.cancel()
+    # 120 entries; compaction fires once cancelled entries exceed half
+    # the heap, so the queue must have shrunk below the total scheduled.
+    assert len(sim._queue) < len(live) + len(doomed)
+    assert sim.pending_events == len(live)
+    sim.run_until_idle()
+    assert seen == list(range(10))
+    assert sim.pending_events == 0
+    assert sim.cancelled_pending == 0
+
+
+def test_compaction_preserves_dispatch_order():
+    sim = Simulator()
+    seen = []
+    sim.post(0.5, seen.append, "post")
+    for i in range(5):
+        sim.schedule(0.4 + i * 0.001, seen.append, i)
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(130)]
+    for handle in doomed:
+        handle.cancel()
+    sim.run_until_idle()
+    assert seen == [0, 1, 2, 3, 4, "post"]
+
+
+def test_small_heaps_stay_lazy():
+    sim = Simulator()
+    count = _COMPACT_MIN // 2
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(count)]
+    for handle in doomed:
+        handle.cancel()
+    # Below the compaction threshold, cancellation stays lazy: the
+    # entries remain in the heap and are skipped at pop time.
+    assert sim.cancelled_pending == count
+    assert len(sim._queue) == count
+    assert sim.pending_events == 0
+    sim.run_until_idle()
+    assert sim.cancelled_pending == 0
+    assert len(sim._queue) == 0
+
+
+def test_compaction_inside_callback_does_not_duplicate_dispatch():
+    """cancel() from inside a running callback can trigger compaction
+    while run() is iterating its local reference to the queue.  If
+    _compact() rebound self._queue instead of mutating in place, the
+    dispatch loop would drain a stale list and leave every surviving
+    event queued for a second dispatch.
+    """
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+
+    def cancel_everything():
+        for handle in doomed:
+            handle.cancel()
+
+    sim.schedule(0.1, cancel_everything)
+    for i in range(10):
+        sim.schedule(0.2 + i * 0.01, fired.append, i)
+    sim.run(until=5.0)
+    assert fired == list(range(10))
+    assert sim.pending_events == 0
+    before = list(fired)
+    sim.run_until_idle()
+    assert fired == before
+
+
+def test_cancel_is_idempotent_for_bookkeeping():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    handle.cancel()
+    assert sim.cancelled_pending == 1
+    assert sim.pending_events == 0
+
+
+def test_frame_pool_reuses_recycled_frames():
+    packet._pool.clear()
+    frame = Frame.acquire(1, 2, PortKind.DATA, 100, "payload")
+    first_id = frame.frame_id
+    frame.recycle()
+    assert frame.payload is None
+    assert frame.fragment is None
+    again = Frame.acquire(3, None, PortKind.TOKEN, 50, "other", fragment=(1, 0, 2))
+    assert again is frame
+    assert again.frame_id > first_id
+    assert (again.src, again.dst, again.kind, again.size) == (3, None, PortKind.TOKEN, 50)
+    assert again.payload == "other"
+    assert again.fragment == (1, 0, 2)
+
+
+def test_clone_for_keeps_frame_id():
+    packet._pool.clear()
+    original = Frame.acquire(1, None, PortKind.DATA, 100, "msg")
+    clone = original.clone_for(7)
+    assert clone.frame_id == original.frame_id
+    assert clone.dst == 7
+    assert clone.src == original.src
+    assert clone.payload == original.payload
+    # A pooled frame serves clones too, still with the original's id.
+    spare = Frame.acquire(9, 9, PortKind.DATA, 1, "x")
+    spare.recycle()
+    clone2 = original.clone_for(8)
+    assert clone2 is spare
+    assert clone2.frame_id == original.frame_id
+    assert clone2.dst == 8
+
+
+def test_frame_pool_is_bounded():
+    packet._pool.clear()
+    frames = [Frame(0, 1, PortKind.DATA, 10, "p") for _ in range(packet._POOL_CAP + 10)]
+    for frame in frames:
+        frame.recycle()
+    assert len(packet._pool) == packet._POOL_CAP
+    packet._pool.clear()
