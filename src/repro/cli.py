@@ -7,6 +7,7 @@
 * ``maxtp`` — the headline maximum-throughput table.
 * ``figure`` — regenerate one paper figure by number.
 * ``chaos`` — run a named fault-injection scenario under EVS checking.
+* ``soak`` — run many seeded random fault plans under EVS checking.
 * ``bench`` — run a benchmark suite, gated on a committed baseline.
 * ``daemon`` — run a real daemon (UDP ring + unix client socket).
 """
@@ -194,6 +195,71 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.faults.soak import Counterexample, run_soak
+
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            counterexample = Counterexample.from_json(handle.read())
+        print(
+            f"replaying counterexample: soak seed {counterexample.soak_seed} "
+            f"case {counterexample.index} (seed={counterexample.seed}, "
+            f"hosts={counterexample.num_hosts}, "
+            f"events={len(counterexample.plan)})"
+        )
+        violation = counterexample.replay()
+        if violation is None:
+            print("  PASS  the failure no longer reproduces")
+            return 0
+        print("  FAIL  violation reproduces:")
+        for line in violation.splitlines():
+            print(f"        {line}")
+        return 1
+
+    def progress(case) -> None:
+        if case.violation is not None:
+            print(f"  case {case.index}: VIOLATION (seed={case.seed})")
+        elif (case.index + 1) % 25 == 0 or case.index + 1 == args.plans:
+            print(f"  {case.index + 1}/{args.plans} plans checked")
+
+    report = run_soak(
+        plans=args.plans,
+        num_hosts=args.hosts,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        report_path = os.path.join(args.out, "soak_report.json")
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {report_path}")
+        for counterexample in report.counterexamples:
+            path = os.path.join(
+                args.out, f"counterexample_{counterexample.index}.json"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(counterexample.to_json())
+            print(f"counterexample written to {path}")
+    print()
+    print(
+        f"{report.plans - report.failures}/{report.plans} plans passed, "
+        f"{report.failures} EVS violation(s)"
+    )
+    for counterexample in report.counterexamples:
+        print(
+            f"  case {counterexample.index}: seed={counterexample.seed} "
+            f"minimized to {len(counterexample.minimized_steps)} step(s); "
+            f"replay with: python -m repro soak --replay "
+            f"counterexample_{counterexample.index}.json"
+        )
+    return 1 if report.failures else 0
+
+
 def cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -320,6 +386,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--all", action="store_true",
                        help="run every scenario (CI's chaos-smoke job)")
     chaos.set_defaults(func=cmd_chaos)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run seeded random fault plans under EVS checking (soak test)",
+    )
+    soak.add_argument("--plans", type=int, default=200,
+                      help="number of random fault plans to run")
+    soak.add_argument("--hosts", type=int, default=4,
+                      help="cluster size for every plan")
+    soak.add_argument("--seed", type=int, default=1,
+                      help="master seed: every case seed derives from it")
+    soak.add_argument("--max-steps", type=int, default=8,
+                      help="max abstract fault steps per generated plan")
+    soak.add_argument("--out", default=None, metavar="DIR",
+                      help="write soak_report.json and counterexample_<n>.json "
+                           "artifacts into DIR")
+    soak.add_argument("--no-minimize", action="store_true",
+                      help="keep failing plans as generated (skip shrinking)")
+    soak.add_argument("--replay", default=None, metavar="FILE",
+                      help="replay a counterexample_<n>.json artifact instead "
+                           "of generating plans")
+    soak.set_defaults(func=cmd_soak)
 
     bench = sub.add_parser(
         "bench",

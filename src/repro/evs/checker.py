@@ -203,11 +203,96 @@ class EvsChecker:
             reference = snapshots[reference_pid]
             for pid in participants[1:]:
                 if snapshots[pid] != reference:
-                    missing = reference.symmetric_difference(snapshots[pid])
                     raise EvsViolation(
-                        f"virtual synchrony violated at transitional config "
-                        f"{config_id}: {reference_pid} and {pid} differ on {sorted(missing)[:10]}"
+                        self._format_vs_violation(
+                            config_id,
+                            members,
+                            reference_pid,
+                            reference,
+                            pid,
+                            snapshots[pid],
+                        )
                     )
+
+    # -- violation formatting ------------------------------------------
+
+    def _format_vs_violation(
+        self,
+        config_id: int,
+        members: FrozenSet[int],
+        reference_pid: int,
+        reference: Set[MessageKey],
+        pid: int,
+        other: Set[MessageKey],
+    ) -> str:
+        """Build a debuggable virtual-synchrony violation message.
+
+        Includes the diverging pids, the transitional configuration, the
+        exact message keys each side is missing, and a minimal trace
+        excerpt around each side's transitional delivery — enough to see
+        *where* the delivered sets forked without replaying the run.
+        """
+        lines = [
+            f"virtual synchrony violated at transitional config {config_id}",
+            f"  members: {sorted(members)}",
+            f"  pids {reference_pid} and {pid} disagree on the closed "
+            "ring's delivered set:",
+            "    delivered only by "
+            f"{reference_pid}: {self._format_keys(reference - other)}",
+            f"    delivered only by {pid}: {self._format_keys(other - reference)}",
+            f"  trace excerpt, pid {reference_pid}:",
+        ]
+        lines.extend(self._trace_excerpt(reference_pid, config_id))
+        lines.append(f"  trace excerpt, pid {pid}:")
+        lines.extend(self._trace_excerpt(pid, config_id))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format_keys(keys: Set[MessageKey], limit: int = 10) -> str:
+        ordered = sorted(keys)
+        text = str(ordered[:limit])
+        if len(ordered) > limit:
+            text += f" (+{len(ordered) - limit} more)"
+        return text
+
+    def _format_event(self, event: DeliveryEvent) -> str:
+        if isinstance(event, MessageDelivery):
+            ring, seq = self._key(event)
+            return (
+                f"deliver ({ring}, {seq}) "
+                f"{event.service.name.lower()} from {event.sender}"
+            )
+        if isinstance(event, ConfigDelivery):
+            configuration = event.configuration
+            kind = "transitional" if configuration.transitional else "regular"
+            return (
+                f"install {kind} config {configuration.config_id} "
+                f"members={sorted(configuration.members)}"
+            )
+        return repr(event)
+
+    def _trace_excerpt(self, pid: int, config_id: int, context: int = 4) -> List[str]:
+        """The last ``context`` events before (and including) ``pid``'s
+        delivery of transitional configuration ``config_id``."""
+        trace = self.traces.get(pid, [])
+        anchor = next(
+            (
+                index
+                for index, event in enumerate(trace)
+                if isinstance(event, ConfigDelivery)
+                and event.configuration.transitional
+                and event.config_id == config_id
+            ),
+            None,
+        )
+        if anchor is None:
+            return ["    (no transitional config delivery recorded)"]
+        start = max(0, anchor - context)
+        lines = []
+        if start > 0:
+            lines.append(f"    ... {start} earlier events ...")
+        lines.extend("    " + self._format_event(e) for e in trace[start : anchor + 1])
+        return lines
 
     def check_self_delivery(self, crashed: FrozenSet[int]) -> None:
         for pid, submitted in self.submissions.items():

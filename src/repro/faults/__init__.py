@@ -12,6 +12,11 @@ reproducible chaos experiments:
   frame filters, host receive interceptors, the cluster fault surface).
 * :mod:`repro.faults.scenarios` — a named scenario library whose
   reports are EVS-checked and byte-identical per seed.
+* :mod:`repro.faults.generator` — seeded random *valid* fault-plan
+  generation, shared by the hypothesis suite and the soak harness.
+* :mod:`repro.faults.soak` — the soak harness: N seeded random plans
+  under full EVS checking, with minimized replayable counterexamples
+  (``python -m repro soak``).
 
 Quickstart::
 
@@ -41,8 +46,18 @@ from repro.faults.events import (
     TokenDrop,
     event_from_dict,
 )
+from repro.faults.generator import build_plan, random_plan, random_steps
 from repro.faults.injector import FaultInjector, run_plan
 from repro.faults.plan import FaultPlan, PlanBuilder
+from repro.faults.soak import (
+    Counterexample,
+    SoakCase,
+    SoakReport,
+    check_plan,
+    drive_plan,
+    minimize_steps,
+    run_soak,
+)
 from repro.faults.scenarios import (
     SCENARIOS,
     ScenarioReport,
@@ -52,6 +67,7 @@ from repro.faults.scenarios import (
 )
 
 __all__ = [
+    "Counterexample",
     "Crash",
     "EVENT_TYPES",
     "FaultEvent",
@@ -67,9 +83,18 @@ __all__ = [
     "SCENARIOS",
     "ScenarioReport",
     "ScenarioSpec",
+    "SoakCase",
+    "SoakReport",
     "TokenDrop",
+    "build_plan",
+    "check_plan",
+    "drive_plan",
     "event_from_dict",
+    "minimize_steps",
+    "random_plan",
+    "random_steps",
     "run_all",
     "run_plan",
     "run_scenario",
+    "run_soak",
 ]

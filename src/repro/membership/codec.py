@@ -34,8 +34,8 @@ TYPE_BEACON = 7
 _JOIN_HEADER = struct.Struct("!BBIQII")
 # magic, type, ring_id, rotation, n_members, n_infos
 _COMMIT_HEADER = struct.Struct("!BBQIII")
-# per info: pid, old_ring_id, old_aru, high_seq
-_COMMIT_INFO = struct.Struct("!IQQQ")
+# per info: pid, old_ring_id, old_aru, high_seq, last_delivered
+_COMMIT_INFO = struct.Struct("!IQQQQ")
 # magic, type, old_ring_id, inner_length
 _RECOVERED_HEADER = struct.Struct("!BBQI")
 # magic, type, sender, new_ring_id, old_ring_id, complete, n_have
@@ -76,7 +76,9 @@ def encode_commit(token: CommitToken) -> bytes:
     )
     members = struct.pack(f"!{len(token.members)}I", *token.members)
     infos = b"".join(
-        _COMMIT_INFO.pack(pid, info.old_ring_id, info.old_aru, info.high_seq)
+        _COMMIT_INFO.pack(
+            pid, info.old_ring_id, info.old_aru, info.high_seq, info.last_delivered
+        )
         for pid, info in sorted(token.infos.items())
     )
     return header + members + infos
@@ -89,9 +91,16 @@ def _decode_commit(data: bytes) -> CommitToken:
     offset += 4 * n_members
     infos = {}
     for _ in range(n_infos):
-        pid, old_ring, old_aru, high_seq = _COMMIT_INFO.unpack_from(data, offset)
+        pid, old_ring, old_aru, high_seq, last_delivered = _COMMIT_INFO.unpack_from(
+            data, offset
+        )
         offset += _COMMIT_INFO.size
-        infos[pid] = MemberInfo(old_ring_id=old_ring, old_aru=old_aru, high_seq=high_seq)
+        infos[pid] = MemberInfo(
+            old_ring_id=old_ring,
+            old_aru=old_aru,
+            high_seq=high_seq,
+            last_delivered=last_delivered,
+        )
     return CommitToken(ring_id=ring_id, members=tuple(members), infos=infos, rotation=rotation)
 
 

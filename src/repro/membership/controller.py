@@ -92,10 +92,23 @@ class _RecoveryState:
     old_members: Tuple[int, ...]  # members of my old ring present in the new ring
     low: int
     high: int
+    #: Highest old-ring seq any old-ring survivor already delivered to its
+    #: application.  All survivors must deliver up to here in the old
+    #: *regular* configuration (even Safe messages: a survivor's delivery
+    #: is proof that stability was established in the old ring) so the
+    #: delivered set of the closed ring agrees across the transitional
+    #: configuration — the EVS virtual-synchrony property.
+    deliver_high: int = 0
     my_have: Set[int] = field(default_factory=set)
     peer_have: Dict[int, Set[int]] = field(default_factory=dict)
     complete_peers: Set[int] = field(default_factory=set)
     done: bool = False
+    #: Self-healing bookkeeping: which retry round this recovery is on
+    #: (0 = the initial attempt), and the round at which each old-ring
+    #: peer last gossiped a status (for liveness suspicion).
+    attempt: int = 0
+    status_attempt: Dict[int, int] = field(default_factory=dict)
+    suspects: Set[int] = field(default_factory=set)
 
     def available(self) -> Set[int]:
         union = set(self.my_have)
@@ -137,7 +150,7 @@ class MembershipController:
         self.pid = pid
         self.accelerated = accelerated
         self.protocol_config = (protocol_config or ProtocolConfig()).validate()
-        self.timeouts = timeouts or MembershipTimeouts()
+        self.timeouts = (timeouts or MembershipTimeouts()).validate()
         self.observer = observer
         self.clock = clock
 
@@ -160,6 +173,14 @@ class MembershipController:
         self._final_recovery: Optional[_RecoveryState] = None
         self._old_buffer = None  # previous ring's MessageBuffer, kept to help stragglers
         self._past_rings: Set[int] = set()
+        #: Ring ids whose recovery this controller has ever entered.  A
+        #: commit token for one of these is a stale echo: ring ids are
+        #: never reused (the ring sequence number is monotonic per
+        #: representative), so accepting the echo would re-run recovery
+        #: for a ring we already installed or abandoned — re-delivering
+        #: its configurations and churning forever.  Bounded by the
+        #: number of view changes, like ``_past_rings``.
+        self._attempted_rings: Set[int] = set()
         self._stash: List[object] = []
         self._pre_ring_pending: Deque[Tuple[bytes, DeliveryService, Optional[float], Optional[int]]] = deque()
         # Deterministic per-pid jitter for the gather-phase timers.
@@ -174,6 +195,8 @@ class MembershipController:
         self.view_changes = 0
         self.joins_sent = 0
         self.recoveries_completed = 0
+        self.recovery_retries = 0
+        self.recovery_aborts = 0
         self.token_losses = 0
 
     # ------------------------------------------------------------------
@@ -283,8 +306,11 @@ class MembershipController:
                     SetTimer(TIMER_RECOVERY_STATUS, self.timeouts.recovery_status_interval)
                 )
         elif name == TIMER_RECOVERY:
-            if self.state is MemberState.RECOVER:
-                self._enter_gather(effects)
+            # Idempotent by construction: a stray or deferred firing after
+            # the recovery completed or aborted finds state != RECOVER (or
+            # no recovery in flight) and is a no-op.
+            if self.state is MemberState.RECOVER and self._rec is not None:
+                self._on_recovery_timeout(effects)
         elif name == TIMER_BEACON:
             if self.state is MemberState.OPERATIONAL:
                 effects.append(
@@ -388,14 +414,20 @@ class MembershipController:
     # Gather
     # ------------------------------------------------------------------
 
-    def _enter_gather(self, effects: List[Effect]) -> None:
+    def _enter_gather(
+        self, effects: List[Effect], pre_failed: Optional[Set[int]] = None
+    ) -> None:
         self._set_state(MemberState.GATHER)
         self._expected_members = None
         self._rec = None
         self._proc_set = {self.pid}
         if self.ring_config is not None:
             self._proc_set |= set(self.ring_config.members)
-        self._fail_set = set()
+        # ``pre_failed`` seeds the fail set: peers an aborted recovery
+        # proved unresponsive start this gather already condemned, so
+        # consensus does not stall waiting for them again (graceful
+        # degradation — the candidate set shrinks instead of hanging).
+        self._fail_set = set(pre_failed or ()) - {self.pid}
         self._joins = {}
         self._settle_armed = False
         self._consensus_strikes = 0
@@ -441,6 +473,20 @@ class MembershipController:
                 if join.ring_seq < my_seq:
                     return
             self._enter_gather(effects)
+        if self.state is MemberState.RECOVER and self._rec is not None:
+            # A join from a member of the ring under recovery, at or past
+            # that ring's epoch, is explicit evidence the exchange is dead:
+            # joins are only sent while gathering, so the sender abandoned
+            # this recovery and can never answer its status exchange.
+            # Abort now — cheaper and faster than burning the whole retry
+            # budget on a peer that told us it left.  (Joins from before
+            # the commit carry an older ring_seq and do not trigger this.)
+            new_seq, _rep = decode_ring_id(self._rec.new_ring_id)
+            if join.sender in self._rec.members and join.ring_seq >= new_seq:
+                self._abort_recovery(
+                    self._rec, effects, reason="peer_regathered"
+                )
+                # State is Gather now; fall through and process the join.
         if self.state is not MemberState.GATHER:
             return  # committing/recovering: let timeouts sort out failures
         # Epoch scoping: fail verdicts and views from an older epoch are
@@ -544,10 +590,15 @@ class MembershipController:
             return MemberInfo(
                 old_ring_id=encode_ring_id(0, self.pid), old_aru=0, high_seq=0
             )
+        # ``last_delivered`` is the application-visible frontier: while
+        # not Operational the controller rolls speculative deliveries
+        # back (_rewind_deliveries), so this is exactly what the local
+        # application saw from the old ring.
         return MemberInfo(
             old_ring_id=self.ordering.ring_id,
             old_aru=self.ordering.local_aru,
             high_seq=self.ordering.buffer.max_seq,
+            last_delivered=self.ordering.last_delivered,
         )
 
     def _form_singleton(self, effects: List[Effect]) -> None:
@@ -579,6 +630,17 @@ class MembershipController:
 
     def _on_commit_token(self, token: CommitToken, effects: List[Effect]) -> None:
         if self.pid not in token.members:
+            return
+        if (
+            token.ring_id == self.ring_id
+            or token.ring_id in self._past_rings
+            or token.ring_id in self._attempted_rings
+        ):
+            # A stale echo still circulating for a ring we already
+            # installed, left, or abandoned mid-recovery.  Ring ids are
+            # never reused, so this can only be dead history; accepting it
+            # would re-run recovery (re-delivering its configurations) in
+            # an endless install/teardown churn loop.
             return
         if self.state not in (MemberState.GATHER, MemberState.COMMIT):
             if self._rec is not None and token.ring_id == self._rec.new_ring_id:
@@ -614,6 +676,7 @@ class MembershipController:
 
     def _enter_recover(self, token: CommitToken, effects: List[Effect]) -> None:
         self._set_state(MemberState.RECOVER)
+        self._attempted_rings.add(token.ring_id)
         effects.append(CancelTimer(TIMER_COMMIT))
         effects.append(CancelTimer(TIMER_GATHER_RESTART))
         effects.append(CancelTimer(TIMER_JOIN))
@@ -626,6 +689,10 @@ class MembershipController:
         )
         low = min(token.infos[m].old_aru for m in old_members)
         high = max(token.infos[m].high_seq for m in old_members)
+        # The commit token is identical at every member, so every old-ring
+        # survivor computes the same delivery split point — the basis of
+        # their agreement on the closed ring's delivered set.
+        deliver_high = max(token.infos[m].last_delivered for m in old_members)
         rec = _RecoveryState(
             new_ring_id=token.ring_id,
             members=token.members,
@@ -634,6 +701,7 @@ class MembershipController:
             old_members=old_members,
             low=low,
             high=high,
+            deliver_high=deliver_high,
         )
         if self.ordering is not None:
             rec.my_have = {
@@ -643,6 +711,18 @@ class MembershipController:
             }
         rec.done = self._recovery_complete(rec)
         self._rec = rec
+        if self.observer is not None:
+            self.observer.on_recovery_started(
+                self.pid,
+                detail={
+                    "ring_id": rec.new_ring_id,
+                    "old_ring_id": rec.my_old_ring,
+                    "old_members": sorted(rec.old_members),
+                    "window": [rec.low, rec.high],
+                    "deliver_high": rec.deliver_high,
+                },
+                now=self._now(),
+            )
         self._flood(rec, rec.my_have, effects)
         self._send_status(rec, effects)
         effects.append(
@@ -703,6 +783,9 @@ class MembershipController:
             if status.old_ring_id != rec.my_old_ring:
                 return  # another old ring's exchange; not our concern
             rec.peer_have[status.sender] = set(status.have)
+            # Liveness: any status is proof of life for this retry round.
+            rec.status_attempt[status.sender] = rec.attempt
+            rec.suspects.discard(status.sender)
             if status.complete:
                 rec.complete_peers.add(status.sender)
             else:
@@ -769,6 +852,100 @@ class MembershipController:
                 missing_somewhere |= rec.my_have - have
             self._flood(rec, missing_somewhere, effects)
 
+    # -- self-healing: retry / backoff / abort-and-regather ------------
+
+    def _recovery_backoff_delay(self, attempt: int) -> float:
+        """Interval before retry ``attempt`` expires: exponential backoff
+        from ``recovery_timeout``, capped, with deterministic +/- jitter
+        (applied after the cap) to desynchronize retry storms."""
+        timeouts = self.timeouts
+        base = min(
+            timeouts.recovery_timeout * (timeouts.recovery_backoff ** attempt),
+            timeouts.recovery_cap,
+        )
+        jitter = timeouts.recovery_jitter
+        if jitter:
+            base *= self._rng.uniform(1.0 - jitter, 1.0 + jitter)
+        return base
+
+    def _recovery_suspects(self, rec: _RecoveryState) -> Set[int]:
+        """Old-ring peers silent for >= ``recovery_suspect_after``
+        consecutive retry rounds of this recovery."""
+        threshold = self.timeouts.recovery_suspect_after
+        return {
+            peer
+            for peer in rec.old_members
+            if peer != self.pid
+            and rec.attempt - rec.status_attempt.get(peer, 0) >= threshold
+        }
+
+    def _on_recovery_timeout(self, effects: List[Effect]) -> None:
+        """A recovery round expired without finalizing.
+
+        Instead of tearing the exchange down on the first deadline (the
+        legacy behaviour) the controller retries: it re-gossips status and
+        re-floods what known peers are missing, backing off exponentially
+        with jitter, and tracks which peers have gone quiet.  Only when
+        the retry budget is exhausted does it abort back to Gather — with
+        the quiet peers pre-condemned, so the next membership shrinks
+        around them rather than stalling on them again.
+        """
+        rec = self._rec
+        assert rec is not None
+        rec.attempt += 1
+        rec.suspects = self._recovery_suspects(rec)
+        if rec.attempt > self.timeouts.recovery_retries:
+            self._abort_recovery(rec, effects)
+            return
+        self.recovery_retries += 1
+        delay = self._recovery_backoff_delay(rec.attempt)
+        if self.observer is not None:
+            self.observer.on_recovery_retry(
+                self.pid,
+                detail={
+                    "ring_id": rec.new_ring_id,
+                    "attempt": rec.attempt,
+                    "retries_left": self.timeouts.recovery_retries - rec.attempt,
+                    "next_delay": delay,
+                    "missing": len(rec.needed()),
+                    "suspects": sorted(rec.suspects),
+                },
+                now=self._now(),
+            )
+        # Unanswered flood/status round: say it all again, louder.  The
+        # status re-announces our holdings (prompting peers to flood what
+        # we lack); the flood re-sends everything known peers lack.
+        self._recovery_gossip(effects)
+        effects.append(SetTimer(TIMER_RECOVERY, delay))
+
+    def _abort_recovery(
+        self,
+        rec: _RecoveryState,
+        effects: List[Effect],
+        reason: str = "retry_budget",
+    ) -> None:
+        """Give up on this exchange and regather — because the retry
+        budget ran out, or because a recovery peer demonstrably abandoned
+        the exchange (``reason="peer_regathered"``).
+
+        Never finalizes a torn state — no configuration or message is
+        delivered here.  Suspected-dead peers seed the new gather's fail
+        set, shrinking the candidate set (graceful degradation)."""
+        self.recovery_aborts += 1
+        if self.observer is not None:
+            self.observer.on_recovery_aborted(
+                self.pid,
+                detail={
+                    "ring_id": rec.new_ring_id,
+                    "attempts": rec.attempt,
+                    "missing": len(rec.needed()),
+                    "suspects": sorted(rec.suspects),
+                    "reason": reason,
+                },
+                now=self._now(),
+            )
+        self._enter_gather(effects, pre_failed=rec.suspects)
+
     def _maybe_finalize(self, effects: List[Effect]) -> None:
         rec = self._rec
         assert rec is not None
@@ -786,12 +963,23 @@ class MembershipController:
             ordering = self.ordering
             # Phase 1: messages still deliverable in the old regular
             # configuration — the contiguous prefix up to the first
-            # undelivered Safe message (whose old-config stability can no
-            # longer be proven) or the first permanent gap.
+            # undelivered Safe message whose old-config stability cannot
+            # be proven, or the first permanent gap.  The split point must
+            # be *agreed*, not local: up to ``rec.deliver_high`` (the
+            # maximum delivery frontier on the commit token) some old-ring
+            # member already delivered every message — including Safe ones,
+            # whose delivery is itself the stability proof — so every
+            # survivor delivers through it in the regular configuration.
+            # Stopping instead at the local first-undelivered-Safe made
+            # survivors disagree on the closed ring's delivered set (the
+            # seed-7 EVS violation pinned in
+            # tests/integration/test_evs_regressions.py).
             seq = ordering.last_delivered + 1
             while seq <= rec.high:
                 message = ordering.buffer.get(seq)
-                if message is None or message.service.requires_stability:
+                if message is None:
+                    break
+                if seq > rec.deliver_high and message.service.requires_stability:
                     break
                 effects.append(
                     DeliverMessage(
@@ -857,6 +1045,15 @@ class MembershipController:
         self.recoveries_completed += 1
         if self.observer is not None:
             now = self._now()
+            self.observer.on_recovery_completed(
+                self.pid,
+                detail={
+                    "ring_id": rec.new_ring_id,
+                    "attempts": rec.attempt,
+                    "members": list(members),
+                },
+                now=now,
+            )
             self.observer.on_membership_event(
                 self.pid,
                 "ring_installed",

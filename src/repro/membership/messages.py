@@ -33,11 +33,21 @@ class JoinMessage:
 @dataclass(frozen=True)
 class MemberInfo:
     """One member's state from its previous ring, carried on the commit
-    token so every member can compute the recovery exchange."""
+    token so every member can compute the recovery exchange.
+
+    ``last_delivered`` is the member's application-visible delivery
+    frontier in its old ring.  Survivors take the maximum over their old
+    ring's members: every sequence number at or below it was delivered by
+    *someone* in the old regular configuration (so its stability was
+    already proven there), and therefore must be delivered by every
+    survivor in the old regular configuration too — even Safe messages —
+    or the survivors would disagree on the delivered set of the closed
+    ring (an Extended Virtual Synchrony violation)."""
 
     old_ring_id: int
     old_aru: int
     high_seq: int
+    last_delivered: int = 0
 
 
 @dataclass
@@ -55,7 +65,7 @@ class CommitToken:
     rotation: int = 0
 
     def wire_size(self) -> int:
-        return 32 + 8 * len(self.members) + 24 * len(self.infos)
+        return 32 + 8 * len(self.members) + 32 * len(self.infos)
 
     def copy(self) -> "CommitToken":
         return CommitToken(

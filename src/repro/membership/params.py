@@ -8,6 +8,7 @@ wall-clock-scale values instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.util.errors import ConfigurationError
 
@@ -28,8 +29,26 @@ class MembershipTimeouts:
             to Gather.
         recovery_status_interval: how often recovery status gossip and
             re-floods are sent.
-        recovery_timeout: max time in the Recovery phase before falling
-            back to Gather.
+        recovery_timeout: how long the first Recovery attempt may run
+            before the self-healing machinery retries (base interval of
+            the backoff schedule).
+        recovery_retries: how many retransmission retry rounds an
+            unanswered recovery gets before it is aborted back to Gather.
+            0 restores the legacy fixed-deadline behaviour (first expiry
+            aborts).
+        recovery_backoff: multiplier applied to the recovery interval on
+            each retry (exponential backoff); must be >= 1.
+        recovery_jitter: +/- fraction of deterministic per-pid jitter
+            applied to each retry interval, desynchronizing retry storms;
+            0 <= jitter < 1.
+        recovery_timeout_cap: upper bound on a single backed-off retry
+            interval, so deep retry rounds stay responsive.  ``None``
+            (the default) means 8x ``recovery_timeout``, which tracks
+            whatever time scale the deployment runs on.
+        recovery_suspect_after: a recovery peer is suspected once this
+            many consecutive recovery attempts pass without a status
+            message from it; suspects seed the fail set of the regather
+            when the retry budget runs out.
     """
 
     token_loss: float = 5e-3
@@ -42,8 +61,30 @@ class MembershipTimeouts:
     recovery_status_interval: float = 1e-3
     recovery_timeout: float = 30e-3
     beacon_interval: float = 5e-3
+    recovery_retries: int = 3
+    recovery_backoff: float = 2.0
+    recovery_jitter: float = 0.2
+    recovery_timeout_cap: Optional[float] = None
+    recovery_suspect_after: int = 2
+
+    @property
+    def recovery_cap(self) -> float:
+        """The effective retry-interval ceiling (resolves the default)."""
+        if self.recovery_timeout_cap is not None:
+            return self.recovery_timeout_cap
+        return 8.0 * self.recovery_timeout
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "MembershipTimeouts":
+        """Reject nonsensical intervals and backoff knobs.
+
+        Mirrors :meth:`repro.core.config.ProtocolConfig.validate`: called
+        from ``__post_init__`` and again at the protocol boundary (the
+        membership controller), so hand-built or deserialized instances
+        fail loudly too.  Returns ``self`` so call sites can chain.
+        """
         for name in (
             "token_loss",
             "join_interval",
@@ -56,6 +97,34 @@ class MembershipTimeouts:
         ):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if not isinstance(self.recovery_retries, int) or self.recovery_retries < 0:
+            raise ConfigurationError(
+                f"recovery_retries must be a non-negative integer, "
+                f"got {self.recovery_retries!r}"
+            )
+        if self.recovery_backoff < 1.0:
+            raise ConfigurationError(
+                f"recovery_backoff must be >= 1 (got {self.recovery_backoff}): "
+                "a shrinking retry interval hammers an already-struggling ring"
+            )
+        if not 0.0 <= self.recovery_jitter < 1.0:
+            raise ConfigurationError(
+                f"recovery_jitter must be in [0, 1), got {self.recovery_jitter}"
+            )
+        if (
+            self.recovery_timeout_cap is not None
+            and self.recovery_timeout_cap < self.recovery_timeout
+        ):
+            raise ConfigurationError(
+                f"recovery_timeout_cap ({self.recovery_timeout_cap}) must be >= "
+                f"recovery_timeout ({self.recovery_timeout})"
+            )
+        if not isinstance(self.recovery_suspect_after, int) or self.recovery_suspect_after < 1:
+            raise ConfigurationError(
+                f"recovery_suspect_after must be a positive integer, "
+                f"got {self.recovery_suspect_after!r}"
+            )
+        return self
 
     def scaled(self, factor: float) -> "MembershipTimeouts":
         return MembershipTimeouts(
@@ -67,4 +136,13 @@ class MembershipTimeouts:
             recovery_status_interval=self.recovery_status_interval * factor,
             recovery_timeout=self.recovery_timeout * factor,
             beacon_interval=self.beacon_interval * factor,
+            recovery_retries=self.recovery_retries,
+            recovery_backoff=self.recovery_backoff,
+            recovery_jitter=self.recovery_jitter,
+            recovery_timeout_cap=(
+                None
+                if self.recovery_timeout_cap is None
+                else self.recovery_timeout_cap * factor
+            ),
+            recovery_suspect_after=self.recovery_suspect_after,
         )

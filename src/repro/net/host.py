@@ -62,6 +62,11 @@ class SocketBuffer:
     def peek(self) -> Frame:
         return self._queue[0]
 
+    def clear(self) -> None:
+        """Drop every queued frame (kernel buffers are volatile state)."""
+        self._queue.clear()
+        self._queued_bytes = 0
+
 
 class Cpu:
     """A single-threaded CPU.
@@ -103,6 +108,14 @@ class Cpu:
         self._stalled = False
         if not self._busy:
             self._start_next()
+
+    def clear(self) -> None:
+        """Drop all queued work and any stall (fail-stop: volatile state
+        is lost).  An in-flight task's completion event cannot be
+        cancelled; its callback is expected to no-op once its owner is
+        dead, after which the CPU goes idle."""
+        self._queue.clear()
+        self._stalled = False
 
     def submit(self, cost: float, fn: Callable[..., None], *args: object) -> None:
         """Queue ``fn(*args)`` to run for ``cost`` seconds of CPU time.
@@ -256,8 +269,18 @@ class SimHost:
             cpu._start_next()
 
     def crash(self) -> None:
-        """Stop receiving and processing (fail-stop)."""
+        """Stop receiving and processing (fail-stop).
+
+        All volatile state dies with the process: queued CPU work, any
+        GC-stall, and the kernel socket buffers.  Leaving any of it
+        behind lets a later :meth:`recover` of the same host resurrect
+        work belonging to the dead incarnation (a crashed-while-paused
+        process would resume executing after restart, violating
+        fail-stop)."""
         self.crashed = True
+        self.cpu.clear()
+        self.token_socket.clear()
+        self.data_socket.clear()
 
     def recover(self) -> None:
         self.crashed = False

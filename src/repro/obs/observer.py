@@ -92,6 +92,47 @@ class ProtocolObserver:
         """A membership-layer event: ``state_change``, ``ring_installed``,
         ``token_loss``, ``view_change``."""
 
+    def on_recovery_started(
+        self,
+        pid: int,
+        detail: Optional[Dict[str, object]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """A recovery exchange began.  ``detail`` carries ``ring_id``,
+        ``old_ring_id``, ``old_members``, the exchange ``window`` and the
+        agreed ``deliver_high`` split point."""
+
+    def on_recovery_retry(
+        self,
+        pid: int,
+        detail: Optional[Dict[str, object]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """A recovery round expired and the controller is retrying its
+        flood/status exchange.  ``detail`` carries ``ring_id``,
+        ``attempt``, ``retries_left``, the backed-off ``next_delay``, the
+        ``missing`` message count, and currently ``suspects`` peers."""
+
+    def on_recovery_aborted(
+        self,
+        pid: int,
+        detail: Optional[Dict[str, object]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """A recovery exhausted its retry budget and fell back to Gather.
+        ``detail`` carries ``ring_id``, ``attempts``, ``missing`` and the
+        ``suspects`` that will seed the regather's fail set."""
+
+    def on_recovery_completed(
+        self,
+        pid: int,
+        detail: Optional[Dict[str, object]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """A recovery finalized and installed its ring.  ``detail``
+        carries ``ring_id``, ``attempts`` (retry rounds used), and the
+        installed ``members``."""
+
     def on_fault(
         self,
         kind: str,
@@ -166,6 +207,22 @@ class CompositeObserver(ProtocolObserver):
         for observer in self.observers:
             observer.on_membership_event(pid, event, detail=detail, now=now)
 
+    def on_recovery_started(self, pid, detail=None, now=None):
+        for observer in self.observers:
+            observer.on_recovery_started(pid, detail=detail, now=now)
+
+    def on_recovery_retry(self, pid, detail=None, now=None):
+        for observer in self.observers:
+            observer.on_recovery_retry(pid, detail=detail, now=now)
+
+    def on_recovery_aborted(self, pid, detail=None, now=None):
+        for observer in self.observers:
+            observer.on_recovery_aborted(pid, detail=detail, now=now)
+
+    def on_recovery_completed(self, pid, detail=None, now=None):
+        for observer in self.observers:
+            observer.on_recovery_completed(pid, detail=detail, now=now)
+
     def on_fault(self, kind, detail=None, now=None):
         for observer in self.observers:
             observer.on_fault(kind, detail=detail, now=now)
@@ -193,6 +250,11 @@ class MetricsObserver(ProtocolObserver):
     ``membership.state_changes``  controller state transitions (counter)
     ``membership.ring_installs``  regular configurations installed (counter)
     ``membership.token_losses``   token-loss timeouts fired (counter)
+    ``recovery.started``          recovery exchanges entered (counter)
+    ``recovery.retries``          recovery retry rounds fired (counter)
+    ``recovery.aborted``          recoveries aborted to Gather (counter)
+    ``recovery.completed``        recoveries finalized into a ring (counter)
+    ``recovery.attempts``         retry rounds used per completed recovery (histogram)
     ``fault.crashes``             crashes injected (counter)
     ``fault.recoveries``          recoveries injected (counter)
     ``fault.partitions``          partitions injected (counter)
@@ -276,6 +338,23 @@ class MetricsObserver(ProtocolObserver):
             self.registry.counter("membership.token_losses").inc()
         elif event == "view_change":
             self.registry.counter("membership.view_changes").inc()
+
+    def on_recovery_started(self, pid, detail=None, now=None):
+        self.registry.counter("recovery.started").inc()
+
+    def on_recovery_retry(self, pid, detail=None, now=None):
+        self.registry.counter("recovery.retries").inc()
+
+    def on_recovery_aborted(self, pid, detail=None, now=None):
+        self.registry.counter("recovery.aborted").inc()
+
+    def on_recovery_completed(self, pid, detail=None, now=None):
+        self.registry.counter("recovery.completed").inc()
+        attempts = (detail or {}).get("attempts")
+        if attempts is not None:
+            self.registry.histogram("recovery.attempts", COUNT_BOUNDS).record(
+                int(attempts)
+            )
 
     # -- injected faults -----------------------------------------------
 

@@ -61,6 +61,13 @@ class MembershipHost:
         self.configurations: List[object] = []
         self._timers: Dict[str, object] = {}
         self._paused = False
+        #: Latched on crash and never cleared: the *incarnation* is dead.
+        #: The SimHost may be recovered and reused by a fresh
+        #: MembershipHost, so ``host.crashed`` alone cannot fence off this
+        #: object's callbacks (a stale timer or in-flight CPU task would
+        #: otherwise revive the old controller as a zombie sharing the
+        #: pid and NIC of the restarted one).
+        self._dead = False
         #: Timers that fired while paused; they run, late, at resume —
         #: exactly how a GC-stalled process experiences its own timers.
         self._deferred_timers: List[str] = []
@@ -82,6 +89,8 @@ class MembershipHost:
         service: DeliveryService = DeliveryService.AGREED,
         payload_size: Optional[int] = None,
     ) -> None:
+        if self._dead:
+            return
         self.controller.submit(
             payload=payload,
             service=service,
@@ -93,7 +102,8 @@ class MembershipHost:
         self.host.cpu.kick()
 
     def crash(self) -> None:
-        """Fail-stop: drop all timers and stop processing."""
+        """Fail-stop: drop all timers and stop processing, permanently."""
+        self._dead = True
         self.host.crash()
         for handle in self._timers.values():
             handle.cancel()
@@ -111,7 +121,7 @@ class MembershipHost:
 
     def resume(self) -> None:
         """End a stall; deferred timers fire now, late."""
-        if not self._paused:
+        if self._dead or not self._paused:
             return
         self._paused = False
         self.host.unpause()
@@ -123,7 +133,7 @@ class MembershipHost:
     # ------------------------------------------------------------------
 
     def _select_work(self) -> Optional[Tuple[float, object, tuple]]:
-        if self.host.crashed:
+        if self._dead or self.host.crashed:
             return None
         token_avail = len(self.host.token_socket) > 0
         data_avail = len(self.host.data_socket) > 0
@@ -137,10 +147,14 @@ class MembershipHost:
         return None
 
     def _process(self, frame: Frame) -> None:
+        # A CPU task in flight when the process crashed still completes
+        # its simulator event; the dead latch turns it into a no-op.
+        if self._dead:
+            return
         self._execute(self.controller.on_message(frame.payload))
 
     def _fire_timer(self, name: str) -> None:
-        if self.host.crashed:
+        if self._dead or self.host.crashed:
             return
         self._timers.pop(name, None)
         if self._paused:
@@ -292,12 +306,10 @@ class MembershipCluster:
         if not host.host.crashed:
             return
         sim_host = host.host
+        # The crash cleared the kernel buffers and queued CPU work, and
+        # nothing accumulates while crashed, so the recovered host starts
+        # from genuinely empty volatile state.
         sim_host.recover()
-        # Drop any stale frames that accumulated in the kernel buffers.
-        while len(sim_host.token_socket):
-            sim_host.token_socket.pop()
-        while len(sim_host.data_socket):
-            sim_host.data_socket.pop()
         controller = MembershipController(
             pid=pid,
             accelerated=host.controller.accelerated,

@@ -7,39 +7,36 @@ cluster.  Whatever the plan, the EVS guarantees must hold on every
 delivery trace, and every generated plan must survive the JSON
 round-trip losslessly.
 
-This is the scripted-chaos analogue of
-``tests/property/test_membership_schedules.py``: same invariants, but
-the faults arrive through the first-class injection layer rather than
-hand calls, so the plan codec, the injector scheduling, and the
-switch/host interception points are all on the hypothesis-shrunk path.
+Plan construction and the drive harness live in the library
+(:mod:`repro.faults.generator`, :mod:`repro.faults.soak`), shared with
+``python -m repro soak``, so the hypothesis-shrunk path and the soak
+counterexample path exercise exactly the same code.
+
+Set ``REPRO_SOAK=1`` to raise the hypothesis example budget from the
+quick per-PR profile to a nightly-soak-sized one.
 """
 
-import random
+import os
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
-from repro.core.messages import DeliveryService
-from repro.faults import FaultInjector, FaultPlan, PlanBuilder
-from repro.sim.membership_driver import MembershipCluster
+from repro.faults import FaultPlan
+from repro.faults.generator import ACTIONS, build_plan
+from repro.faults.soak import drive_plan
 
 NUM_HOSTS = 4
+
+#: Per-PR runs stay fast; REPRO_SOAK=1 (the nightly soak profile) buys a
+#: much deeper search of the schedule space.
+SOAK_PROFILE = os.environ.get("REPRO_SOAK") == "1"
+EVS_EXAMPLES = 120 if SOAK_PROFILE else 6
+ROUND_TRIP_EXAMPLES = 250 if SOAK_PROFILE else 25
 
 #: One abstract plan step: (delta-ms, action, pid-ish argument).
 raw_steps = st.lists(
     st.tuples(
         st.integers(5, 60),  # time since previous event, milliseconds
-        st.sampled_from(
-            [
-                "crash",
-                "recover",
-                "partition",
-                "heal",
-                "token_drop",
-                "loss_burst",
-                "pause",
-                "resume",
-            ]
-        ),
+        st.sampled_from(ACTIONS),
         st.integers(0, NUM_HOSTS - 1),
     ),
     min_size=0,
@@ -47,96 +44,41 @@ raw_steps = st.lists(
 )
 
 
-def build_plan(steps) -> FaultPlan:
-    """Turn arbitrary abstract steps into a *valid* plan.
-
-    Tracks the same state machine the validator enforces and skips steps
-    that would be invalid at that point, so hypothesis explores the space
-    of valid schedules instead of mostly-rejected ones.
-    """
-    builder = PlanBuilder()
-    crashed = set()
-    paused = set()
-    partitioned = False
-    at = 0.0
-    for delta_ms, action, pid in steps:
-        at += delta_ms / 1000.0
-        if action == "crash" and pid not in crashed:
-            builder.crash(pid, at=at)
-            crashed.add(pid)
-            paused.discard(pid)
-        elif action == "recover" and pid in crashed:
-            builder.recover(pid, at=at)
-            crashed.discard(pid)
-        elif action == "partition" and not partitioned:
-            split = max(1, pid)  # 1..3 -> both sides non-empty
-            builder.partition(set(range(split)), set(range(split, NUM_HOSTS)), at=at)
-            partitioned = True
-        elif action == "heal" and partitioned:
-            builder.heal(at=at)
-            partitioned = False
-        elif action == "token_drop":
-            builder.token_drop(at=at, count=1 + pid % 2)
-        elif action == "loss_burst":
-            builder.loss_burst(at=at, duration=0.03, rate=0.3, pids={pid})
-        elif action == "pause" and pid not in paused and pid not in crashed:
-            builder.pause(pid, at=at)
-            paused.add(pid)
-        elif action == "resume" and pid in paused:
-            builder.resume(pid, at=at)
-            paused.discard(pid)
-    return builder.build(num_hosts=NUM_HOSTS)
-
-
-def drive(plan: FaultPlan, seed: int) -> MembershipCluster:
-    cluster = MembershipCluster(num_hosts=NUM_HOSTS)
-    cluster.start()
-    cluster.run(0.08)
-    injector = FaultInjector(cluster, plan, rng=random.Random(seed))
-    injector.arm()
-    # Deterministic traffic spread over the chaos window.
-    base = cluster.sim.now
-    horizon = plan.horizon + 0.05
-    for index in range(6):
-        when = base + (index + 1) * horizon / 7
-        pid = index % NUM_HOSTS
-        service = DeliveryService.SAFE if index % 2 else DeliveryService.AGREED
-
-        def submit(pid=pid, service=service):
-            host = cluster.hosts[pid]
-            if not host.host.crashed and not host._paused:
-                host.submit(payload_size=64, service=service)
-
-        cluster.sim.schedule_at(when, submit)
-    cluster.run(horizon + 0.1)
-    # Quiesce: heal, resume anything still paused, settle.
-    cluster.heal()
-    for host in cluster.hosts.values():
-        host.resume()
-    cluster.run(1.5)
-    return cluster
-
-
 @settings(
-    max_examples=6,
+    max_examples=EVS_EXAMPLES,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 @given(raw_steps)
+# Discovered by this very test: crash-while-paused followed by a restart
+# used to revive the old incarnation as a zombie controller (see
+# tests/integration/test_evs_regressions.py for the pinned minimal form).
+@example(
+    steps=[
+        (59, "crash", 2),
+        (5, "pause", 1),
+        (25, "crash", 1),
+        (24, "recover", 1),
+        (24, "crash", 0),
+        (20, "resume", 3),
+        (18, "loss_burst", 1),
+        (36, "heal", 2),
+    ],
+)
 def test_evs_holds_on_every_generated_plan(steps):
-    plan = build_plan(steps)
-    cluster = drive(plan, seed=7)
+    plan = build_plan(steps, NUM_HOSTS)
+    cluster = drive_plan(plan, num_hosts=NUM_HOSTS, seed=7)
     cluster.checker.check(crashed=plan.crashed_pids())
 
 
 @settings(
-    max_examples=25,
+    max_examples=ROUND_TRIP_EXAMPLES,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 @given(raw_steps)
 def test_plan_json_round_trip_is_lossless(steps):
-    plan = build_plan(steps)
+    plan = build_plan(steps, NUM_HOSTS)
     restored = FaultPlan.from_json(plan.to_json())
     assert restored == plan
     assert restored.to_json() == plan.to_json()

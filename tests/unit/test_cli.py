@@ -7,12 +7,20 @@ from repro.cli import build_parser, main
 
 def test_parser_builds_all_subcommands():
     parser = build_parser()
-    for command in ("demo", "sweep", "maxtp", "figure", "daemon"):
+    for command in ("demo", "sweep", "maxtp", "figure", "daemon", "soak"):
         args = parser.parse_args([command] + (
             ["--pid", "0"] if command == "daemon" else
             (["2"] if command == "figure" else [])
         ))
         assert args.command == command
+
+
+def test_soak_defaults_match_the_nightly_invocation():
+    args = build_parser().parse_args(["soak"])
+    assert args.plans == 200
+    assert args.hosts == 4
+    assert args.seed == 1
+    assert args.replay is None
 
 
 def test_demo_defaults():

@@ -116,7 +116,8 @@ class TestMembershipCodecs:
             ring_id=3000009,
             members=(1, 2, 5),
             infos={
-                1: MemberInfo(old_ring_id=1000003, old_aru=10, high_seq=14),
+                1: MemberInfo(old_ring_id=1000003, old_aru=10, high_seq=14,
+                              last_delivered=12),
                 5: MemberInfo(old_ring_id=2000005, old_aru=0, high_seq=0),
             },
             rotation=1,
@@ -125,6 +126,7 @@ class TestMembershipCodecs:
         assert decoded.ring_id == token.ring_id
         assert decoded.members == token.members
         assert decoded.infos == token.infos
+        assert decoded.infos[1].last_delivered == 12
         assert decoded.rotation == 1
 
     def test_recovered_roundtrip(self):

@@ -133,6 +133,50 @@ def test_virtual_synchrony_only_compares_closed_ring():
     checker.check()
 
 
+def test_virtual_synchrony_violation_message_is_debuggable():
+    """The violation message must name the diverging pids and config,
+    list the exact diverging message keys per side, and include a trace
+    excerpt around each side's transitional delivery."""
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=1, members=(0, 1)))
+    checker.record(0, delivery(1))
+    checker.record(0, delivery(2, service=DeliveryService.SAFE))
+    checker.record(1, delivery(1))  # pid 1 missed seq 2
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=77, members=(0, 1),
+                                         transitional=True, closes=1))
+    with pytest.raises(EvsViolation) as excinfo:
+        checker.check_virtual_synchrony()
+    text = str(excinfo.value)
+    assert "transitional config 77" in text
+    assert "members: [0, 1]" in text
+    assert "pids 0 and 1 disagree" in text
+    assert "delivered only by 0: [(1, 2)]" in text
+    assert "delivered only by 1: []" in text
+    # Trace excerpts for both sides, ending at the transitional install.
+    assert "trace excerpt, pid 0:" in text
+    assert "trace excerpt, pid 1:" in text
+    assert "deliver (1, 2) safe from 0" in text
+    assert text.count("install transitional config 77 members=[0, 1]") == 2
+
+
+def test_virtual_synchrony_message_truncates_long_divergence():
+    checker = EvsChecker()
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=1, members=(0, 1)))
+    for seq in range(1, 16):
+        checker.record(0, delivery(seq))
+    for pid in (0, 1):
+        checker.record(pid, config_event(config_id=77, members=(0, 1),
+                                         transitional=True, closes=1))
+    with pytest.raises(EvsViolation) as excinfo:
+        checker.check_virtual_synchrony()
+    text = str(excinfo.value)
+    assert "(+5 more)" in text  # 15 diverging keys, 10 shown
+    assert "... " in text  # long trace elided, not dumped wholesale
+
+
 def test_self_delivery_violation():
     checker = EvsChecker()
     checker.record_submission(0, 2)

@@ -130,3 +130,31 @@ class TestSimHost:
         host.receive(frame())
         sim.run_until_idle()
         assert len(processed) == 1
+
+    def test_crash_wipes_volatile_state(self):
+        """Fail-stop loses everything: queued CPU work, a GC-stall, and
+        the kernel socket buffers.  Leaving any behind lets a later
+        recover() of the same host resurrect the dead incarnation's
+        work (the crash-while-paused zombie regression)."""
+        sim, host = self.make_host()
+        host.pause()  # stall first so the submitted work queues instead of starting
+        host.receive(frame(PortKind.DATA))
+        host.receive(frame(PortKind.TOKEN))
+        host.cpu.submit(1e-6, lambda: pytest.fail("dead work executed"))
+        host.crash()
+        assert len(host.data_socket) == 0
+        assert len(host.token_socket) == 0
+        assert host.data_socket.queued_bytes == 0
+        assert not host.cpu.stalled
+        host.recover()
+        sim.run_until_idle()  # the pre-crash task must never run
+
+    def test_crash_while_paused_recover_restarts_clean(self):
+        sim, host = self.make_host()
+        host.pause()
+        host.crash()
+        host.recover()
+        ran = []
+        host.cpu.submit(1e-6, lambda: ran.append(True))
+        sim.run_until_idle()
+        assert ran == [True]

@@ -1,0 +1,205 @@
+"""Unit tests for the soak harness: generation determinism, the greedy
+minimizer, counterexample round-trips, and report bookkeeping.
+
+The expensive part — actually driving a cluster — is covered by
+``tests/integration/test_evs_regressions.py`` and the property suite;
+here ``check_plan`` is stubbed so the orchestration logic is exercised
+in milliseconds.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.generator import (
+    ACTIONS,
+    build_plan,
+    random_plan,
+    random_steps,
+    steps_from_lists,
+    steps_to_lists,
+)
+from repro.faults.soak import (
+    Counterexample,
+    case_seed,
+    minimize_steps,
+    run_soak,
+)
+
+NUM_HOSTS = 4
+
+
+# -- generator ----------------------------------------------------------
+
+
+def test_random_steps_are_deterministic_per_seed():
+    one = random_steps(random.Random(42), NUM_HOSTS)
+    two = random_steps(random.Random(42), NUM_HOSTS)
+    assert one == two
+    assert random_steps(random.Random(43), NUM_HOSTS) != one or one == []
+
+
+def test_every_random_step_sequence_builds_a_valid_plan():
+    rng = random.Random(7)
+    for _ in range(200):
+        plan, steps = random_plan(rng, NUM_HOSTS, max_steps=12)
+        # build_plan already validates; re-validate explicitly too.
+        plan.validate(num_hosts=NUM_HOSTS)
+        assert all(action in ACTIONS for _, action, _ in steps)
+
+
+def test_build_plan_skips_invalid_steps_not_whole_plans():
+    steps = [
+        (10, "recover", 0),  # invalid: never crashed — skipped
+        (10, "crash", 1),
+        (10, "crash", 1),  # invalid: already crashed — skipped
+        (10, "partition", 2),
+        (10, "partition", 1),  # invalid: already partitioned — skipped
+        (10, "heal", 0),
+    ]
+    plan = build_plan(steps, NUM_HOSTS)
+    assert [event.kind for event in plan] == ["crash", "partition", "heal"]
+
+
+def test_partition_split_is_clamped_to_valid_range():
+    # pid 0 would split {} vs everyone; the clamp keeps both sides
+    # non-empty for any num_hosts >= 2.
+    plan = build_plan([(10, "partition", 0)], 2)
+    groups = plan.events[0].groups
+    assert all(group for group in groups)
+
+
+def test_steps_round_trip_through_json_lists():
+    steps = [(10, "crash", 1), (25, "token_drop", 3)]
+    assert steps_from_lists(steps_to_lists(steps)) == steps
+
+
+def test_case_seeds_are_distinct_across_cases_and_soaks():
+    seeds = {case_seed(s, i) for s in (1, 2, 3) for i in range(200)}
+    assert len(seeds) == 600
+
+
+# -- minimizer ----------------------------------------------------------
+
+
+def fails_when(predicate):
+    """A stand-in for ``check_plan`` driven by a plan predicate."""
+
+    def check(plan, num_hosts, seed):
+        return "violation" if predicate(plan) else None
+
+    return check
+
+
+def test_minimizer_reduces_to_the_culprit_steps(monkeypatch):
+    # "Fails" iff the plan still contains a crash AND a token drop.
+    monkeypatch.setattr(
+        "repro.faults.soak.check_plan",
+        fails_when(
+            lambda plan: {"crash", "token_drop"}
+            <= {event.kind for event in plan}
+        ),
+    )
+    steps = [
+        (10, "pause", 2),
+        (10, "crash", 1),
+        (10, "loss_burst", 0),
+        (10, "token_drop", 0),
+        (10, "resume", 2),
+        (10, "heal", 3),
+    ]
+    minimized = minimize_steps(steps, num_hosts=NUM_HOSTS, seed=1)
+    assert [action for _, action, _ in minimized] == ["crash", "token_drop"]
+
+
+def test_minimizer_keeps_steps_the_failure_depends_on(monkeypatch):
+    # Recover(1) is only valid after crash(1): a failure that needs the
+    # recover event transitively needs the crash too.
+    monkeypatch.setattr(
+        "repro.faults.soak.check_plan",
+        fails_when(
+            lambda plan: any(event.kind == "recover" for event in plan)
+        ),
+    )
+    steps = [(10, "crash", 1), (10, "token_drop", 0), (10, "recover", 1)]
+    minimized = minimize_steps(steps, num_hosts=NUM_HOSTS, seed=1)
+    assert [action for _, action, _ in minimized] == ["crash", "recover"]
+
+
+# -- run_soak orchestration --------------------------------------------
+
+
+def test_run_soak_records_cases_and_counterexamples(monkeypatch):
+    calls = []
+
+    def check(plan, num_hosts, seed):
+        calls.append(seed)
+        # Fail exactly one case, deterministically.
+        return "boom" if len(calls) == 3 else None
+
+    monkeypatch.setattr("repro.faults.soak.check_plan", check)
+    progressed = []
+    report = run_soak(
+        plans=5,
+        num_hosts=NUM_HOSTS,
+        seed=9,
+        minimize=False,
+        progress=progressed.append,
+    )
+    assert report.plans == 5 and len(report.cases) == 5
+    assert report.failures == 1 and not report.passed
+    assert len(progressed) == 5
+    failing = report.counterexamples[0]
+    assert failing.index == 2
+    assert failing.seed == case_seed(9, 2)
+    assert failing.violation == "boom"
+    # Every case used its derived seed (replayable standalone).
+    assert calls[:5] == [case_seed(9, i) for i in range(5)]
+
+
+def test_clean_soak_report_shape(monkeypatch):
+    monkeypatch.setattr(
+        "repro.faults.soak.check_plan", lambda plan, num_hosts, seed: None
+    )
+    report = run_soak(plans=3, num_hosts=NUM_HOSTS, seed=1)
+    assert report.passed
+    payload = report.to_dict()
+    assert payload["passed"] is True
+    assert payload["failures"] == 0
+    assert len(payload["cases"]) == 3
+    assert payload["counterexamples"] == []
+
+
+# -- counterexample artifacts ------------------------------------------
+
+
+def test_counterexample_json_round_trip():
+    steps = [(10, "crash", 1), (20, "token_drop", 0), (30, "recover", 1)]
+    original = Counterexample(
+        soak_seed=1,
+        index=17,
+        seed=case_seed(1, 17),
+        num_hosts=NUM_HOSTS,
+        violation="virtual synchrony violated ...",
+        steps=steps,
+        minimized_steps=steps[:2],
+    )
+    restored = Counterexample.from_json(original.to_json())
+    assert restored == original
+    assert restored.plan == original.plan
+    assert restored.to_json() == original.to_json()
+
+
+def test_counterexample_plan_rebuilds_from_minimized_steps():
+    counterexample = Counterexample(
+        soak_seed=1,
+        index=0,
+        seed=7,
+        num_hosts=NUM_HOSTS,
+        violation="x",
+        steps=[(10, "crash", 1), (10, "heal", 0)],
+        minimized_steps=[(10, "crash", 1)],
+    )
+    plan = counterexample.plan
+    assert len(plan) == 1 and plan.events[0].kind == "crash"
+    assert plan.to_dicts() == counterexample.to_dict()["plan"]
