@@ -8,6 +8,8 @@
 * ``figure`` — regenerate one paper figure by number.
 * ``chaos`` — run a named fault-injection scenario under EVS checking.
 * ``soak`` — run many seeded random fault plans under EVS checking.
+* ``conformance`` — differential oracle + bounded schedule exploration
+  across the protocol variants.
 * ``bench`` — run a benchmark suite, gated on a committed baseline.
 * ``daemon`` — run a real daemon (UDP ring + unix client socket).
 """
@@ -260,6 +262,172 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _conformance_workload(args: argparse.Namespace):
+    from repro.conformance.workload import Workload
+
+    return Workload(
+        num_hosts=args.hosts,
+        rounds=args.rounds,
+        burst_size=args.burst_size,
+        probe_burst=args.probe_burst,
+    )
+
+
+def _print_divergences(divergences) -> None:
+    for divergence in divergences:
+        for line in divergence.describe().splitlines():
+            print(f"        {line}")
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.conformance.differ import ConformanceReport, run_differential
+    from repro.conformance.explorer import ExplorationReport, explore
+    from repro.faults.plan import FaultPlan
+
+    variants = tuple(args.variants.split(","))
+
+    if args.mode == "report":
+        if args.artifact is None:
+            print("conformance report needs an artifact file", file=sys.stderr)
+            return 2
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+        import json as _json
+
+        data = _json.loads(payload)
+        if "divergent" in data:
+            report = ExplorationReport.from_json(payload)
+            print(
+                f"exploration: depth={report.depth} budget={report.budget} "
+                f"enumerated={report.enumerated} deduped={report.deduped} "
+                f"ran={report.ran} skipped={report.skipped_budget} "
+                f"{'PASS' if report.ok else 'FAIL'}"
+            )
+            for case in report.divergent:
+                print(f"  divergent schedule ({len(case.minimized_steps)} steps):")
+                _print_divergences(case.report.divergences)
+            if report.coverage is not None:
+                print(report.coverage.format())
+            return 0 if report.ok else 1
+        report = ConformanceReport.from_json(payload)
+        print(
+            f"differential: variants={','.join(report.variants)} "
+            f"seed={report.seed} {'PASS' if report.ok else 'FAIL'}"
+        )
+        _print_divergences(report.divergences)
+        if report.coverage is not None:
+            print(report.coverage.format())
+        return 0 if report.ok else 1
+
+    if args.mode == "replay":
+        if args.artifact is None:
+            print("conformance replay needs an artifact file", file=sys.stderr)
+            return 2
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            saved = ConformanceReport.from_json(handle.read())
+        print(
+            f"replaying differential: variants={','.join(saved.variants)} "
+            f"seed={saved.seed} plan events={len(saved.plan_events)}"
+        )
+        report = run_differential(
+            saved.workload,
+            plan=saved.plan if saved.plan_events else None,
+            seed=saved.seed,
+            variants=saved.variants,
+        )
+        if report.ok:
+            print("  PASS  no divergence reproduces")
+            return 0
+        print(f"  FAIL  {len(report.divergences)} divergence(s) reproduce:")
+        _print_divergences(report.divergences)
+        return 1
+
+    workload = _conformance_workload(args)
+
+    if args.mode == "run":
+        plan = None
+        if args.plan is not None:
+            import json as _json
+
+            with open(args.plan, "r", encoding="utf-8") as handle:
+                plan = FaultPlan.from_dicts(_json.load(handle))
+        report = run_differential(
+            workload, plan=plan, seed=args.seed, variants=variants
+        )
+        if args.json:
+            print(report.to_json())
+        else:
+            status = "PASS" if report.ok else "FAIL"
+            print(
+                f"  {status}  variants={','.join(variants)} seed={args.seed} "
+                f"hosts={workload.num_hosts} "
+                f"plan_events={len(report.plan_events)} "
+                f"deliveries={report.deliveries}"
+            )
+            _print_divergences(report.divergences)
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "conformance_report.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"report written to {path}")
+        return 0 if report.ok else 1
+
+    if args.mode == "explore":
+
+        def progress(ran: int, total: int, diverged: bool) -> None:
+            if diverged:
+                print(f"  schedule {ran}: DIVERGENCE")
+            elif ran % 5 == 0 or ran == total:
+                print(f"  {ran} schedule(s) checked")
+
+        report = explore(
+            workload,
+            depth=args.depth,
+            budget=args.budget,
+            seed=args.seed,
+            variants=variants,
+            max_instants=args.max_instants,
+            minimize=not args.no_minimize,
+            progress=progress,
+        )
+        if args.json:
+            print(report.to_json())
+        else:
+            status = "PASS" if report.ok else "FAIL"
+            print(
+                f"  {status}  depth={report.depth} "
+                f"enumerated={report.enumerated} deduped={report.deduped} "
+                f"ran={report.ran} skipped_budget={report.skipped_budget} "
+                f"divergent={len(report.divergent)}"
+            )
+            for case in report.divergent:
+                print(
+                    f"  divergent schedule minimized to "
+                    f"{len(case.minimized_steps)} step(s):"
+                )
+                _print_divergences(case.report.divergences)
+            if report.coverage is not None:
+                print(report.coverage.format())
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "conformance_explore.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"report written to {path}")
+            for index, case in enumerate(report.divergent):
+                case_path = os.path.join(args.out, f"divergence_{index}.json")
+                with open(case_path, "w", encoding="utf-8") as handle:
+                    handle.write(case.report.to_json())
+                print(f"divergence written to {case_path}")
+        return 0 if report.ok else 1
+
+    print(f"unknown conformance mode {args.mode!r}", file=sys.stderr)
+    return 2
+
+
 def cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -408,6 +576,55 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay a counterexample_<n>.json artifact instead "
                            "of generating plans")
     soak.set_defaults(func=cmd_soak)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="differential conformance: compare protocol variants' "
+             "delivery orders under fault schedules",
+    )
+    conformance.add_argument(
+        "mode",
+        choices=["run", "explore", "replay", "report"],
+        help="run one differential; explore bounded fault schedules; "
+             "replay or pretty-print a saved artifact",
+    )
+    conformance.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help="artifact file for replay/report modes",
+    )
+    conformance.add_argument("--hosts", type=int, default=4,
+                             help="cluster size for every variant")
+    conformance.add_argument("--seed", type=int, default=0,
+                             help="master seed: same seed, same runs")
+    conformance.add_argument("--variants", default="original,accelerated",
+                             help="comma-separated variant list "
+                                  "(original, accelerated, spread)")
+    conformance.add_argument("--rounds", type=int, default=2,
+                             help="burst rounds per host in the main phase")
+    conformance.add_argument("--burst-size", type=int, default=12,
+                             help="messages per burst")
+    conformance.add_argument("--probe-burst", type=int, default=6,
+                             help="messages per post-quiesce probe burst")
+    conformance.add_argument("--plan", default=None, metavar="FILE",
+                             help="run mode: fault plan JSON "
+                                  "(FaultPlan.to_dicts format)")
+    conformance.add_argument("--depth", type=int, default=2,
+                             help="explore mode: max fault atoms per schedule")
+    conformance.add_argument("--budget", type=int, default=24,
+                             help="explore mode: max differential runs")
+    conformance.add_argument("--max-instants", type=int, default=4,
+                             help="explore mode: harvested instants kept")
+    conformance.add_argument("--no-minimize", action="store_true",
+                             help="explore mode: keep divergent schedules "
+                                  "as enumerated (skip shrinking)")
+    conformance.add_argument("--json", action="store_true",
+                             help="print the full report as JSON")
+    conformance.add_argument("--out", default=None, metavar="DIR",
+                             help="write report (and divergence) JSON "
+                                  "artifacts into DIR")
+    conformance.set_defaults(func=cmd_conformance)
 
     bench = sub.add_parser(
         "bench",

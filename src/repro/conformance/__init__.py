@@ -1,0 +1,49 @@
+"""Differential conformance checking for the protocol variants.
+
+The paper's central claim is behavioural equivalence: the Accelerated
+Ring changes *when* messages and the token are sent, but the delivered
+total order and the EVS guarantees must be indistinguishable from the
+original Totem protocol (PAPER.md §III).  This package turns that claim
+into tooling:
+
+* :mod:`repro.conformance.differ` — a differential oracle that drives
+  one workload + fault plan through the original, accelerated, and
+  Spread-daemon variants on the deterministic simulator and compares
+  the per-participant delivery sequences.
+* :mod:`repro.conformance.explorer` — a bounded schedule explorer that
+  systematically enumerates small fault schedules anchored at
+  protocol-meaningful instants (token arrivals) instead of sampling
+  them randomly like ``repro soak``.
+* :mod:`repro.conformance.coverage` — protocol-branch coverage counters
+  built on the :mod:`repro.obs` observer hooks, so exploration runs
+  report which protocol branches were actually exercised.
+
+Everything is seeded and deterministic; divergences serialize to JSON
+artifacts that replay with ``python -m repro conformance replay``.
+"""
+
+from repro.conformance.coverage import CoverageObserver, CoverageReport
+from repro.conformance.differ import (
+    ConformanceDivergence,
+    ConformanceReport,
+    run_differential,
+)
+from repro.conformance.explorer import ExplorationReport, explore
+from repro.conformance.variants import VARIANT_NAMES, VariantRun, run_variant
+from repro.conformance.workload import Workload, make_label, parse_label
+
+__all__ = [
+    "ConformanceDivergence",
+    "ConformanceReport",
+    "CoverageObserver",
+    "CoverageReport",
+    "ExplorationReport",
+    "VARIANT_NAMES",
+    "VariantRun",
+    "Workload",
+    "explore",
+    "make_label",
+    "parse_label",
+    "run_differential",
+    "run_variant",
+]

@@ -1,0 +1,382 @@
+"""The differential oracle: do the variants deliver the same order?
+
+The comparison is phase-aware, because the paper's equivalence claim is
+about the *protocol*, not about fault timing:
+
+* **Fault-free runs** must produce byte-identical per-participant label
+  sequences across variants, end to end.
+* **Faulty runs** are compared in the two regions where equality is
+  sound: the *calm prefix* (deliveries after traffic starts, before the
+  first membership transition — the fault has not bitten yet, so order
+  must match exactly) and the *probe phase* (a fresh burst round on the
+  reconverged ring — recovery is complete, so order must match exactly
+  again).  In between, EVS legitimately allows delivery sets to differ
+  across variants (each variant's membership transitions partition time
+  differently), so the oracle checks each variant against the full EVS
+  property suite there instead of against each other.
+
+Any mismatch produces a structured :class:`ConformanceDivergence`
+naming the first diverging delivery — participant, position, the two
+labels — plus a trace excerpt per side, in the spirit of the
+EvsChecker's debuggable virtual-synchrony reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.coverage import CoverageObserver, CoverageReport
+from repro.conformance.variants import (
+    MSG,
+    PHASE_PROBE,
+    VARIANT_NAMES,
+    VariantRun,
+    run_variant,
+)
+from repro.conformance.workload import Workload
+from repro.faults.plan import FaultPlan
+
+#: Events shown on each side of a divergence excerpt.
+_EXCERPT_CONTEXT = 4
+
+
+def _decode(label: bytes) -> str:
+    return label.decode("latin-1")
+
+
+@dataclass
+class ConformanceDivergence:
+    """One observed difference between two variants' behaviour.
+
+    ``kind`` is ``order`` (same position, different label), ``missing``
+    (one side's sequence ends early), ``evs`` (a variant violated an
+    EVS property outright), or ``converge`` (a variant failed to reform
+    a full ring after the fault plan quiesced).  ``seq`` is the position
+    of the first diverging delivery within the compared region of
+    ``pid``'s stream.
+    """
+
+    kind: str
+    variant_a: str
+    variant_b: str
+    phase: str
+    pid: Optional[int] = None
+    seq: Optional[int] = None
+    expected: Optional[str] = None
+    actual: Optional[str] = None
+    detail: str = ""
+    excerpt_a: List[str] = field(default_factory=list)
+    excerpt_b: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.kind == "order":
+            head = (
+                f"order divergence [{self.phase}] pid {self.pid} seq "
+                f"{self.seq}: {self.variant_a} delivered "
+                f"{self.expected!r}, {self.variant_b} delivered "
+                f"{self.actual!r}"
+            )
+        elif self.kind == "missing":
+            head = (
+                f"missing delivery [{self.phase}] pid {self.pid} seq "
+                f"{self.seq}: {self.detail}"
+            )
+        elif self.kind == "evs":
+            head = f"EVS violation in {self.variant_b}: {self.detail}"
+        else:
+            head = f"{self.kind} divergence ({self.variant_b}): {self.detail}"
+        lines = [head]
+        if self.excerpt_a:
+            lines.append(f"  {self.variant_a} trace around the divergence:")
+            lines.extend(f"    {line}" for line in self.excerpt_a)
+        if self.excerpt_b:
+            lines.append(f"  {self.variant_b} trace around the divergence:")
+            lines.extend(f"    {line}" for line in self.excerpt_b)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "variant_a": self.variant_a,
+            "variant_b": self.variant_b,
+            "phase": self.phase,
+            "detail": self.detail,
+        }
+        for name in ("pid", "seq", "expected", "actual"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.excerpt_a:
+            payload["excerpt_a"] = self.excerpt_a
+        if self.excerpt_b:
+            payload["excerpt_b"] = self.excerpt_b
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ConformanceDivergence":
+        return cls(
+            kind=str(payload["kind"]),
+            variant_a=str(payload["variant_a"]),
+            variant_b=str(payload["variant_b"]),
+            phase=str(payload["phase"]),
+            pid=payload.get("pid"),
+            seq=payload.get("seq"),
+            expected=payload.get("expected"),
+            actual=payload.get("actual"),
+            detail=str(payload.get("detail", "")),
+            excerpt_a=list(payload.get("excerpt_a", [])),
+            excerpt_b=list(payload.get("excerpt_b", [])),
+        )
+
+
+def _excerpt(labels: Sequence[bytes], position: int) -> List[str]:
+    start = max(0, position - _EXCERPT_CONTEXT)
+    stop = min(len(labels), position + _EXCERPT_CONTEXT)
+    lines = []
+    if start > 0:
+        lines.append(f"... {start} earlier deliveries ...")
+    for index in range(start, stop):
+        marker = ">>" if index == position else "  "
+        lines.append(f"{marker} [{index}] {_decode(labels[index])}")
+    if position >= len(labels):
+        lines.append(f">> [{position}] (stream ends)")
+    return lines
+
+
+def compare_label_sequences(
+    variant_a: str,
+    variant_b: str,
+    pid: int,
+    labels_a: Sequence[bytes],
+    labels_b: Sequence[bytes],
+    phase: str,
+    require_equal_length: bool = True,
+) -> Optional[ConformanceDivergence]:
+    """Compare two per-participant label sequences elementwise.
+
+    Returns the first diverging delivery as a structured divergence, or
+    ``None`` when the sequences agree.  With
+    ``require_equal_length=False`` only the common prefix is compared
+    (used for calm-prefix checks, where the fault may cut one variant's
+    region shorter than the other's without any protocol difference).
+    """
+    common = min(len(labels_a), len(labels_b))
+    for position in range(common):
+        if labels_a[position] != labels_b[position]:
+            return ConformanceDivergence(
+                kind="order",
+                variant_a=variant_a,
+                variant_b=variant_b,
+                phase=phase,
+                pid=pid,
+                seq=position,
+                expected=_decode(labels_a[position]),
+                actual=_decode(labels_b[position]),
+                excerpt_a=_excerpt(labels_a, position),
+                excerpt_b=_excerpt(labels_b, position),
+            )
+    if require_equal_length and len(labels_a) != len(labels_b):
+        shorter = variant_b if len(labels_b) < len(labels_a) else variant_a
+        return ConformanceDivergence(
+            kind="missing",
+            variant_a=variant_a,
+            variant_b=variant_b,
+            phase=phase,
+            pid=pid,
+            seq=common,
+            detail=(
+                f"{shorter} stops after {common} deliveries "
+                f"({variant_a}: {len(labels_a)}, {variant_b}: {len(labels_b)})"
+            ),
+            excerpt_a=_excerpt(labels_a, common),
+            excerpt_b=_excerpt(labels_b, common),
+        )
+    return None
+
+
+def compare_runs(
+    baseline: VariantRun, other: VariantRun, faulty: bool
+) -> List[ConformanceDivergence]:
+    """All divergences between one variant pair's recorded runs."""
+    divergences: List[ConformanceDivergence] = []
+    pids = sorted(set(baseline.streams) | set(other.streams))
+    if not faulty:
+        for pid in pids:
+            found = compare_label_sequences(
+                baseline.variant,
+                other.variant,
+                pid,
+                baseline.labels(pid),
+                other.labels(pid),
+                phase="full",
+            )
+            if found is not None:
+                divergences.append(found)
+        return divergences
+    for pid in pids:
+        found = compare_label_sequences(
+            baseline.variant,
+            other.variant,
+            pid,
+            baseline.calm_prefix(pid),
+            other.calm_prefix(pid),
+            phase="calm",
+            require_equal_length=False,
+        )
+        if found is not None:
+            divergences.append(found)
+    probe_pids = sorted(
+        set(baseline.final_members) & set(other.final_members)
+    )
+    for pid in probe_pids:
+        found = compare_label_sequences(
+            baseline.variant,
+            other.variant,
+            pid,
+            baseline.labels(pid, phase=PHASE_PROBE),
+            other.labels(pid, phase=PHASE_PROBE),
+            phase=PHASE_PROBE,
+        )
+        if found is not None:
+            divergences.append(found)
+    return divergences
+
+
+@dataclass
+class ConformanceReport:
+    """The outcome of one differential run, JSON-round-trippable so a
+    divergence found by the nightly job replays with one command."""
+
+    workload: Workload
+    plan_events: List[Dict[str, Any]]
+    seed: int
+    variants: Tuple[str, ...]
+    divergences: List[ConformanceDivergence] = field(default_factory=list)
+    coverage: Optional[CoverageReport] = None
+    deliveries: Dict[str, int] = field(default_factory=dict)
+    converged: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def plan(self) -> FaultPlan:
+        return FaultPlan.from_dicts(self.plan_events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload.to_dict(),
+            "plan": self.plan_events,
+            "seed": self.seed,
+            "variants": list(self.variants),
+            "ok": self.ok,
+            "divergences": [d.to_dict() for d in self.divergences],
+            "coverage": self.coverage.to_dict() if self.coverage else None,
+            "deliveries": dict(sorted(self.deliveries.items())),
+            "converged": dict(sorted(self.converged.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ConformanceReport":
+        coverage = payload.get("coverage")
+        return cls(
+            workload=Workload.from_dict(payload["workload"]),
+            plan_events=list(payload.get("plan", [])),
+            seed=int(payload["seed"]),
+            variants=tuple(payload["variants"]),
+            divergences=[
+                ConformanceDivergence.from_dict(entry)
+                for entry in payload.get("divergences", [])
+            ],
+            coverage=(
+                CoverageReport.from_dict(coverage) if coverage else None
+            ),
+            deliveries=dict(payload.get("deliveries", {})),
+            converged=dict(payload.get("converged", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConformanceReport":
+        return cls.from_dict(json.loads(text))
+
+
+def run_differential(
+    workload: Workload,
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    variants: Sequence[str] = VARIANT_NAMES,
+    runs: Optional[Dict[str, VariantRun]] = None,
+) -> ConformanceReport:
+    """Run every variant and compare them against the first one.
+
+    ``runs`` lets tests inject pre-recorded (or deliberately mutated)
+    :class:`VariantRun` objects for a variant name instead of driving
+    the simulator — the mutation fixtures use this to prove the oracle
+    actually catches ordering bugs.
+    """
+    faulty = plan is not None and len(plan) > 0
+    coverage = CoverageReport({})
+    results: List[VariantRun] = []
+    for variant in variants:
+        if runs is not None and variant in runs:
+            results.append(runs[variant])
+            continue
+        observer = CoverageObserver()
+        results.append(
+            run_variant(
+                variant, workload, plan=plan, seed=seed, observer=observer
+            )
+        )
+        coverage = coverage.merge(observer.report())
+    report = ConformanceReport(
+        workload=workload,
+        plan_events=plan.to_dicts() if plan is not None else [],
+        seed=seed,
+        variants=tuple(variants),
+        coverage=coverage,
+        deliveries={
+            run.variant: sum(
+                1
+                for stream in run.streams.values()
+                for event in stream
+                if event[0] == MSG
+            )
+            for run in results
+        },
+        converged={run.variant: run.converged for run in results},
+    )
+    baseline = results[0]
+    for other in results[1:]:
+        report.divergences.extend(compare_runs(baseline, other, faulty))
+    for run in results:
+        if run.evs_violation is not None:
+            report.divergences.append(
+                ConformanceDivergence(
+                    kind="evs",
+                    variant_a=baseline.variant,
+                    variant_b=run.variant,
+                    phase="full",
+                    detail=run.evs_violation,
+                )
+            )
+        if not run.converged:
+            report.divergences.append(
+                ConformanceDivergence(
+                    kind="converge",
+                    variant_a=baseline.variant,
+                    variant_b=run.variant,
+                    phase="quiesce",
+                    detail=(
+                        f"{run.variant} did not reconverge to a full ring "
+                        f"after the fault plan (final members "
+                        f"{list(run.final_members)})"
+                    ),
+                )
+            )
+    return report

@@ -1,0 +1,128 @@
+"""The deterministic conformance workload and its label codec.
+
+Cross-variant order comparison is only meaningful when the submission
+pattern itself cannot introduce ambiguity: the original and accelerated
+protocols rotate the token at different speeds, so two messages
+submitted concurrently by *different* senders may legitimately be
+ordered either way.  The conformance workload therefore submits
+single-sender bursts spaced far enough apart that each burst drains
+before the next sender starts — within that discipline, every variant
+must produce the identical delivery sequence (the paper's equivalence
+claim), and any difference is a real ordering divergence.
+
+Each submitted payload carries a label ``m<pid>.<index>`` so the oracle
+can compare application-level identities rather than sequence numbers
+(which differ across variants when membership churns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import ProtocolConfig
+
+#: Default windows for conformance runs: deliberately small so a single
+#: burst exercises the personal-window-limited (blocked) and
+#: global-window-saturated flow-control branches.
+CONFORMANCE_CONFIG = ProtocolConfig(
+    personal_window=6, accelerated_window=3, global_window=8
+)
+
+
+def make_label(pid: int, index: int, pad_to: int = 0) -> bytes:
+    """The payload identifying submission ``index`` of sender ``pid``."""
+    label = b"m%d.%d" % (pid, index)
+    if pad_to > len(label):
+        label += b"x" * (pad_to - len(label))
+    return label
+
+
+def parse_label(payload: bytes) -> Optional[Tuple[int, int]]:
+    """Inverse of :func:`make_label`; ``None`` for foreign payloads."""
+    if not payload.startswith(b"m"):
+        return None
+    head = payload.rstrip(b"x")
+    try:
+        pid_text, index_text = head[1:].split(b".", 1)
+        return int(pid_text), int(index_text)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A deterministic burst schedule shared by every variant run.
+
+    ``rounds`` sweeps of one ``burst_size`` burst per host, bursts
+    ``burst_spacing`` seconds apart (must exceed the drain time of one
+    burst).  One label per run is padded to ``oversized_bytes`` so the
+    Spread variant exercises its fragmentation path.  After the fault
+    plan quiesces and membership reconverges, every live host sends one
+    ``probe_burst`` burst; the probe phase runs on the reformed ring, so
+    its order must match across variants even when the fault window made
+    mid-run delivery sets legitimately diverge.
+    """
+
+    num_hosts: int = 4
+    rounds: int = 2
+    burst_size: int = 12
+    burst_spacing: float = 0.020
+    payload_size: int = 64
+    probe_burst: int = 6
+    #: Label index (in the first round) padded to force fragmentation in
+    #: the Spread variant; ``None`` disables.
+    oversized_index: Optional[int] = 5
+    oversized_bytes: int = 2000
+    config: ProtocolConfig = field(default=CONFORMANCE_CONFIG)
+
+    @property
+    def traffic_span(self) -> float:
+        """Seconds from the first burst to the last main-phase burst."""
+        return self.rounds * self.num_hosts * self.burst_spacing
+
+    def label_size(self, label: bytes) -> int:
+        """Wire payload size charged for ``label``."""
+        return max(self.payload_size, len(label))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_hosts": self.num_hosts,
+            "rounds": self.rounds,
+            "burst_size": self.burst_size,
+            "burst_spacing": self.burst_spacing,
+            "payload_size": self.payload_size,
+            "probe_burst": self.probe_burst,
+            "oversized_index": self.oversized_index,
+            "oversized_bytes": self.oversized_bytes,
+            "windows": [
+                self.config.personal_window,
+                self.config.accelerated_window,
+                self.config.global_window,
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Workload":
+        windows = payload.get("windows")
+        config = (
+            ProtocolConfig(
+                personal_window=int(windows[0]),
+                accelerated_window=int(windows[1]),
+                global_window=int(windows[2]),
+            )
+            if windows
+            else CONFORMANCE_CONFIG
+        )
+        oversized = payload.get("oversized_index")
+        return cls(
+            num_hosts=int(payload["num_hosts"]),
+            rounds=int(payload["rounds"]),
+            burst_size=int(payload["burst_size"]),
+            burst_spacing=float(payload["burst_spacing"]),
+            payload_size=int(payload["payload_size"]),
+            probe_burst=int(payload["probe_burst"]),
+            oversized_index=None if oversized is None else int(oversized),
+            oversized_bytes=int(payload.get("oversized_bytes", 2000)),
+            config=config,
+        )

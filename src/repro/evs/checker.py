@@ -43,7 +43,17 @@ class EvsChecker:
     def __init__(self) -> None:
         self.traces: Dict[int, List[DeliveryEvent]] = defaultdict(list)
         #: Optional: pid -> number of messages it submitted (for self-delivery).
+        #: Cumulative across incarnations — reports and goldens read this.
         self.submissions: Dict[int, int] = {}
+        #: Pids whose crash/recovery lifecycle is reported to the checker
+        #: (via :meth:`record_crash` / :meth:`record_recovery`).  For
+        #: these, self-delivery is judged per incarnation; for untracked
+        #: pids the legacy ``crashed`` waiver applies wholesale.
+        self._incarnation_tracked: Set[int] = set()
+        self._currently_crashed: Set[int] = set()
+        #: Snapshots taken at the last crash of each tracked pid.
+        self._submissions_at_crash: Dict[int, int] = {}
+        self._own_deliveries_at_crash: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -52,6 +62,34 @@ class EvsChecker:
 
     def record_submission(self, pid: int, count: int = 1) -> None:
         self.submissions[pid] = self.submissions.get(pid, 0) + count
+
+    def record_crash(self, pid: int) -> None:
+        """``pid``'s process fail-stopped.
+
+        Snapshots the pid's submission and own-delivery counts: messages
+        submitted before the crash belong to the dead incarnation, so a
+        later recovered incarnation is only held to self-delivery of what
+        it submits *after* recovering.  (Without this, a pid that crashes
+        with undelivered submissions in flight and later restarts would
+        be flagged for messages the crashed incarnation legitimately
+        lost.)  ``submissions`` itself stays cumulative — reports built
+        on it are unaffected.
+        """
+        self._incarnation_tracked.add(pid)
+        self._currently_crashed.add(pid)
+        self._submissions_at_crash[pid] = self.submissions.get(pid, 0)
+        self._own_deliveries_at_crash[pid] = self._own_delivery_count(pid)
+
+    def record_recovery(self, pid: int) -> None:
+        """``pid`` restarted with empty state after a crash.
+
+        From here on the pid is live again: self-delivery is enforced for
+        submissions of the new incarnation (measured against the
+        :meth:`record_crash` snapshot), instead of being waived wholesale
+        by the ``crashed`` set.
+        """
+        self._incarnation_tracked.add(pid)
+        self._currently_crashed.discard(pid)
 
     # ------------------------------------------------------------------
 
@@ -294,17 +332,36 @@ class EvsChecker:
         lines.extend("    " + self._format_event(e) for e in trace[start : anchor + 1])
         return lines
 
+    def _own_delivery_count(self, pid: int) -> int:
+        return sum(
+            1
+            for event in self.traces[pid]
+            if isinstance(event, MessageDelivery) and event.sender == pid
+        )
+
     def check_self_delivery(self, crashed: FrozenSet[int]) -> None:
+        """A live participant delivers everything it submitted.
+
+        For pids with incarnation tracking (:meth:`record_crash` /
+        :meth:`record_recovery`), only the *current* incarnation is
+        judged: a pid that is crashed right now is waived entirely, and a
+        recovered pid answers for submissions after its last crash, not
+        for the dead incarnation's in-flight tail.  Untracked pids keep
+        the legacy semantics — the ``crashed`` set waives them outright.
+        """
         for pid, submitted in self.submissions.items():
-            if pid in crashed:
+            baseline = 0
+            if pid in self._incarnation_tracked:
+                if pid in self._currently_crashed:
+                    continue
+                submitted -= self._submissions_at_crash.get(pid, 0)
+                baseline = self._own_deliveries_at_crash.get(pid, 0)
+            elif pid in crashed:
                 continue
-            own = sum(
-                1
-                for event in self.traces[pid]
-                if isinstance(event, MessageDelivery) and event.sender == pid
-            )
+            own = self._own_delivery_count(pid) - baseline
             if own < submitted:
                 raise EvsViolation(
-                    f"participant {pid} submitted {submitted} messages but "
-                    f"delivered only {own} of its own"
+                    f"participant {pid} submitted {submitted} messages "
+                    "(current incarnation) but delivered only "
+                    f"{own} of its own"
                 )

@@ -106,28 +106,42 @@ def check_plan(plan: FaultPlan, num_hosts: int, seed: int) -> Optional[str]:
     return None
 
 
-def minimize_steps(steps: List[Step], num_hosts: int, seed: int) -> List[Step]:
-    """Greedily shrink a failing step sequence.
+def greedy_minimize(items: List, still_fails: Callable[[List], bool]) -> List:
+    """Greedy single-deletion shrinking of a failing item sequence.
 
-    Repeatedly deletes single steps as long as the resulting plan still
-    fails the EVS check with the same seed.  Because :func:`build_plan`
-    folds any step sequence through the validity state machine, every
-    candidate subsequence yields a valid plan — no repair pass needed.
-    The result is a local minimum: removing any one remaining step makes
-    the failure disappear.
+    Repeatedly deletes single items as long as ``still_fails`` holds for
+    the shortened sequence (the same shrink direction hypothesis uses).
+    The result is a local minimum: removing any one remaining item makes
+    the failure disappear.  Shared by the soak minimizer and the
+    conformance explorer (:mod:`repro.conformance.explorer`), which
+    plug in their respective failure predicates.
     """
-    current = list(steps)
+    current = list(items)
     shrunk = True
     while shrunk:
         shrunk = False
         for index in range(len(current)):
             candidate = current[:index] + current[index + 1 :]
-            plan = build_plan(candidate, num_hosts)
-            if check_plan(plan, num_hosts=num_hosts, seed=seed) is not None:
+            if still_fails(candidate):
                 current = candidate
                 shrunk = True
                 break
     return current
+
+
+def minimize_steps(steps: List[Step], num_hosts: int, seed: int) -> List[Step]:
+    """Greedily shrink a failing step sequence.
+
+    Because :func:`build_plan` folds any step sequence through the
+    validity state machine, every candidate subsequence yields a valid
+    plan — no repair pass needed.
+    """
+
+    def still_fails(candidate: List[Step]) -> bool:
+        plan = build_plan(candidate, num_hosts)
+        return check_plan(plan, num_hosts=num_hosts, seed=seed) is not None
+
+    return greedy_minimize(steps, still_fails)
 
 
 @dataclass

@@ -43,6 +43,29 @@ if TYPE_CHECKING:
 _CONTROL_CPU = 3e-6
 
 
+class DeliveryTap:
+    """Optional per-delivery callback surface for a membership host.
+
+    Where the :class:`~repro.evs.checker.EvsChecker` records abstract
+    ``(seq, sender)`` trace events, a tap sees the *whole* delivered
+    message — payload included — interleaved with configuration changes,
+    in exact delivery order.  The conformance oracle
+    (:mod:`repro.conformance`) uses this to recover application-level
+    payloads (which may be packed or fragmented by the Spread toolkit
+    layers) without touching checker semantics.  Every hook is a no-op;
+    subclass and override.
+    """
+
+    def on_deliver(self, pid, message, config_id, origin_ring) -> None:
+        """``pid`` delivered ``message`` (a ``DataMessage``)."""
+
+    def on_config(self, pid, configuration) -> None:
+        """``pid`` installed ``configuration``."""
+
+    def on_restart(self, pid) -> None:
+        """``pid``'s crashed process was restarted with empty state."""
+
+
 class MembershipHost:
     """One server running the full membership + ordering stack."""
 
@@ -52,11 +75,13 @@ class MembershipHost:
         controller: MembershipController,
         profile: ImplementationProfile,
         checker: Optional[EvsChecker] = None,
+        tap: Optional[DeliveryTap] = None,
     ) -> None:
         self.host = host
         self.controller = controller
         self.profile = profile
         self.checker = checker
+        self.tap = tap
         self.delivered: List[object] = []
         self.configurations: List[object] = []
         self._timers: Dict[str, object] = {}
@@ -225,10 +250,16 @@ class MembershipHost:
                             origin_ring=effect.origin_ring,
                         ),
                     )
+                if self.tap is not None:
+                    self.tap.on_deliver(
+                        self.pid, effect.message, effect.config_id, effect.origin_ring
+                    )
             elif isinstance(effect, DeliverConfiguration):
                 self.configurations.append(effect.configuration)
                 if self.checker is not None:
                     self.checker.record(self.pid, ConfigDelivery(effect.configuration))
+                if self.tap is not None:
+                    self.tap.on_config(self.pid, effect.configuration)
             else:
                 raise TypeError(f"unknown effect {effect!r}")
 
@@ -246,6 +277,7 @@ class MembershipCluster:
         timeouts: Optional[MembershipTimeouts] = None,
         loss_model: Optional[LossModel] = None,
         observer: Optional["ProtocolObserver"] = None,
+        delivery_tap: Optional[DeliveryTap] = None,
     ) -> None:
         self.sim = Simulator()
         self.topology: StarTopology = build_star(
@@ -253,6 +285,9 @@ class MembershipCluster:
         )
         self.checker = EvsChecker()
         self.observer = observer
+        #: Shared by every host (and re-attached across restarts): sees
+        #: every delivery with its payload, for conformance extraction.
+        self.delivery_tap = delivery_tap
         self.hosts: Dict[int, MembershipHost] = {}
         for pid in self.topology.host_ids:
             controller = MembershipController(
@@ -268,6 +303,7 @@ class MembershipCluster:
                 controller=controller,
                 profile=profile,
                 checker=self.checker,
+                tap=delivery_tap,
             )
 
     def start(self) -> None:
@@ -288,7 +324,14 @@ class MembershipCluster:
     def crash(self, pid: int) -> None:
         """Fail-stop ``pid``.  Idempotent: crashing a crashed process is
         a no-op, so scripted fault plans can overlap hand-driven faults."""
-        self._host(pid).crash()
+        host = self._host(pid)
+        was_crashed = host.host.crashed
+        host.crash()
+        if not was_crashed:
+            # Close the incarnation in the checker: submissions made
+            # before this point no longer count against self-delivery of
+            # whatever incarnation recovers later.
+            self.checker.record_crash(pid)
 
     def restart(self, pid: int) -> None:
         """Recover a crashed process (paper §II: "process crashes and
@@ -326,8 +369,12 @@ class MembershipCluster:
             controller=controller,
             profile=host.profile,
             checker=self.checker,
+            tap=self.delivery_tap,
         )
         self.hosts[pid] = fresh
+        self.checker.record_recovery(pid)
+        if self.delivery_tap is not None:
+            self.delivery_tap.on_restart(pid)
         fresh.start()
 
     def pause(self, pid: int) -> None:

@@ -2,11 +2,62 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.messages import DataMessage, DeliveryService
 from repro.net.simulator import Simulator
+
+#: Module-level random functions a test must not call without seeding.
+_GUARDED_DRAWS = (
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gauss", "normalvariate", "lognormvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate",
+)
+
+
+@pytest.fixture(autouse=True)
+def fail_on_unseeded_global_random(monkeypatch):
+    """Fail any test that draws from the unseeded global ``random``.
+
+    Such draws make a test's outcome depend on execution order and on
+    whatever ran before it.  Tests must either use an explicit
+    ``random.Random(seed)`` instance (preferred — it is immune to this
+    guard) or call ``random.seed(<constant>)`` first, which disarms the
+    tripwire for that test.  The pre-test state of the global generator
+    is restored afterwards either way.
+    """
+    state = random.getstate()
+    originals = {name: getattr(random, name) for name in _GUARDED_DRAWS}
+
+    def disarm():
+        for name, function in originals.items():
+            setattr(random, name, function)
+
+    def make_tripwire(name):
+        def tripwire(*args, **kwargs):
+            pytest.fail(
+                f"test called random.{name}() without seeding the global "
+                "generator; use an explicit random.Random(seed) instance "
+                "(or call random.seed(<constant>) first)"
+            )
+        return tripwire
+
+    real_seed = random.seed
+
+    def seed_and_disarm(*args, **kwargs):
+        disarm()
+        return real_seed(*args, **kwargs)
+
+    monkeypatch.setattr(random, "seed", seed_and_disarm)
+    for name in _GUARDED_DRAWS:
+        monkeypatch.setattr(random, name, make_tripwire(name))
+    yield
+    disarm()
+    random.setstate(state)
 
 
 @pytest.fixture

@@ -7,10 +7,12 @@ from repro.cli import build_parser, main
 
 def test_parser_builds_all_subcommands():
     parser = build_parser()
-    for command in ("demo", "sweep", "maxtp", "figure", "daemon", "soak"):
+    for command in ("demo", "sweep", "maxtp", "figure", "daemon", "soak",
+                    "conformance"):
         args = parser.parse_args([command] + (
             ["--pid", "0"] if command == "daemon" else
-            (["2"] if command == "figure" else [])
+            (["2"] if command == "figure" else
+             (["run"] if command == "conformance" else []))
         ))
         assert args.command == command
 
@@ -60,3 +62,33 @@ def test_sweep_runs_end_to_end(capsys):
     out = capsys.readouterr().out
     assert "original" in out and "accelerated" in out
     assert out.count("100") >= 2
+
+
+def test_conformance_defaults_match_the_nightly_invocation():
+    args = build_parser().parse_args(["conformance", "explore"])
+    assert args.hosts == 4
+    assert args.depth == 2
+    assert args.budget == 24
+    assert args.variants == "original,accelerated"
+
+
+def test_conformance_replay_without_artifact_fails_cleanly(capsys):
+    assert main(["conformance", "replay"]) == 2
+    assert "artifact" in capsys.readouterr().err
+
+
+def test_conformance_run_and_report_round_trip(tmp_path, capsys):
+    # A deliberately tiny workload keeps this a unit-scale test.
+    code = main([
+        "conformance", "run", "--rounds", "1", "--burst-size", "4",
+        "--probe-burst", "2", "--seed", "3", "--out", str(tmp_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+    artifact = tmp_path / "conformance_report.json"
+    assert artifact.exists()
+    assert main(["conformance", "report", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "differential" in out
+    assert "coverage.deliver.messages" in out

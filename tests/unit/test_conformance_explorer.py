@@ -1,0 +1,93 @@
+"""Unit tests for schedule enumeration, dedup plumbing, and the shared
+greedy minimizer (no simulator runs — the integration suite covers the
+full explore loop)."""
+
+from repro.conformance.explorer import (
+    ExplorationReport,
+    atom_steps,
+    enumerate_schedules,
+    schedule_to_steps,
+)
+from repro.conformance.workload import Workload
+from repro.faults.generator import build_plan
+from repro.faults.soak import greedy_minimize
+
+
+def test_atoms_expand_with_paired_repairs():
+    assert atom_steps((30, "token_drop", 1)) == [(30, "token_drop", 1)]
+    assert atom_steps((30, "crash", 1)) == [
+        (30, "crash", 1),
+        (90, "recover", 1),
+    ]
+    assert atom_steps((30, "pause", 2)) == [
+        (30, "pause", 2),
+        (45, "resume", 2),
+    ]
+
+
+def test_schedule_to_steps_delta_encodes_in_time_order():
+    steps = schedule_to_steps([(40, "token_drop", 0), (10, "crash", 1)])
+    # crash@10, token_drop@40, recover@70 -> deltas 10, 30, 30
+    assert steps == [
+        (10, "crash", 1),
+        (30, "token_drop", 0),
+        (30, "recover", 1),
+    ]
+    # The folded plan is valid and keeps absolute times.
+    plan = build_plan(steps, num_hosts=4)
+    assert len(plan) == 3
+
+
+def test_enumeration_counts_and_determinism():
+    first = enumerate_schedules([10, 20], num_hosts=4, depth=1,
+                                actions=("token_drop",), pids=(0, 1))
+    assert len(first) == 4  # 2 instants x 1 action x 2 pids
+    second = enumerate_schedules([10, 20], num_hosts=4, depth=2,
+                                 actions=("token_drop",), pids=(0, 1))
+    # depth 2 adds C(4, 2) = 6 pairs on top of the 4 singletons
+    assert len(second) == 10
+    assert second == enumerate_schedules([10, 20], num_hosts=4, depth=2,
+                                         actions=("token_drop",), pids=(0, 1))
+
+
+def test_equivalent_schedules_fold_to_the_same_plan():
+    # token_drop count depends only on pid parity (1 + pid % 2), so
+    # pids 0 and 2 at the same instant are equivalent after folding.
+    plan_a = build_plan(schedule_to_steps([(10, "token_drop", 0)]), 4)
+    plan_b = build_plan(schedule_to_steps([(10, "token_drop", 2)]), 4)
+    assert plan_a.to_dicts() == plan_b.to_dicts()
+
+
+def test_greedy_minimize_removes_irrelevant_items():
+    # Failure iff the sequence still contains both 3 and 7.
+    def still_fails(items):
+        return 3 in items and 7 in items
+
+    result = greedy_minimize([1, 3, 5, 7, 9], still_fails)
+    assert result == [3, 7]
+
+
+def test_greedy_minimize_keeps_a_singleton_cause():
+    def still_fails(items):
+        return "bad" in items
+
+    assert greedy_minimize(["a", "bad", "b"], still_fails) == ["bad"]
+
+
+def test_exploration_report_round_trips():
+    report = ExplorationReport(
+        workload=Workload(num_hosts=4),
+        seed=5,
+        depth=2,
+        budget=10,
+        variants=("original", "accelerated"),
+        instants=[12, 34],
+        enumerated=40,
+        deduped=8,
+        ran=10,
+        skipped_budget=22,
+    )
+    clone = ExplorationReport.from_json(report.to_json())
+    assert clone.to_json() == report.to_json()
+    assert clone.ok
+    assert clone.instants == [12, 34]

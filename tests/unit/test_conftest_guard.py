@@ -1,0 +1,36 @@
+"""Self-test for the unseeded-global-random guard in conftest.py."""
+
+import random
+
+import pytest
+
+
+def test_unseeded_global_draw_trips_the_guard():
+    with pytest.raises(pytest.fail.Exception, match="without seeding"):
+        random.random()
+
+
+def test_unseeded_choice_trips_the_guard():
+    with pytest.raises(pytest.fail.Exception, match="random.choice"):
+        random.choice([1, 2, 3])
+
+
+def test_seeding_disarms_the_guard_for_the_test():
+    random.seed(1234)
+    value = random.random()
+    assert 0.0 <= value < 1.0
+    # Seeded draws are reproducible — the point of requiring the seed.
+    random.seed(1234)
+    assert random.random() == value
+
+
+def test_explicit_rng_instances_are_unaffected():
+    rng = random.Random(7)
+    assert rng.random() == random.Random(7).random()
+
+
+def test_guard_restores_global_state_between_tests():
+    # The guard snapshots and restores the global generator around each
+    # test, so a seeded test cannot leak state into the next one.
+    random.seed(0)
+    random.random()  # perturb; the fixture must undo this afterwards

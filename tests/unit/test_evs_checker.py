@@ -189,3 +189,81 @@ def test_self_delivery_excuses_crashed():
     checker = EvsChecker()
     checker.record_submission(0, 2)
     checker.check(crashed={0})
+
+
+# -- incarnation-aware self-delivery (record_crash / record_recovery) --
+
+
+def test_self_delivery_waives_pre_crash_submissions_after_recovery():
+    """A recovered pid answers only for its new incarnation: submissions
+    in flight when it crashed must not be counted against it."""
+    checker = EvsChecker()
+    checker.record_submission(0, 3)  # 3 in flight, never delivered
+    checker.record_crash(0)
+    checker.record_recovery(0)
+    # New incarnation submits 1 and delivers it: satisfied.
+    checker.record_submission(0, 1)
+    checker.record(0, delivery(1, sender=0))
+    checker.check(crashed={0})
+
+
+def test_self_delivery_enforced_for_recovered_incarnation():
+    """Post-recovery submissions ARE enforced even though the pid is in
+    the ``crashed`` waiver set (it crashed at some point)."""
+    checker = EvsChecker()
+    checker.record_submission(0, 2)
+    checker.record_crash(0)
+    checker.record_recovery(0)
+    checker.record_submission(0, 2)  # new incarnation, never delivered
+    with pytest.raises(EvsViolation, match="current incarnation"):
+        checker.check(crashed={0})
+
+
+def test_self_delivery_waives_currently_crashed_tracked_pid():
+    checker = EvsChecker()
+    checker.record_submission(0, 2)
+    checker.record(0, delivery(1, sender=0))
+    checker.record_crash(0)  # crashed with one submission undelivered
+    checker.check(crashed={0})
+
+
+def test_self_delivery_crash_snapshots_own_deliveries():
+    """Pre-crash own-deliveries must not satisfy post-recovery
+    submissions — the baseline is snapshotted at crash time."""
+    checker = EvsChecker()
+    checker.record_submission(0, 2)
+    checker.record(0, delivery(1, sender=0))
+    checker.record(0, delivery(2, sender=0))
+    checker.record_crash(0)
+    checker.record_recovery(0)
+    checker.record_submission(0, 1)
+    with pytest.raises(EvsViolation, match="submitted 1 messages"):
+        checker.check(crashed={0})
+    # Delivering the new incarnation's message clears the violation.
+    checker.record(0, delivery(3, sender=0))
+    checker.check(crashed={0})
+
+
+def test_self_delivery_second_crash_resnapshots():
+    checker = EvsChecker()
+    checker.record_submission(0, 1)
+    checker.record_crash(0)
+    checker.record_recovery(0)
+    checker.record_submission(0, 1)  # undelivered when the 2nd crash hits
+    checker.record_crash(0)
+    checker.record_recovery(0)
+    checker.check(crashed={0})  # nothing submitted since last crash
+    checker.record_submission(0, 1)
+    with pytest.raises(EvsViolation, match="current incarnation"):
+        checker.check(crashed={0})
+
+
+def test_submissions_stay_cumulative_across_incarnations():
+    """Reports (and goldens) read ``submissions`` — crash tracking must
+    not mutate the public counts."""
+    checker = EvsChecker()
+    checker.record_submission(0, 3)
+    checker.record_crash(0)
+    checker.record_recovery(0)
+    checker.record_submission(0, 2)
+    assert checker.submissions[0] == 5
