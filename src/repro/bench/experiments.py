@@ -17,7 +17,8 @@ from repro.core.config import ProtocolConfig
 from repro.core.messages import DeliveryService
 from repro.net.loss import LossModel, PositionalLoss, UniformLoss
 from repro.net.params import NetworkParams
-from repro.sim.cluster import RingCluster, build_cluster
+from repro.sim.build import ClusterBuilder
+from repro.sim.cluster import RingCluster
 from repro.sim.profiles import ImplementationProfile
 from repro.util.units import Mbps, seconds_to_usec
 from repro.workloads.generators import ClosedLoopWorkload, FixedRateWorkload
@@ -52,6 +53,29 @@ class ExperimentPoint:
             f"{self.worst5_us:9.1f}",
             f"{self.retransmissions:7d}",
         ]
+
+
+def _build_ring(
+    accelerated: bool,
+    profile: ImplementationProfile,
+    params: NetworkParams,
+    config: ProtocolConfig,
+    loss_model: Optional[LossModel] = None,
+    observer: Optional["ProtocolObserver"] = None,
+) -> RingCluster:
+    builder = (
+        ClusterBuilder()
+        .hosts(NUM_HOSTS)
+        .accelerated(accelerated)
+        .profile(profile)
+        .network(params)
+        .config(config)
+    )
+    if loss_model is not None:
+        builder.loss(loss_model)
+    if observer is not None:
+        builder.observe(observer)
+    return builder.build_ring()
 
 
 def _run_cluster(
@@ -104,8 +128,7 @@ def run_point(
     from repro.bench.windows import window_for
 
     config = config or window_for(profile, params, accelerated, payload_size)
-    cluster = build_cluster(
-        num_hosts=NUM_HOSTS,
+    cluster = _build_ring(
         accelerated=accelerated,
         profile=profile,
         params=params,
@@ -157,8 +180,7 @@ def run_max_throughput(
     from repro.bench.windows import window_for
 
     config = config or window_for(profile, params, accelerated, payload_size)
-    cluster = build_cluster(
-        num_hosts=NUM_HOSTS,
+    cluster = _build_ring(
         accelerated=accelerated,
         profile=profile,
         params=params,
@@ -236,8 +258,7 @@ def positional_loss_sweep(
     for distance in distances:
         loss = PositionalLoss(ring_order=ring_order, distance=distance, rate=loss_rate)
         config = window_for(profile, params, accelerated, 1350)
-        cluster = build_cluster(
-            num_hosts=NUM_HOSTS,
+        cluster = _build_ring(
             accelerated=accelerated,
             profile=profile,
             params=params,

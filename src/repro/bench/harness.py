@@ -40,7 +40,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.messages import DeliveryService
 from repro.net.params import GIGABIT, TEN_GIGABIT, NetworkParams
-from repro.sim.cluster import RingCluster, build_cluster
+from repro.sim.build import ClusterBuilder
+from repro.sim.cluster import RingCluster
 from repro.sim.profiles import LIBRARY, ImplementationProfile
 from repro.util.units import Mbps
 from repro.workloads.generators import ClosedLoopWorkload, FixedRateWorkload
@@ -108,12 +109,13 @@ def _closed_loop(
         from repro.bench.windows import window_for
 
         config = window_for(profile, params, True, payload_size)
-        cluster = build_cluster(
-            num_hosts=NUM_HOSTS,
-            accelerated=True,
-            profile=profile,
-            params=params,
-            config=config,
+        cluster = (
+            ClusterBuilder()
+            .hosts(NUM_HOSTS)
+            .profile(profile)
+            .network(params)
+            .config(config)
+            .build_ring()
         )
         workload = ClosedLoopWorkload(payload_size=payload_size, service=service)
         return cluster, workload
@@ -132,18 +134,55 @@ def _fixed_rate(
         from repro.bench.windows import window_for
 
         config = window_for(profile, params, True, payload_size)
-        cluster = build_cluster(
-            num_hosts=NUM_HOSTS,
-            accelerated=True,
-            profile=profile,
-            params=params,
-            config=config,
+        cluster = (
+            ClusterBuilder()
+            .hosts(NUM_HOSTS)
+            .profile(profile)
+            .network(params)
+            .config(config)
+            .build_ring()
         )
         workload = FixedRateWorkload(
             payload_size=payload_size,
             aggregate_rate_bps=Mbps(rate_mbps),
             service=service,
         )
+        return cluster, workload
+
+    return build
+
+
+def _multiring_closed_loop(
+    num_rings: int,
+    hosts_per_ring: int = 4,
+    payload_size: int = 1350,
+) -> Callable[[], Tuple[object, object]]:
+    """N independent rings sharing one simulator, every sender saturated.
+
+    The scaling proof: with closed-loop senders each ring runs at its
+    maximum sustainable rate, so a cluster of N rings should process
+    close to N× the simulated ordering work (``events_processed``,
+    aggregate ``goodput_mbps``) of one ring in the same simulated
+    window.  Those are deterministic metrics — the baseline gate holds
+    them bit-stable — whereas wall-clock events/sec cannot double on a
+    single interpreter and is gated only by the loose wall tolerance.
+    """
+
+    def build() -> Tuple[object, object]:
+        from repro.bench.windows import window_for
+
+        config = window_for(LIBRARY, GIGABIT, True, payload_size)
+        cluster = (
+            ClusterBuilder()
+            .rings(num_rings)
+            .hosts(hosts_per_ring)
+            .protocol()
+            .profile(LIBRARY)
+            .network(GIGABIT)
+            .config(config)
+            .build_multiring()
+        )
+        workload = ClosedLoopWorkload(payload_size=payload_size)
         return cluster, workload
 
     return build
@@ -188,6 +227,30 @@ SUITES: Dict[str, List[BenchCase]] = {
             ),
             warmup=0.04,
             measure=0.08,
+        ),
+    ],
+    # Multi-ring scaling: the same closed-loop engine at 1, 2, and 4
+    # rings.  Near-linear scaling of the deterministic work metrics is
+    # the acceptance gate for the sharded-ordering layer (ISSUE 6);
+    # benchmarks/bench_scaling.py asserts the ratios.
+    "scaling": [
+        BenchCase(
+            name="rings-1",
+            build=_multiring_closed_loop(1),
+            warmup=0.01,
+            measure=0.02,
+        ),
+        BenchCase(
+            name="rings-2",
+            build=_multiring_closed_loop(2),
+            warmup=0.01,
+            measure=0.02,
+        ),
+        BenchCase(
+            name="rings-4",
+            build=_multiring_closed_loop(4),
+            warmup=0.01,
+            measure=0.02,
         ),
     ],
 }
@@ -247,16 +310,34 @@ def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS) -> CaseResult:
     )
 
 
+def select_cases(suite: str, cases: Optional[List[str]] = None) -> List[BenchCase]:
+    """The suite's cases, optionally restricted to named ones (in suite
+    order).  Unknown names are an error, not a silent skip."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; have {sorted(SUITES)}")
+    available = SUITES[suite]
+    if cases is None:
+        return list(available)
+    known = {case.name for case in available}
+    unknown = sorted(set(cases) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown case(s) {unknown} in suite {suite!r}; have {sorted(known)}"
+        )
+    wanted = set(cases)
+    return [case for case in available if case.name in wanted]
+
+
 def run_suite(
     suite: str,
     repeats: int = DEFAULT_REPEATS,
     progress: Optional[Callable[[str], None]] = None,
+    case_names: Optional[List[str]] = None,
 ) -> Dict[str, object]:
-    """Run every case in ``suite``; returns the results document."""
-    if suite not in SUITES:
-        raise ValueError(f"unknown suite {suite!r}; have {sorted(SUITES)}")
+    """Run every (selected) case in ``suite``; returns the results
+    document."""
     cases: Dict[str, Dict[str, object]] = {}
-    for case in SUITES[suite]:
+    for case in select_cases(suite, case_names):
         if progress is not None:
             progress(f"running {suite}/{case.name} ({repeats} repeats)...")
         result = run_case(case, repeats=repeats)
@@ -385,6 +466,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="write the results over the baseline file as the new baseline",
     )
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case names to run (default: the whole "
+        "suite); baseline comparison restricts itself to the selection",
+    )
     args = parser.parse_args(argv)
     return run_from_args(
         suite=args.suite,
@@ -393,6 +480,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline=args.baseline,
         check_baseline=args.check_baseline,
         update_baseline=args.update_baseline,
+        cases=args.cases.split(",") if args.cases else None,
     )
 
 
@@ -403,16 +491,24 @@ def run_from_args(
     baseline: Optional[Path] = None,
     check_baseline: bool = False,
     update_baseline: bool = False,
+    cases: Optional[List[str]] = None,
 ) -> int:
     if suite not in SUITES:
         print(f"unknown suite {suite!r}; available: {', '.join(sorted(SUITES))}")
         return 2
-    results = run_suite(suite, repeats=repeats, progress=print)
+    try:
+        results = run_suite(suite, repeats=repeats, progress=print, case_names=cases)
+    except ValueError as exc:
+        print(str(exc))
+        return 2
     out_path = output if output is not None else results_path(suite)
     save_results(results, out_path)
     print(f"wrote {out_path}")
     base_path = baseline if baseline is not None else baseline_path(suite)
     if update_baseline:
+        if cases is not None:
+            print("--update-baseline needs the full suite, not --cases")
+            return 2
         save_results(results, base_path)
         print(f"updated baseline {base_path}")
         return 0
@@ -420,7 +516,17 @@ def run_from_args(
         if not base_path.exists():
             print(f"BASELINE MISSING: {base_path} — run with --update-baseline")
             return 1
-        problems = compare_results(results, load_results(base_path))
+        reference = load_results(base_path)
+        if cases is not None:
+            # A partial run is gated against the matching slice of the
+            # committed baseline; the unselected cases are not "missing".
+            reference = dict(reference)
+            reference["cases"] = {
+                name: metrics
+                for name, metrics in reference.get("cases", {}).items()
+                if name in set(cases)
+            }
+        problems = compare_results(results, reference)
         if problems:
             print(f"REGRESSIONS vs {base_path}:")
             for problem in problems:

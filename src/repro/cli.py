@@ -344,6 +344,69 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         _print_divergences(report.divergences)
         return 1
 
+    if args.mode in ("sharded", "sharded-explore"):
+        from repro.conformance.multiring import (
+            ShardedWorkload,
+            explore_sharded,
+            run_sharded_differential,
+        )
+
+        ring_counts = tuple(int(n) for n in args.rings.split(","))
+        sharded_workload = ShardedWorkload(
+            num_groups=args.groups, hosts_per_ring=args.hosts
+        )
+        if args.mode == "sharded":
+            report = run_sharded_differential(
+                sharded_workload, ring_counts=ring_counts, seed=args.seed
+            )
+            if args.json:
+                print(report.to_json())
+            else:
+                status = "PASS" if report.ok else "FAIL"
+                print(
+                    f"  {status}  rings={','.join(map(str, ring_counts))} "
+                    f"seed={args.seed} groups={args.groups} "
+                    f"deliveries={report.deliveries}"
+                )
+                _print_divergences(report.divergences)
+            if args.out is not None:
+                os.makedirs(args.out, exist_ok=True)
+                path = os.path.join(args.out, "conformance_sharded.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(report.to_json())
+                print(f"report written to {path}")
+            return 0 if report.ok else 1
+
+        num_rings = max(ring_counts)
+        explore_report = explore_sharded(
+            num_rings=num_rings,
+            workload=sharded_workload,
+            seed=args.seed,
+            progress=None if args.json else print,
+        )
+        if args.json:
+            print(explore_report.to_json())
+        else:
+            status = "PASS" if explore_report.ok else "FAIL"
+            print(
+                f"  {status}  rings={num_rings} "
+                f"cases={len(explore_report.cases)} "
+                f"failures={len(explore_report.failures)}"
+            )
+            for case in explore_report.failures:
+                print(
+                    f"        ring {case['ring']} {case['kind']} "
+                    f"pid {case['pid']} @{case['at']}: "
+                    f"converged={case['converged']} evs={case['evs']}"
+                )
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "conformance_sharded_explore.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(explore_report.to_json())
+            print(f"report written to {path}")
+        return 0 if explore_report.ok else 1
+
     workload = _conformance_workload(args)
 
     if args.mode == "run":
@@ -489,6 +552,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline=Path(args.baseline) if args.baseline is not None else None,
         check_baseline=args.check_baseline,
         update_baseline=args.update_baseline,
+        cases=args.cases.split(",") if args.cases else None,
     )
 
 
@@ -584,9 +648,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conformance.add_argument(
         "mode",
-        choices=["run", "explore", "replay", "report"],
+        choices=[
+            "run",
+            "explore",
+            "replay",
+            "report",
+            "sharded",
+            "sharded-explore",
+        ],
         help="run one differential; explore bounded fault schedules; "
-             "replay or pretty-print a saved artifact",
+             "replay or pretty-print a saved artifact; compare sharded "
+             "multi-ring delivery against single-ring (sharded); sweep "
+             "depth-1 faults per ring under EVS checking (sharded-explore)",
     )
     conformance.add_argument(
         "artifact",
@@ -610,6 +683,12 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--plan", default=None, metavar="FILE",
                              help="run mode: fault plan JSON "
                                   "(FaultPlan.to_dicts format)")
+    conformance.add_argument("--rings", default="1,2",
+                             help="sharded modes: comma-separated ring "
+                                  "counts to compare (sharded) or the max "
+                                  "to explore (sharded-explore)")
+    conformance.add_argument("--groups", type=int, default=6,
+                             help="sharded modes: number of Spread groups")
     conformance.add_argument("--depth", type=int, default=2,
                              help="explore mode: max fault atoms per schedule")
     conformance.add_argument("--budget", type=int, default=24,
@@ -631,7 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a benchmark suite; optionally gate on a committed baseline",
     )
     bench.add_argument("--suite", default="smoke",
-                       help="suite name (smoke, headline)")
+                       help="suite name (smoke, headline, scaling)")
+    bench.add_argument("--cases", default=None,
+                       help="comma-separated case names to run (default: "
+                            "whole suite); baseline compare restricts "
+                            "itself to the selection")
     bench.add_argument("--repeats", type=int, default=None,
                        help="repetitions per case (medians reported)")
     bench.add_argument("--output", default=None,

@@ -17,6 +17,10 @@ into tooling:
 * :mod:`repro.conformance.coverage` — protocol-branch coverage counters
   built on the :mod:`repro.obs` observer hooks, so exploration runs
   report which protocol branches were actually exercised.
+* :mod:`repro.conformance.multiring` — the sharded-ordering oracle:
+  per-group streams must be identical across ring counts (fault-free),
+  identical from every vantage, and per-shard EVS must stay clean
+  under a depth-1 fault sweep.
 
 Everything is seeded and deterministic; divergences serialize to JSON
 artifacts that replay with ``python -m repro conformance replay``.
@@ -29,6 +33,15 @@ from repro.conformance.differ import (
     run_differential,
 )
 from repro.conformance.explorer import ExplorationReport, explore
+from repro.conformance.multiring import (
+    ShardedExplorationReport,
+    ShardedReport,
+    ShardedRun,
+    ShardedWorkload,
+    explore_sharded,
+    run_sharded,
+    run_sharded_differential,
+)
 from repro.conformance.variants import VARIANT_NAMES, VariantRun, run_variant
 from repro.conformance.workload import Workload, make_label, parse_label
 
@@ -38,12 +51,19 @@ __all__ = [
     "CoverageObserver",
     "CoverageReport",
     "ExplorationReport",
+    "ShardedExplorationReport",
+    "ShardedReport",
+    "ShardedRun",
+    "ShardedWorkload",
     "VARIANT_NAMES",
     "VariantRun",
     "Workload",
     "explore",
+    "explore_sharded",
     "make_label",
     "parse_label",
     "run_differential",
+    "run_sharded",
+    "run_sharded_differential",
     "run_variant",
 ]

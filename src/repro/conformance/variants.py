@@ -26,7 +26,8 @@ from repro.evs.checker import EvsViolation
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.observer import ProtocolObserver
-from repro.sim.membership_driver import DeliveryTap, MembershipCluster
+from repro.sim.build import ClusterBuilder
+from repro.sim.membership_driver import DeliveryTap
 from repro.sim.profiles import DAEMON, SPREAD
 from repro.spread.fragmentation import Fragmenter, FragmentReassembler
 from repro.spread.packing import Packer, unpack_payload
@@ -197,14 +198,19 @@ def run_variant(
         )
     spread = variant == "spread"
     tap = ConformanceTap(decode=spread)
-    cluster = MembershipCluster(
-        num_hosts=workload.num_hosts,
-        accelerated=variant != "original",
-        profile=SPREAD if spread else DAEMON,
-        config=workload.config,
-        observer=observer,
-        delivery_tap=tap,
+    builder = (
+        ClusterBuilder()
+        .hosts(workload.num_hosts)
+        .membership()
+        .accelerated(variant != "original")
+        .profile(SPREAD if spread else DAEMON)
+        .tap(tap)
     )
+    if workload.config is not None:
+        builder.config(workload.config)
+    if observer is not None:
+        builder.observe(observer)
+    cluster = builder.build_membership()
     pipeline = _SpreadPipeline(workload.num_hosts) if spread else None
     next_index: Dict[int, int] = {}
 

@@ -21,9 +21,9 @@ reproducible chaos experiments:
 Quickstart::
 
     from repro.faults import PlanBuilder, FaultInjector
-    from repro.sim.membership_driver import MembershipCluster
+    from repro.sim.build import ClusterBuilder
 
-    cluster = MembershipCluster(num_hosts=4)
+    cluster = ClusterBuilder().hosts(4).membership().build()
     cluster.start(); cluster.run(0.08)
     plan = PlanBuilder().crash(1, at=0.02).recover(1, at=0.2).build()
     FaultInjector(cluster, plan, seed=7).arm()

@@ -35,7 +35,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, PlanBuilder
 from repro.net.loss import LossModel, UniformLoss
 from repro.obs.observer import MetricsObserver
-from repro.sim.membership_driver import MembershipCluster
+from repro.sim.build import ClusterBuilder
 from repro.util.errors import FaultError
 
 #: Simulated time given to the cluster to boot into one ring before the
@@ -255,12 +255,16 @@ def run_scenario(name: str, seed: int = 0) -> ScenarioReport:
         raise FaultError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
     rng = random.Random(seed)
     observer = MetricsObserver()
-    cluster = MembershipCluster(
-        num_hosts=spec.num_hosts,
-        accelerated=spec.accelerated,
-        observer=observer,
-        loss_model=spec.loss_model(rng) if spec.loss_model is not None else None,
+    builder = (
+        ClusterBuilder()
+        .hosts(spec.num_hosts)
+        .membership()
+        .accelerated(spec.accelerated)
+        .observe(observer)
     )
+    if spec.loss_model is not None:
+        builder.loss(spec.loss_model(rng))
+    cluster = builder.build_membership()
     cluster.start()
     cluster.run(_BOOT)
 

@@ -38,6 +38,7 @@ from repro.faults.generator import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.sim.build import ClusterBuilder
 from repro.sim.membership_driver import MembershipCluster
 
 #: Spread between the top-level soak seed and per-case seeds; a large
@@ -64,7 +65,7 @@ def drive_plan(plan: FaultPlan, num_hosts: int, seed: int) -> MembershipCluster:
     settle — so the checker sees completed recoveries, not mid-flight
     state.
     """
-    cluster = MembershipCluster(num_hosts=num_hosts)
+    cluster = ClusterBuilder().hosts(num_hosts).membership().build_membership()
     cluster.start()
     cluster.run(0.08)
     injector = FaultInjector(cluster, plan, rng=random.Random(seed))

@@ -1,0 +1,44 @@
+"""Multi-ring sharded ordering.
+
+One Accelerated Ring is a hard throughput ceiling: the token circuit
+serializes every ordered message through a single rotation.  The
+multi-ring layer scales past it the way Multi-Ring Paxos and HT-Ring
+Paxos do (PAPERS.md): run N independent rings on the shared simulated
+fabric, deterministically shard Spread group names onto them, and give
+subscribers that span rings one merged total order.
+
+* :mod:`repro.multiring.shard_map` — :class:`ShardMap`: deterministic
+  group-name → ring mapping (stable CRC hash, explicit overrides).
+* :mod:`repro.multiring.merge` — the deterministic cross-shard merge:
+  round-robin with skips, as in Multi-Ring Paxos §M.  Every subscriber
+  of the same group set observes the same merged order because the
+  merge is a pure function of the per-ring delivery orders.
+* :mod:`repro.multiring.cluster` — :class:`MultiRingCluster`: N rings
+  (full membership stacks or bare ordering engines) on one simulator,
+  with per-shard EVS checking and a group-routed submit path.
+
+Construction goes through the topology API::
+
+    from repro.sim.build import ClusterBuilder
+
+    cluster = ClusterBuilder().rings(2).hosts(4).membership().build_multiring()
+    cluster.start(); cluster.run(0.1)
+    cluster.submit("chat", b"hello")       # routed to shard_of("chat")
+
+Per-shard guarantee: each ring totally orders the groups mapped to it
+(full EVS semantics per ring).  Cross-shard guarantee: the merged order
+is identical for all subscribers of the same group set — but it is a
+deterministic interleaving, not a temporal or causal order across
+rings (see docs/PROTOCOL.md §11).
+"""
+
+from repro.multiring.shard_map import ShardMap
+from repro.multiring.merge import RoundRobinMerger, merge_streams
+from repro.multiring.cluster import MultiRingCluster
+
+__all__ = [
+    "ShardMap",
+    "RoundRobinMerger",
+    "merge_streams",
+    "MultiRingCluster",
+]

@@ -1,0 +1,452 @@
+"""N independent rings on one simulated fabric.
+
+:class:`MultiRingCluster` runs ``num_rings`` Accelerated (or original)
+rings side by side on a single deterministic :class:`~repro.net.
+simulator.Simulator`.  Each ring is a complete, independent stack —
+its own switch, hosts, and (in membership mode) its own
+:class:`~repro.membership.controller.MembershipController` ring with a
+dedicated :class:`~repro.evs.checker.EvsChecker` — so per-ring
+guarantees are exactly the single-ring guarantees, and a fault on one
+ring cannot touch another except through the shared wall clock.
+
+Group traffic routes through a :class:`~repro.multiring.shard_map.
+ShardMap`: ``submit("chat", b"...")`` lands on the ring that owns
+``"chat"`` and every daemon on that ring delivers it in the ring's
+total order.  Subscribers spanning rings read
+:meth:`MultiRingCluster.merged_stream`, the deterministic round-robin
+merge of the per-ring orders (:mod:`repro.multiring.merge`).
+
+Two modes, one fabric:
+
+* **membership mode** (default) — full membership + EVS stacks; the
+  conformance and chaos layers drive this one.
+* **protocol mode** (``membership=False``) — bare ordering engines
+  (:class:`~repro.sim.cluster.RingCluster` per ring) for the scaling
+  benchmarks; exposes the same ``drivers``/``aggregate()`` surface the
+  single-ring workload generators and the bench harness already use,
+  with globally unique pids ``ring_index * hosts_per_ring + local``.
+
+Build through :class:`repro.sim.build.ClusterBuilder` — a single ring
+is just the N=1 case of the same spec.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import DeliveryService
+from repro.core.original import OriginalRingParticipant
+from repro.core.participant import AcceleratedRingParticipant
+from repro.evs.checker import EvsViolation
+from repro.membership.params import MembershipTimeouts
+from repro.net.loss import LossModel
+from repro.net.params import NetworkParams, GIGABIT
+from repro.net.simulator import Simulator
+from repro.net.topology import build_star
+from repro.multiring.merge import merge_streams
+from repro.multiring.shard_map import ShardMap, stable_hash
+from repro.sim.cluster import ClusterStats, RingCluster
+from repro.sim.driver import ProtocolHost
+from repro.sim.profiles import ImplementationProfile, DAEMON, LIBRARY
+from repro.util.errors import ConfigurationError, FaultError
+from repro.util.stats import LatencyStats
+
+#: Stream event kinds recorded by the per-ring group taps.
+MSG, CONFIG, RESTART = "m", "c", "r"
+
+
+def encode_group_payload(group: str, payload: bytes) -> bytes:
+    """Frame ``payload`` with its target group for transport on a ring."""
+    name = group.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise ConfigurationError(f"group name too long: {group!r}")
+    return struct.pack("!H", len(name)) + name + payload
+
+
+def decode_group_payload(data: bytes) -> Tuple[Optional[str], bytes]:
+    """Inverse of :func:`encode_group_payload`.
+
+    Returns ``(None, data)`` for frames that were not group-framed, so
+    taps stay safe against raw submissions.
+    """
+    if len(data) < 2:
+        return None, bytes(data)
+    (length,) = struct.unpack_from("!H", data)
+    if len(data) < 2 + length:
+        return None, bytes(data)
+    try:
+        group = data[2 : 2 + length].decode("utf-8")
+    except UnicodeDecodeError:
+        return None, bytes(data)
+    return group, bytes(data[2 + length :])
+
+
+class GroupStreamTap:
+    """Per-ring delivery tap recording group-framed streams per pid.
+
+    Events are ``("m", group, payload)``, ``("c", config_id,
+    transitional)``, and ``("r",)`` — the group-aware mirror of the
+    conformance tap, shared by the merge API and the sharded oracle.
+    (Duck-typed to :class:`~repro.sim.membership_driver.DeliveryTap`.)
+    """
+
+    def __init__(self) -> None:
+        self.streams: Dict[int, List[tuple]] = {}
+
+    def _stream(self, pid: int) -> List[tuple]:
+        return self.streams.setdefault(pid, [])
+
+    def on_deliver(self, pid, message, config_id, origin_ring) -> None:
+        group, payload = decode_group_payload(bytes(message.payload))
+        self._stream(pid).append((MSG, group, payload))
+
+    def on_config(self, pid, configuration) -> None:
+        self._stream(pid).append(
+            (CONFIG, configuration.config_id, configuration.transitional)
+        )
+
+    def on_restart(self, pid) -> None:
+        self._stream(pid).append((RESTART,))
+
+    def labels(
+        self, pid: int, groups: Optional[Iterable[str]] = None
+    ) -> List[Tuple[str, bytes]]:
+        """``(group, payload)`` deliveries of ``pid``, optionally
+        restricted to ``groups``."""
+        wanted = None if groups is None else set(groups)
+        out: List[Tuple[str, bytes]] = []
+        for event in self.streams.get(pid, []):
+            if event[0] != MSG or event[1] is None:
+                continue
+            if wanted is None or event[1] in wanted:
+                out.append((event[1], event[2]))
+        return out
+
+
+class MultiRingCluster:
+    """``num_rings`` independent rings sharing one simulator."""
+
+    def __init__(
+        self,
+        num_rings: int,
+        hosts_per_ring: int,
+        membership: bool = True,
+        accelerated: bool = True,
+        profile: Optional[ImplementationProfile] = None,
+        params: NetworkParams = GIGABIT,
+        config: Optional[ProtocolConfig] = None,
+        timeouts: Optional[MembershipTimeouts] = None,
+        loss_model: Optional[LossModel] = None,
+        observer=None,
+        shard_map: Optional[ShardMap] = None,
+        ring_id_base: int = 1,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        if num_rings < 1:
+            raise ConfigurationError(f"need at least one ring, got {num_rings}")
+        if hosts_per_ring < 1:
+            raise ConfigurationError(
+                f"need at least one host per ring, got {hosts_per_ring}"
+            )
+        self.num_rings = num_rings
+        self.hosts_per_ring = hosts_per_ring
+        self.membership = membership
+        self.observer = observer
+        self.sim = sim if sim is not None else Simulator()
+        self.shard_map = shard_map if shard_map is not None else ShardMap(num_rings)
+        if self.shard_map.num_rings != num_rings:
+            raise ConfigurationError(
+                f"shard map covers {self.shard_map.num_rings} rings, "
+                f"cluster has {num_rings}"
+            )
+        self.taps: List[GroupStreamTap] = []
+        self.rings: List[object] = []
+        if membership:
+            # Imported here: membership_driver imports nothing from this
+            # package, but keeping the dependency one-way at module load
+            # leaves the builder free to import both.
+            from repro.sim.membership_driver import MembershipCluster
+
+            for index in range(num_rings):
+                tap = GroupStreamTap()
+                self.taps.append(tap)
+                self.rings.append(
+                    MembershipCluster(
+                        num_hosts=hosts_per_ring,
+                        accelerated=accelerated,
+                        profile=profile if profile is not None else DAEMON,
+                        params=params,
+                        config=config,
+                        timeouts=timeouts,
+                        loss_model=loss_model,
+                        observer=observer,
+                        delivery_tap=tap,
+                        sim=self.sim,
+                        _from_builder=True,
+                    )
+                )
+        else:
+            resolved = (config or ProtocolConfig()).validate()
+            participant_cls: Type[AcceleratedRingParticipant]
+            participant_cls = (
+                AcceleratedRingParticipant if accelerated else OriginalRingParticipant
+            )
+            use_profile = profile if profile is not None else LIBRARY
+            for index in range(num_rings):
+                topology = build_star(
+                    self.sim, hosts_per_ring, params, loss_model=loss_model
+                )
+                ring_order = topology.host_ids
+                drivers: Dict[int, ProtocolHost] = {}
+                for pid in ring_order:
+                    participant = participant_cls(
+                        pid,
+                        ring_order,
+                        resolved,
+                        ring_id=ring_id_base + index,
+                        observer=observer,
+                        clock=lambda: self.sim.now,
+                    )
+                    drivers[pid] = ProtocolHost(
+                        host=topology.host(pid),
+                        participant=participant,
+                        profile=use_profile,
+                        observer=observer,
+                    )
+                self.rings.append(
+                    RingCluster(
+                        sim=self.sim,
+                        topology=topology,
+                        drivers=drivers,
+                        ring_id=ring_id_base + index,
+                        observer=observer,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def ring(self, index: int):
+        try:
+            return self.rings[index]
+        except IndexError:
+            raise FaultError(
+                f"unknown ring {index}: cluster has rings 0..{self.num_rings - 1}"
+            ) from None
+
+    def start(self) -> None:
+        for ring in self.rings:
+            ring.start()
+
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------
+    # Group-routed traffic (membership mode)
+    # ------------------------------------------------------------------
+
+    def ring_of(self, group: str) -> int:
+        return self.shard_map.shard_of(group)
+
+    def sender_of(self, group: str) -> int:
+        """The canonical submitting pid for ``group`` on its ring.
+
+        Deterministic per group so per-group delivery order is the
+        sender's FIFO submission order — the property the cross-topology
+        oracle compares.
+        """
+        return stable_hash(group) % self.hosts_per_ring
+
+    def submit(
+        self,
+        group: str,
+        payload: bytes = b"",
+        service: DeliveryService = DeliveryService.AGREED,
+        sender: Optional[int] = None,
+        payload_size: Optional[int] = None,
+    ) -> None:
+        """Order ``payload`` within ``group`` on the group's ring."""
+        if not self.membership:
+            raise ConfigurationError(
+                "group-routed submit needs membership mode; protocol-mode "
+                "clusters are driven through their per-ring drivers"
+            )
+        ring = self.rings[self.ring_of(group)]
+        pid = sender if sender is not None else self.sender_of(group)
+        host = ring.hosts[pid]
+        if host.host.crashed or host._paused:
+            return
+        host.submit(
+            payload=encode_group_payload(group, payload),
+            service=service,
+            payload_size=payload_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Streams and the cross-shard merge
+    # ------------------------------------------------------------------
+
+    def group_stream(
+        self,
+        ring_index: int,
+        pid: int,
+        groups: Optional[Iterable[str]] = None,
+    ) -> List[Tuple[str, bytes]]:
+        """``(group, payload)`` deliveries observed by ``pid`` on one ring."""
+        return self.taps[ring_index].labels(pid, groups=groups)
+
+    def merged_stream(
+        self,
+        groups: Sequence[str],
+        vantage: Optional[int] = None,
+    ) -> List[Tuple[str, bytes]]:
+        """The deterministic cross-shard order a subscriber of
+        ``groups`` observes.
+
+        ``vantage`` picks the observing pid on every spanned ring
+        (default: the lowest live pid per ring).  Because each ring
+        delivers the same order to all its members, every vantage — and
+        therefore every subscriber of the same group set — computes the
+        identical merge.
+        """
+        shards = self.shard_map.rings_for(groups)
+        wanted = set(groups)
+        streams: List[List[Tuple[str, bytes]]] = []
+        for shard in shards:
+            ring = self.rings[shard]
+            if vantage is not None:
+                pid = vantage
+            else:
+                live = ring.live_pids()
+                pid = live[0] if live else 0
+            streams.append(self.group_stream(shard, pid, groups=wanted))
+        return merge_streams(streams)
+
+    # ------------------------------------------------------------------
+    # Per-shard EVS checking and convergence
+    # ------------------------------------------------------------------
+
+    def check_evs(
+        self, crashed: Optional[Mapping[int, frozenset]] = None
+    ) -> Dict[int, str]:
+        """Run every ring's EVS checker; returns ring → violation text
+        for the rings that failed (empty dict == all clean).
+
+        ``crashed`` maps ring index → pids whose guarantees that ring
+        waives (the standard crashed-incarnation waiver).
+        """
+        if not self.membership:
+            raise ConfigurationError("protocol-mode rings have no EVS checker")
+        violations: Dict[int, str] = {}
+        for index, ring in enumerate(self.rings):
+            waive = frozenset((crashed or {}).get(index, frozenset()))
+            try:
+                ring.checker.check(crashed=waive)
+            except EvsViolation as exc:
+                violations[index] = str(exc)
+        return violations
+
+    def converged(self) -> bool:
+        """True when every ring's live members share one operational ring."""
+        if not self.membership:
+            return True
+        for ring in self.rings:
+            states = ring.states()
+            views = set(ring.rings().values())
+            if not (
+                len(views) == 1
+                and all(state == "operational" for state in states.values())
+                and len(next(iter(views))) == len(states)
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault surface (per ring)
+    # ------------------------------------------------------------------
+
+    def crash(self, ring_index: int, pid: int) -> None:
+        self.ring(ring_index).crash(pid)
+
+    def restart(self, ring_index: int, pid: int) -> None:
+        self.ring(ring_index).restart(pid)
+
+    def pause(self, ring_index: int, pid: int) -> None:
+        self.ring(ring_index).pause(pid)
+
+    def resume(self, ring_index: int, pid: int) -> None:
+        self.ring(ring_index).resume(pid)
+
+    def partition(self, ring_index: int, *groups) -> None:
+        self.ring(ring_index).partition(*groups)
+
+    def heal(self, ring_index: Optional[int] = None) -> None:
+        targets = self.rings if ring_index is None else [self.ring(ring_index)]
+        for ring in targets:
+            ring.heal()
+
+    # ------------------------------------------------------------------
+    # Benchmark surface (protocol mode): the single-ring duck type
+    # ------------------------------------------------------------------
+
+    @property
+    def drivers(self) -> Dict[int, ProtocolHost]:
+        """Globally keyed drivers across every ring.
+
+        Global pid = ``ring_index * hosts_per_ring + local_pid``, so the
+        existing workload generators drive an N-ring cluster unchanged.
+        """
+        if self.membership:
+            raise ConfigurationError(
+                "drivers are a protocol-mode surface; membership clusters "
+                "submit through submit(group, ...)"
+            )
+        merged: Dict[int, ProtocolHost] = {}
+        for index, ring in enumerate(self.rings):
+            base = index * self.hosts_per_ring
+            for pid, driver in ring.drivers.items():
+                merged[base + pid] = driver
+        return merged
+
+    def driver(self, global_pid: int) -> ProtocolHost:
+        return self.drivers[global_pid]
+
+    def set_measure_from(self, time: float) -> None:
+        for ring in self.rings:
+            ring.set_measure_from(time)
+
+    def aggregate(self) -> ClusterStats:
+        """Cluster-wide statistics: latency pooled over every receiver,
+        goodput summed across rings (the aggregate ordered-delivery
+        rate the sharded system sustains)."""
+        if self.membership:
+            raise ConfigurationError("aggregate() is a protocol-mode surface")
+        latency = LatencyStats()
+        goodput = 0.0
+        retransmissions = 0
+        token_rounds = 0
+        messages_sent = 0
+        switch_drops = 0
+        worst: List[float] = []
+        for ring in self.rings:
+            stats = ring.aggregate()
+            latency.merge(stats.latency)
+            goodput += stats.goodput_bps
+            retransmissions += stats.retransmissions
+            token_rounds = max(token_rounds, stats.token_rounds)
+            messages_sent += stats.messages_sent
+            switch_drops += stats.switch_drops
+            if stats.per_sender_worst_5pct_mean:
+                worst.append(stats.per_sender_worst_5pct_mean)
+        return ClusterStats(
+            latency=latency,
+            goodput_bps=goodput,
+            retransmissions=retransmissions,
+            token_rounds=token_rounds,
+            messages_sent=messages_sent,
+            switch_drops=switch_drops,
+            per_sender_worst_5pct_mean=(sum(worst) / len(worst)) if worst else 0.0,
+        )

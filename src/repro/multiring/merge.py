@@ -1,0 +1,109 @@
+"""The deterministic cross-shard merge (Multi-Ring Paxos §M).
+
+Each ring delivers its own total order.  A subscriber joined to groups
+on several rings needs *one* order — and every subscriber of the same
+group set must observe the same one.  Multi-Ring Paxos solves this with
+round-robin delivery: learners consume one message per ring per round,
+in ring-index order, and idle rings emit *skip* messages so a quiet
+ring never stalls the merge.
+
+Two faces of the same rule live here:
+
+* :func:`merge_streams` — the offline merge of completed per-ring
+  streams, used by the oracles: round ``k`` emits the ``k``-th message
+  of each ring in ring-index order; an exhausted ring is skipped.  The
+  result is a pure function of the per-ring orders, so any two
+  subscribers holding identical per-ring streams (which per-ring total
+  order guarantees) compute the identical merged order — regardless of
+  the wall-clock interleaving in which messages reached them.
+* :class:`RoundRobinMerger` — the online, incremental form: push
+  per-ring deliveries (and explicit skips, the idle-ring signal) as
+  they arrive, drain merged output as soon as the head-of-round is
+  available.
+
+What the merge does **not** provide: a temporal or causal order across
+rings.  Two messages on different rings are interleaved by round
+arithmetic, not by send or delivery time (docs/PROTOCOL.md §11).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Sequence, Tuple, TypeVar
+
+from repro.util.errors import ConfigurationError
+
+T = TypeVar("T")
+
+#: Queue entry marking one skip (an idle-ring round-slot).
+_SKIP = object()
+
+
+def merge_streams(streams: Sequence[Sequence[T]]) -> List[T]:
+    """Merge completed per-ring streams round-robin by ring index.
+
+    Round ``k`` takes element ``k`` of every stream that still has one,
+    in stream (ring-index) order; shorter streams simply drop out of
+    later rounds — the offline equivalent of a tail of skips.
+    """
+    if not streams:
+        return []
+    merged: List[T] = []
+    longest = max(len(stream) for stream in streams)
+    for position in range(longest):
+        for stream in streams:
+            if position < len(stream):
+                merged.append(stream[position])
+    return merged
+
+
+class RoundRobinMerger:
+    """Incremental round-robin merge over ``num_streams`` ordered feeds.
+
+    ``push(ring, item)`` appends a delivery, ``push_skip(ring)``
+    records that the ring's next round-slot is empty (the idle-ring
+    signal).  :meth:`drain` emits every merged delivery whose turn has
+    come; it stops — without emitting — at the first ring whose next
+    slot is still unknown, so output order never depends on arrival
+    timing across rings.
+    """
+
+    def __init__(self, num_streams: int) -> None:
+        if num_streams < 1:
+            raise ConfigurationError(
+                f"need at least one stream, got {num_streams}"
+            )
+        self.num_streams = num_streams
+        self._queues: Tuple[Deque[object], ...] = tuple(
+            deque() for _ in range(num_streams)
+        )
+        self._turn = 0
+        #: Total deliveries (skips excluded) emitted so far.
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+
+    def push(self, stream: int, item: T) -> None:
+        self._queues[stream].append(item)
+
+    def push_skip(self, stream: int, count: int = 1) -> None:
+        if count < 0:
+            raise ConfigurationError(f"skip count must be >= 0, got {count}")
+        self._queues[stream].extend(_SKIP for _ in range(count))
+
+    def drain(self) -> List[T]:
+        """Emit merged deliveries up to the first unknown round-slot."""
+        out: List[T] = []
+        while True:
+            queue = self._queues[self._turn]
+            if not queue:
+                return out
+            head = queue.popleft()
+            self._turn = (self._turn + 1) % self.num_streams
+            if head is not _SKIP:
+                out.append(head)  # type: ignore[arg-type]
+                self.emitted += 1
+
+    def pending(self) -> Tuple[int, ...]:
+        """Per-stream count of queued (not yet merged) entries."""
+        return tuple(len(queue) for queue in self._queues)

@@ -1,0 +1,83 @@
+"""Deterministic group → ring sharding.
+
+Every daemon, client, and oracle must agree on which ring orders which
+group without any coordination, so the mapping has to be a pure
+function of the group name.  We use CRC-32 (stable across processes,
+machines, and Python versions — unlike ``hash()``, which is salted)
+modulo the ring count, with an explicit-assignment escape hatch for
+operators who want to pin hot groups to dedicated rings.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+
+def stable_hash(name: str) -> int:
+    """A process-independent 32-bit hash of ``name``."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class ShardMap:
+    """Maps Spread group names onto ``num_rings`` independent rings.
+
+    The mapping is total (every name maps somewhere), deterministic
+    (same name, same ring, everywhere), and stable under explicit
+    overrides: ``assignments`` pins named groups to rings, everything
+    else falls through to the hash.
+
+    A single ring is just the N=1 case: every group maps to ring 0 and
+    the cross-shard merge degenerates to the ring's own order.
+    """
+
+    def __init__(
+        self,
+        num_rings: int,
+        assignments: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if num_rings < 1:
+            raise ConfigurationError(
+                f"need at least one ring, got {num_rings}"
+            )
+        self.num_rings = num_rings
+        self._assignments: Dict[str, int] = dict(assignments or {})
+        for group, ring in self._assignments.items():
+            if not 0 <= ring < num_rings:
+                raise ConfigurationError(
+                    f"group {group!r} assigned to ring {ring}, but rings "
+                    f"are 0..{num_rings - 1}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def shard_of(self, group: str) -> int:
+        """The ring that totally orders ``group``."""
+        pinned = self._assignments.get(group)
+        if pinned is not None:
+            return pinned
+        return stable_hash(group) % self.num_rings
+
+    def partition(self, groups: Iterable[str]) -> Dict[int, List[str]]:
+        """Split ``groups`` by ring, preserving the input order within
+        each ring.  Rings appear in ascending index order."""
+        by_ring: Dict[int, List[str]] = {}
+        for group in groups:
+            by_ring.setdefault(self.shard_of(group), []).append(group)
+        return {ring: by_ring[ring] for ring in sorted(by_ring)}
+
+    def rings_for(self, groups: Iterable[str]) -> Tuple[int, ...]:
+        """The ascending ring indices a subscriber of ``groups`` spans."""
+        return tuple(sorted({self.shard_of(group) for group in groups}))
+
+    @property
+    def assignments(self) -> Dict[str, int]:
+        return dict(self._assignments)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(num_rings={self.num_rings}, "
+            f"assignments={self._assignments!r})"
+        )

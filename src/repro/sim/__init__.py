@@ -11,6 +11,7 @@ Spread.
 from repro.sim.profiles import ImplementationProfile, LIBRARY, DAEMON, SPREAD
 from repro.sim.driver import ProtocolHost
 from repro.sim.cluster import RingCluster, build_cluster
+from repro.sim.build import TopologySpec, ClusterBuilder
 from repro.sim.trace import ScheduleTrace, TraceEvent
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "ProtocolHost",
     "RingCluster",
     "build_cluster",
+    "TopologySpec",
+    "ClusterBuilder",
     "ScheduleTrace",
     "TraceEvent",
 ]

@@ -1,0 +1,342 @@
+"""The topology API: declare a cluster once, build it one way.
+
+Before this module, every layer assembled clusters by hand —
+:func:`~repro.sim.cluster.build_cluster` for bare ordering rings,
+``MembershipCluster(...)`` for the full stack, and ad-hoc keyword
+plumbing in the conformance, chaos, and bench layers on top.  Adding a
+dimension (ring count, shard assignment) meant threading a parameter
+through every one of them.
+
+:class:`TopologySpec` replaces that with a single declarative value:
+ring count, hosts per ring, protocol flavour, implementation profile,
+network, loss, observers, delivery taps, fault plan, and group→shard
+assignments in one place.  :class:`ClusterBuilder` is the fluent front
+end and the **only public way to assemble sim clusters**; a single ring
+is just the ``rings(1)`` case of the same spec::
+
+    from repro.sim.build import ClusterBuilder
+
+    ring = ClusterBuilder().hosts(8).build()                  # RingCluster
+    memb = ClusterBuilder().hosts(6).membership().build()     # MembershipCluster
+    multi = ClusterBuilder().rings(2).hosts(4).membership().build()
+                                                              # MultiRingCluster
+
+The legacy constructors keep working behind ``DeprecationWarning``
+shims (the PR-1 Endpoint precedent): ``build_cluster(...)`` and direct
+``MembershipCluster(...)`` calls delegate here and warn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple, Type
+
+from repro.core.config import ProtocolConfig
+from repro.core.original import OriginalRingParticipant
+from repro.core.participant import AcceleratedRingParticipant
+from repro.membership.params import MembershipTimeouts
+from repro.net.loss import LossModel
+from repro.net.params import NetworkParams, GIGABIT
+from repro.net.simulator import Simulator
+from repro.net.topology import build_star
+from repro.sim.cluster import RingCluster
+from repro.sim.driver import ProtocolHost
+from repro.sim.profiles import ImplementationProfile, DAEMON, LIBRARY
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.multiring.cluster import MultiRingCluster
+    from repro.multiring.shard_map import ShardMap
+    from repro.obs.observer import ProtocolObserver
+    from repro.sim.membership_driver import DeliveryTap, MembershipCluster
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Everything needed to assemble a simulated cluster, in one value.
+
+    Immutable so a spec can be shared, logged, or varied with
+    :func:`dataclasses.replace` without aliasing surprises; the builder
+    below is the ergonomic way to produce one.
+    """
+
+    #: Number of independent rings.  ``1`` builds the classic single
+    #: ring; ``>1`` builds a :class:`~repro.multiring.cluster.
+    #: MultiRingCluster` with group traffic sharded across rings.
+    rings: int = 1
+    hosts_per_ring: int = 8
+    #: Full membership + EVS stack (DAEMON-profile default) vs the bare
+    #: ordering engine (LIBRARY-profile default) of the normal-case
+    #: benchmarks.
+    membership: bool = False
+    accelerated: bool = True
+    #: Implementation profile; ``None`` resolves per mode (DAEMON for
+    #: membership, LIBRARY for protocol).
+    profile: Optional[ImplementationProfile] = None
+    params: NetworkParams = GIGABIT
+    config: Optional[ProtocolConfig] = None
+    timeouts: Optional[MembershipTimeouts] = None
+    loss_model: Optional[LossModel] = None
+    observer: Optional["ProtocolObserver"] = None
+    #: Per-delivery callback surface (single-ring membership clusters;
+    #: multi-ring clusters install their own group-aware taps).
+    delivery_tap: Optional["DeliveryTap"] = None
+    #: Declarative fault schedule, armed by :meth:`ClusterBuilder.
+    #: build_with_injector`.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Explicit group → ring pins; unlisted groups hash.
+    shard_assignments: Mapping[str, int] = field(default_factory=dict)
+    ring_id_base: int = 1
+
+    def resolved_profile(self) -> ImplementationProfile:
+        if self.profile is not None:
+            return self.profile
+        return DAEMON if self.membership else LIBRARY
+
+    def validate(self) -> "TopologySpec":
+        if self.rings < 1:
+            raise ConfigurationError(f"need at least one ring, got {self.rings}")
+        if self.hosts_per_ring < 1:
+            raise ConfigurationError(
+                f"need at least one host per ring, got {self.hosts_per_ring}"
+            )
+        for group, ring in self.shard_assignments.items():
+            if not 0 <= ring < self.rings:
+                raise ConfigurationError(
+                    f"group {group!r} assigned to ring {ring}, but the spec "
+                    f"declares rings 0..{self.rings - 1}"
+                )
+        if self.delivery_tap is not None and not self.membership:
+            raise ConfigurationError(
+                "delivery taps observe the membership delivery path; "
+                "add .membership() to the builder"
+            )
+        if self.delivery_tap is not None and self.rings > 1:
+            raise ConfigurationError(
+                "multi-ring clusters install their own per-ring group "
+                "taps; read cluster.group_stream()/merged_stream() instead"
+            )
+        return self
+
+
+class ClusterBuilder:
+    """Fluent assembler over :class:`TopologySpec`.
+
+    Every setter returns ``self``; :meth:`build` dispatches on the spec
+    (ring count, membership) to the right cluster class.  The builder
+    is the supported construction path — the legacy per-class
+    constructors survive only as deprecation shims.
+    """
+
+    def __init__(self, spec: Optional[TopologySpec] = None) -> None:
+        self._spec = spec if spec is not None else TopologySpec()
+        self._sim: Optional[Simulator] = None
+
+    @property
+    def spec(self) -> TopologySpec:
+        return self._spec
+
+    def _set(self, **changes) -> "ClusterBuilder":
+        self._spec = replace(self._spec, **changes)
+        return self
+
+    # -- fluent surface ------------------------------------------------
+
+    def rings(self, count: int) -> "ClusterBuilder":
+        return self._set(rings=count)
+
+    def hosts(self, count: int) -> "ClusterBuilder":
+        return self._set(hosts_per_ring=count)
+
+    def membership(self, enabled: bool = True) -> "ClusterBuilder":
+        return self._set(membership=enabled)
+
+    def protocol(self) -> "ClusterBuilder":
+        """Bare ordering engines (no membership layer)."""
+        return self._set(membership=False)
+
+    def accelerated(self, enabled: bool = True) -> "ClusterBuilder":
+        return self._set(accelerated=enabled)
+
+    def original(self) -> "ClusterBuilder":
+        """The original Totem Ring baseline."""
+        return self._set(accelerated=False)
+
+    def profile(self, profile: ImplementationProfile) -> "ClusterBuilder":
+        return self._set(profile=profile)
+
+    def network(self, params: NetworkParams) -> "ClusterBuilder":
+        return self._set(params=params)
+
+    def config(self, config: ProtocolConfig) -> "ClusterBuilder":
+        return self._set(config=config)
+
+    def timeouts(self, timeouts: MembershipTimeouts) -> "ClusterBuilder":
+        return self._set(timeouts=timeouts)
+
+    def loss(self, model: Optional[LossModel]) -> "ClusterBuilder":
+        return self._set(loss_model=model)
+
+    def observe(self, observer: "ProtocolObserver") -> "ClusterBuilder":
+        return self._set(observer=observer)
+
+    def tap(self, tap: "DeliveryTap") -> "ClusterBuilder":
+        return self._set(delivery_tap=tap)
+
+    def faults(self, plan: "FaultPlan") -> "ClusterBuilder":
+        return self._set(fault_plan=plan)
+
+    def assign(self, group: str, ring: int) -> "ClusterBuilder":
+        """Pin ``group`` to ``ring`` (otherwise groups hash)."""
+        merged = dict(self._spec.shard_assignments)
+        merged[group] = ring
+        return self._set(shard_assignments=merged)
+
+    def assignments(self, mapping: Mapping[str, int]) -> "ClusterBuilder":
+        merged = dict(self._spec.shard_assignments)
+        merged.update(mapping)
+        return self._set(shard_assignments=merged)
+
+    def ring_id(self, base: int) -> "ClusterBuilder":
+        return self._set(ring_id_base=base)
+
+    def on(self, sim: Simulator) -> "ClusterBuilder":
+        """Build onto an existing simulator instead of a fresh one."""
+        self._sim = sim
+        return self
+
+    # -- derived values ------------------------------------------------
+
+    def shard_map(self) -> "ShardMap":
+        """The deterministic group → ring map this spec induces."""
+        from repro.multiring.shard_map import ShardMap
+
+        spec = self._spec.validate()
+        return ShardMap(spec.rings, assignments=spec.shard_assignments)
+
+    # -- construction --------------------------------------------------
+
+    def build(self):
+        """Dispatch on the spec: multi-ring, membership, or bare ring."""
+        spec = self._spec.validate()
+        if spec.rings > 1:
+            return self.build_multiring()
+        if spec.membership:
+            return self.build_membership()
+        return self.build_ring()
+
+    def build_ring(self) -> RingCluster:
+        """A single bare ordering ring (the paper's §IV-A testbed)."""
+        spec = self._spec.validate()
+        sim = self._sim if self._sim is not None else Simulator()
+        topology = build_star(
+            sim, spec.hosts_per_ring, spec.params, loss_model=spec.loss_model
+        )
+        ring = topology.host_ids
+        config = (spec.config or ProtocolConfig()).validate()
+        participant_cls: Type[AcceleratedRingParticipant]
+        participant_cls = (
+            AcceleratedRingParticipant
+            if spec.accelerated
+            else OriginalRingParticipant
+        )
+        drivers: Dict[int, ProtocolHost] = {}
+        for pid in ring:
+            participant = participant_cls(
+                pid,
+                ring,
+                config,
+                ring_id=spec.ring_id_base,
+                observer=spec.observer,
+                clock=lambda: sim.now,
+            )
+            drivers[pid] = ProtocolHost(
+                host=topology.host(pid),
+                participant=participant,
+                profile=spec.resolved_profile(),
+                observer=spec.observer,
+            )
+        return RingCluster(
+            sim=sim,
+            topology=topology,
+            drivers=drivers,
+            ring_id=spec.ring_id_base,
+            observer=spec.observer,
+        )
+
+    def build_membership(self) -> "MembershipCluster":
+        """A single ring running the full membership + EVS stack."""
+        from repro.sim.membership_driver import MembershipCluster
+
+        spec = self._spec.validate()
+        return MembershipCluster(
+            num_hosts=spec.hosts_per_ring,
+            accelerated=spec.accelerated,
+            profile=spec.resolved_profile(),
+            params=spec.params,
+            config=spec.config,
+            timeouts=spec.timeouts,
+            loss_model=spec.loss_model,
+            observer=spec.observer,
+            delivery_tap=spec.delivery_tap,
+            sim=self._sim,
+            _from_builder=True,
+        )
+
+    def build_multiring(self) -> "MultiRingCluster":
+        """N independent rings on one fabric (works for N=1 too)."""
+        from repro.multiring.cluster import MultiRingCluster
+        from repro.multiring.shard_map import ShardMap
+
+        spec = self._spec.validate()
+        return MultiRingCluster(
+            num_rings=spec.rings,
+            hosts_per_ring=spec.hosts_per_ring,
+            membership=spec.membership,
+            accelerated=spec.accelerated,
+            profile=spec.profile,
+            params=spec.params,
+            config=spec.config,
+            timeouts=spec.timeouts,
+            loss_model=spec.loss_model,
+            observer=spec.observer,
+            shard_map=ShardMap(spec.rings, assignments=spec.shard_assignments),
+            ring_id_base=spec.ring_id_base,
+            sim=self._sim,
+        )
+
+    def build_with_injector(
+        self,
+        rng=None,
+        seed: int = 0,
+    ) -> Tuple[object, Optional["FaultInjector"]]:
+        """Build the cluster and arm the spec's fault plan against it.
+
+        Returns ``(cluster, injector)``; the injector is ``None`` when
+        the spec declares no faults.  Multi-ring specs inject per ring
+        through :class:`~repro.multiring.cluster.MultiRingCluster`'s
+        fault surface instead — a single plan against N rings would be
+        ambiguous about which ring each event targets.
+        """
+        spec = self._spec.validate()
+        cluster = self.build()
+        if spec.fault_plan is None or len(spec.fault_plan) == 0:
+            return cluster, None
+        if spec.rings > 1:
+            raise ConfigurationError(
+                "fault plans target one ring; build the multi-ring "
+                "cluster and inject against cluster.ring(i) explicitly"
+            )
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            cluster,
+            spec.fault_plan,
+            seed=seed,
+            rng=rng,
+            observer=spec.observer,
+        )
+        injector.arm()
+        return cluster, injector

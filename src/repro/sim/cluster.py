@@ -8,17 +8,16 @@ server runs one daemon, one sending client, and one receiving client.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional
 
 from repro.core.config import ProtocolConfig
-from repro.core.original import OriginalRingParticipant
-from repro.core.participant import AcceleratedRingParticipant
 from repro.core.token import initial_token
 from repro.net.loss import LossModel
 from repro.net.params import NetworkParams, GIGABIT
 from repro.net.simulator import Simulator
-from repro.net.topology import StarTopology, build_star
+from repro.net.topology import StarTopology
 from repro.obs.observer import ProtocolObserver
 from repro.sim.driver import ProtocolHost
 from repro.sim.profiles import ImplementationProfile, LIBRARY
@@ -191,29 +190,34 @@ def build_cluster(
     ``observer`` is shared by every participant and driver: it sees every
     token movement, multicast, retransmission, and delivery on the whole
     cluster, timestamped in simulated seconds.
+
+    .. deprecated::
+        Build through the topology API instead::
+
+            from repro.sim.build import ClusterBuilder
+
+            cluster = ClusterBuilder().hosts(8).build()
     """
-    sim = Simulator()
-    topology = build_star(sim, num_hosts, params, loss_model=loss_model)
-    ring = topology.host_ids
-    config = (config or ProtocolConfig()).validate()
-    participant_cls: Type[AcceleratedRingParticipant]
-    participant_cls = AcceleratedRingParticipant if accelerated else OriginalRingParticipant
-    drivers: Dict[int, ProtocolHost] = {}
-    for pid in ring:
-        participant = participant_cls(
-            pid,
-            ring,
-            config,
-            ring_id=ring_id,
-            observer=observer,
-            clock=lambda: sim.now,
-        )
-        drivers[pid] = ProtocolHost(
-            host=topology.host(pid),
-            participant=participant,
-            profile=profile,
-            observer=observer,
-        )
-    return RingCluster(
-        sim=sim, topology=topology, drivers=drivers, ring_id=ring_id, observer=observer
+    warnings.warn(
+        "build_cluster is deprecated; build through the topology API: "
+        "ClusterBuilder().hosts(n).build() (repro.sim.build)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.sim.build import ClusterBuilder
+
+    builder = (
+        ClusterBuilder()
+        .hosts(num_hosts)
+        .accelerated(accelerated)
+        .profile(profile)
+        .network(params)
+        .ring_id(ring_id)
+    )
+    if config is not None:
+        builder.config(config)
+    if loss_model is not None:
+        builder.loss(loss_model)
+    if observer is not None:
+        builder.observe(observer)
+    return builder.build_ring()

@@ -11,6 +11,7 @@ examples.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import ProtocolConfig
@@ -278,8 +279,22 @@ class MembershipCluster:
         loss_model: Optional[LossModel] = None,
         observer: Optional["ProtocolObserver"] = None,
         delivery_tap: Optional[DeliveryTap] = None,
+        sim: Optional[Simulator] = None,
+        _from_builder: bool = False,
     ) -> None:
-        self.sim = Simulator()
+        if not _from_builder:
+            warnings.warn(
+                "constructing MembershipCluster directly is deprecated; "
+                "build through the topology API: "
+                "ClusterBuilder().hosts(n).membership().build() "
+                "(repro.sim.build)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        #: ``sim`` lets several clusters (e.g. the rings of a
+        #: MultiRingCluster) share one simulated fabric; each still gets
+        #: its own switch.
+        self.sim = sim if sim is not None else Simulator()
         self.topology: StarTopology = build_star(
             self.sim, num_hosts, params, loss_model=loss_model
         )

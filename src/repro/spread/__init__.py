@@ -22,11 +22,16 @@ This package implements that layer on top of the ordering stack:
 """
 
 from repro.spread.wire import AppData, GroupJoin, GroupLeave, Fragment, Packed
-from repro.spread.groups import GroupDirectory
+from repro.spread.groups import GroupDirectory, SortedNameSet
 from repro.spread.packing import Packer
 from repro.spread.fragmentation import Fragmenter, FragmentReassembler
 from repro.spread.daemon import SpreadDaemon
-from repro.spread.client_api import SpreadClient, GroupMessage, GroupView
+from repro.spread.client_api import (
+    GroupMessage,
+    GroupView,
+    ShardedSpreadClient,
+    SpreadClient,
+)
 
 __all__ = [
     "AppData",
@@ -35,10 +40,12 @@ __all__ = [
     "Fragment",
     "Packed",
     "GroupDirectory",
+    "SortedNameSet",
     "Packer",
     "Fragmenter",
     "FragmentReassembler",
     "SpreadDaemon",
+    "ShardedSpreadClient",
     "SpreadClient",
     "GroupMessage",
     "GroupView",

@@ -1,15 +1,31 @@
-"""Client library for the Spread-like daemon."""
+"""Client library for the Spread-like daemon.
+
+:class:`SpreadClient` is the classic single-daemon client.  With the
+multi-ring layer, group traffic may be sharded across several daemons
+(one per ring); clients stay oblivious by either
+
+* passing ``shard_map`` to a :class:`SpreadClient` and asking
+  :meth:`SpreadClient.shard_of` which daemon owns a group, or
+* using :class:`ShardedSpreadClient`, which holds one connection per
+  shard, routes ``join``/``leave``/``multicast`` through the
+  :class:`~repro.multiring.shard_map.ShardMap` transparently, and
+  consumes deliveries in the deterministic round-robin merge order
+  (docs/PROTOCOL.md §11).
+
+The old single-daemon signature is unchanged.
+"""
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.messages import DeliveryService
+from repro.multiring.shard_map import ShardMap
 from repro.runtime import ipc
 from repro.runtime.ipc import Endpoint, EndpointSpec, TcpEndpoint, UnixEndpoint
-from repro.util.errors import CodecError
+from repro.util.errors import CodecError, ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -58,14 +74,26 @@ class SpreadClient:
         *,
         socket_path: Optional[str] = None,
         tcp_address: Optional[Tuple[str, int]] = None,
+        shard_map: Optional[ShardMap] = None,
     ) -> None:
         self.endpoint: Endpoint = ipc.resolve_endpoint(
             endpoint, socket_path, tcp_address, owner="SpreadClient"
         )
         self.private_name = name
         self.member_name: Optional[str] = None
+        #: Optional group → ring map for sharded deployments; without
+        #: one, every group lives on this client's single daemon.
+        self.shard_map = shard_map
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+
+    def shard_of(self, group: str) -> int:
+        """The ring (shard) that orders ``group``.
+
+        Always ``0`` for an unsharded client — a single daemon is the
+        one-ring case — so callers can ask unconditionally.
+        """
+        return 0 if self.shard_map is None else self.shard_map.shard_of(group)
 
     @property
     def socket_path(self) -> Optional[str]:
@@ -153,3 +181,131 @@ class SpreadClient:
                     return event
 
         return await asyncio.wait_for(_wait(), timeout)
+
+
+class ShardedSpreadClient:
+    """One logical client across ``N`` sharded Spread daemons.
+
+    Holds a :class:`SpreadClient` per ring and routes every group
+    operation through the :class:`~repro.multiring.shard_map.ShardMap`,
+    so application code keeps the familiar join/leave/multicast/receive
+    surface while group traffic is ordered on independent rings:
+
+    * ``join``/``leave`` go only to the daemon whose ring owns the
+      group.
+    * ``multicast`` partitions the target groups by ring and sends one
+      groupcast per involved ring (a cross-shard multicast is therefore
+      N independent ordered messages, not one atomic event — see
+      docs/PROTOCOL.md §11 for what cross-shard ordering does and does
+      not promise).
+    * ``receive`` consumes ordered messages in the deterministic
+      round-robin merge order over the per-ring delivery streams, so
+      every sharded client subscribed to the same groups observes the
+      same interleaving.  Views pass through without consuming the
+      current ring's turn (they are per-ring metadata, not part of the
+      merged order).
+
+    For tests and embedding, pre-built per-shard clients can be
+    injected via ``clients=``; otherwise one :class:`SpreadClient` is
+    created per entry in ``endpoints``.
+    """
+
+    def __init__(
+        self,
+        endpoints: Optional[Sequence[EndpointSpec]] = None,
+        name: str = "",
+        *,
+        shard_map: Optional[ShardMap] = None,
+        clients: Optional[Sequence[SpreadClient]] = None,
+    ) -> None:
+        if clients is not None:
+            self._clients: List[SpreadClient] = list(clients)
+        elif endpoints is not None:
+            self._clients = [SpreadClient(spec, name=name) for spec in endpoints]
+        else:
+            raise ConfigurationError(
+                "ShardedSpreadClient needs endpoints= or clients="
+            )
+        if not self._clients:
+            raise ConfigurationError("ShardedSpreadClient needs at least one shard")
+        self.shard_map = (
+            shard_map if shard_map is not None else ShardMap(len(self._clients))
+        )
+        if self.shard_map.num_rings != len(self._clients):
+            raise ConfigurationError(
+                f"shard map covers {self.shard_map.num_rings} rings but "
+                f"{len(self._clients)} shard connections were given"
+            )
+        self.private_name = name
+        self._turn = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._clients)
+
+    @property
+    def member_names(self) -> Tuple[Optional[str], ...]:
+        """Daemon-qualified member name on each shard (None until connected)."""
+        return tuple(client.member_name for client in self._clients)
+
+    def shard_of(self, group: str) -> int:
+        """The ring (shard) that orders ``group``."""
+        return self.shard_map.shard_of(group)
+
+    def client_for(self, group: str) -> SpreadClient:
+        """The per-shard client connected to the daemon owning ``group``."""
+        return self._clients[self.shard_map.shard_of(group)]
+
+    async def connect(self) -> Tuple[str, ...]:
+        """Connect every shard; returns the per-shard member names."""
+        return tuple([await client.connect() for client in self._clients])
+
+    async def close(self) -> None:
+        for client in self._clients:
+            await client.close()
+
+    async def join(self, group: str) -> None:
+        await self.client_for(group).join(group)
+
+    async def leave(self, group: str) -> None:
+        await self.client_for(group).leave(group)
+
+    def multicast(
+        self,
+        groups: List[str],
+        payload: bytes,
+        service: DeliveryService = DeliveryService.AGREED,
+    ) -> None:
+        """Send to every member of the listed groups, one send per ring.
+
+        Groups are partitioned by owning ring; groups sharing a ring
+        still travel in a single groupcast (delivered once per member,
+        exactly like the single-daemon client).
+        """
+        for ring, ring_groups in self.shard_map.partition(groups).items():
+            self._clients[ring].multicast(list(ring_groups), payload, service)
+
+    async def receive(self) -> ClientEvent:
+        """Next event in the deterministic cross-shard merge order.
+
+        Blocks on the ring whose turn it is; a :class:`GroupMessage`
+        advances the turn to the next ring, a :class:`GroupView` does
+        not (views are not part of the merged total order).  With a
+        single shard this degenerates to :meth:`SpreadClient.receive`.
+        """
+        event = await self._clients[self._turn].receive()
+        if isinstance(event, GroupMessage):
+            self._turn = (self._turn + 1) % len(self._clients)
+        return event
+
+    async def receive_messages(self, count: int) -> List[GroupMessage]:
+        out: List[GroupMessage] = []
+        while len(out) < count:
+            event = await self.receive()
+            if isinstance(event, GroupMessage):
+                out.append(event)
+        return out
+
+    async def wait_for_view(self, group: str, size: int, timeout: float = 10.0) -> GroupView:
+        """Wait on the owning shard for a ``group`` view of ``size`` members."""
+        return await self.client_for(group).wait_for_view(group, size, timeout)

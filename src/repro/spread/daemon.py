@@ -220,8 +220,9 @@ class SpreadDaemon:
         for group in self.directory.take_dirty():
             members = list(self.directory.members(group))
             frame = ipc.pack_group_view(group, members)
-            interested = set(members)
-            for member in interested:
+            # Sorted so the write order to local sessions is the same on
+            # every daemon and every run (set iteration is not).
+            for member in sorted(set(members)):
                 session = self._sessions.get(member)
                 if session is not None:
                     session.writer.write(frame)

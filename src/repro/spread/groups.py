@@ -17,6 +17,22 @@ from typing import Dict, Iterable, List, Set, Tuple
 from repro.util.errors import ProtocolError
 
 
+class SortedNameSet(set):
+    """A ``set`` of names that iterates in sorted order.
+
+    Equality, membership, and the rest of the set protocol are
+    untouched (``SortedNameSet({"b", "a"}) == {"a", "b"}``), but any
+    traversal — fan-out loops, ``list()``, serialization — sees a
+    deterministic order.  The directory hands these out wherever
+    callers are known to iterate, because daemons on different hosts
+    (or the same host across runs, under hash randomization) must emit
+    identical notification sequences from identical directory state.
+    """
+
+    def __iter__(self):
+        return iter(sorted(set.__iter__(self)))
+
+
 def qualify(private_name: str, daemon_pid: int) -> str:
     if "#" in private_name:
         raise ProtocolError(f"private name may not contain '#': {private_name!r}")
@@ -78,9 +94,15 @@ class GroupDirectory:
         return True
 
     def apply_member_disconnect(self, member: str) -> List[str]:
-        """Remove a disconnected client from every group it joined."""
+        """Remove a disconnected client from every group it joined.
+
+        The affected groups come back sorted: every daemon processes
+        the same disconnect against the same directory state, so the
+        view notifications it fans out must be emitted in the same
+        order everywhere.
+        """
         affected = []
-        for group in list(self._groups):
+        for group in sorted(self._groups):
             if self.apply_leave(member, group):
                 affected.append(group)
         return affected
@@ -93,7 +115,7 @@ class GroupDirectory:
         """
         alive = set(daemon_pids)
         affected = []
-        for group in list(self._groups):
+        for group in sorted(self._groups):
             members = self._groups[group]
             survivors = [m for m in members if daemon_of(m) in alive]
             if len(survivors) != len(members):
@@ -108,9 +130,17 @@ class GroupDirectory:
     # ------------------------------------------------------------------
 
     def take_dirty(self) -> Set[str]:
-        """Groups changed since the last call (for view notifications)."""
+        """Groups changed since the last call (for view notifications).
+
+        Returned as a :class:`SortedNameSet`: set semantics (callers
+        compare against plain sets), sorted iteration (callers fan out
+        notifications in a loop, and that loop must run in the same
+        order on every daemon and every run).
+        """
         dirty, self._dirty = self._dirty, set()
-        return dirty
+        return SortedNameSet(dirty)
 
     def snapshot(self) -> Dict[str, Tuple[str, ...]]:
-        return {name: tuple(members) for name, members in self._groups.items()}
+        return {
+            name: tuple(self._groups[name]) for name in sorted(self._groups)
+        }

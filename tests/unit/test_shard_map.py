@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic group → ring shard map."""
+
+import pytest
+
+from repro.multiring.shard_map import ShardMap, stable_hash
+from repro.util.errors import ConfigurationError
+
+
+def test_stable_hash_is_process_independent():
+    # CRC-32 of known strings; these must never change, or daemons on
+    # different hosts would disagree about group placement.
+    assert stable_hash("") == 0
+    assert stable_hash("chat") == 0x659DF2AA
+    assert stable_hash("chat") == stable_hash("chat")
+
+
+def test_single_ring_maps_everything_to_ring_zero():
+    shard_map = ShardMap(1)
+    for name in ("", "a", "chat", "g0", "x" * 100):
+        assert shard_map.shard_of(name) == 0
+
+
+def test_shard_of_is_hash_mod_rings():
+    shard_map = ShardMap(4)
+    for name in ("g0", "g1", "chat", "metrics"):
+        assert shard_map.shard_of(name) == stable_hash(name) % 4
+        assert 0 <= shard_map.shard_of(name) < 4
+
+
+def test_assignments_pin_groups_and_others_hash():
+    shard_map = ShardMap(3, assignments={"hot": 2, "g0": 0})
+    assert shard_map.shard_of("hot") == 2
+    assert shard_map.shard_of("g0") == 0
+    assert shard_map.shard_of("other") == stable_hash("other") % 3
+    assert shard_map.assignments == {"hot": 2, "g0": 0}
+
+
+def test_assignments_property_returns_a_copy():
+    shard_map = ShardMap(2, assignments={"a": 1})
+    shard_map.assignments["a"] = 0
+    assert shard_map.shard_of("a") == 1
+
+
+def test_partition_preserves_input_order_within_each_ring():
+    shard_map = ShardMap(2, assignments={"a": 0, "b": 1, "c": 0, "d": 1})
+    assert shard_map.partition(["d", "c", "b", "a"]) == {
+        0: ["c", "a"],
+        1: ["d", "b"],
+    }
+
+
+def test_partition_lists_rings_in_ascending_order():
+    shard_map = ShardMap(3, assignments={"x": 2, "y": 0})
+    assert list(shard_map.partition(["x", "y"])) == [0, 2]
+
+
+def test_rings_for_spans():
+    shard_map = ShardMap(4, assignments={"a": 3, "b": 1, "c": 3})
+    assert shard_map.rings_for(["a", "b", "c"]) == (1, 3)
+    assert shard_map.rings_for([]) == ()
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardMap(0)
+    with pytest.raises(ConfigurationError):
+        ShardMap(2, assignments={"g": 2})
+    with pytest.raises(ConfigurationError):
+        ShardMap(2, assignments={"g": -1})

@@ -1,0 +1,130 @@
+"""Unit tests for the TopologySpec / ClusterBuilder construction API."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.multiring.cluster import MultiRingCluster
+from repro.net.params import TEN_GIGABIT
+from repro.net.simulator import Simulator
+from repro.sim.build import ClusterBuilder, TopologySpec
+from repro.sim.cluster import RingCluster, build_cluster
+from repro.sim.membership_driver import DeliveryTap, MembershipCluster
+from repro.sim.profiles import DAEMON, LIBRARY
+from repro.util.errors import ConfigurationError
+
+
+def test_build_dispatches_to_ring_cluster():
+    cluster = ClusterBuilder().hosts(4).build()
+    assert isinstance(cluster, RingCluster)
+    assert sorted(cluster.drivers) == [0, 1, 2, 3]
+
+
+def test_build_dispatches_to_membership_cluster():
+    cluster = ClusterBuilder().hosts(4).membership().build()
+    assert isinstance(cluster, MembershipCluster)
+    assert sorted(cluster.hosts) == [0, 1, 2, 3]
+
+
+def test_build_dispatches_to_multiring_cluster():
+    cluster = ClusterBuilder().rings(2).hosts(4).membership().build()
+    assert isinstance(cluster, MultiRingCluster)
+    assert cluster.num_rings == 2
+
+
+def test_spec_is_immutable_and_builder_accumulates():
+    builder = ClusterBuilder().rings(2).hosts(3)
+    spec = builder.spec
+    builder.hosts(5)
+    assert spec.hosts_per_ring == 3  # old snapshot unchanged
+    assert builder.spec.hosts_per_ring == 5
+    assert isinstance(spec, TopologySpec)
+
+
+def test_profile_defaults_resolve_per_mode():
+    assert TopologySpec(membership=True).resolved_profile() is DAEMON
+    assert TopologySpec(membership=False).resolved_profile() is LIBRARY
+    assert TopologySpec(profile=DAEMON).resolved_profile() is DAEMON
+
+
+def test_assign_and_assignments_merge():
+    builder = (
+        ClusterBuilder().rings(2).assign("hot", 1).assignments({"cold": 0})
+    )
+    shard_map = builder.shard_map()
+    assert shard_map.shard_of("hot") == 1
+    assert shard_map.shard_of("cold") == 0
+
+
+def test_on_builds_onto_shared_simulator():
+    sim = Simulator()
+    a = ClusterBuilder().hosts(2).on(sim).build_ring()
+    b = ClusterBuilder().hosts(2).on(sim).build_ring()
+    assert a.sim is sim and b.sim is sim
+
+
+def test_validate_rejects_bad_specs():
+    with pytest.raises(ConfigurationError):
+        ClusterBuilder().rings(0).build()
+    with pytest.raises(ConfigurationError):
+        ClusterBuilder().hosts(0).build()
+    with pytest.raises(ConfigurationError):
+        ClusterBuilder().rings(2).assign("g", 2).build()
+    with pytest.raises(ConfigurationError):
+        # Taps need the membership delivery path.
+        ClusterBuilder().hosts(2).tap(DeliveryTap()).build()
+    with pytest.raises(ConfigurationError):
+        ClusterBuilder().rings(2).hosts(2).membership().tap(DeliveryTap()).build()
+
+
+def test_builder_threads_network_and_config():
+    config = ProtocolConfig(personal_window=11, accelerated_window=11)
+    cluster = (
+        ClusterBuilder().hosts(2).network(TEN_GIGABIT).config(config).build_ring()
+    )
+    participant = cluster.drivers[0].participant
+    assert participant.config.personal_window == 11
+
+
+def test_build_cluster_shim_warns_and_still_builds():
+    with pytest.warns(DeprecationWarning):
+        cluster = build_cluster(num_hosts=3)
+    assert isinstance(cluster, RingCluster)
+    assert sorted(cluster.drivers) == [0, 1, 2]
+
+
+def test_direct_membership_cluster_warns():
+    with pytest.warns(DeprecationWarning):
+        cluster = MembershipCluster(num_hosts=2)
+    assert sorted(cluster.hosts) == [0, 1]
+
+
+def test_builder_membership_does_not_warn(recwarn):
+    ClusterBuilder().hosts(2).membership().build_membership()
+    assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+def test_multiring_spec_with_fault_plan_rejected():
+    from repro.faults.plan import PlanBuilder
+
+    plan = PlanBuilder().crash(0, at=0.1).build()
+    builder = ClusterBuilder().rings(2).hosts(2).membership().faults(plan)
+    with pytest.raises(ConfigurationError):
+        builder.build_with_injector()
+
+
+def test_build_with_injector_arms_single_ring_plan():
+    from repro.faults.plan import PlanBuilder
+
+    plan = PlanBuilder().crash(1, at=0.05).build()
+    cluster, injector = (
+        ClusterBuilder().hosts(3).membership().faults(plan).build_with_injector()
+    )
+    assert injector is not None
+    cluster.run(0.2)
+    assert cluster.hosts[1].host.crashed
+
+
+def test_build_with_injector_without_plan_returns_none():
+    cluster, injector = ClusterBuilder().hosts(2).build_with_injector()
+    assert injector is None
+    assert isinstance(cluster, RingCluster)
