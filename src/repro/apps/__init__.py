@@ -1,0 +1,14 @@
+"""Replicated applications consuming the totally ordered stream.
+
+Total order exists to serve state-machine replication: every subsystem
+below this package *produces* an Agreed/Safe delivery stream; the
+modules here *consume* one.  Each application is a deterministic state
+machine — identical replicas applying the identical per-group order —
+plus the durability and recovery machinery a real service needs (WAL,
+snapshots, state transfer composed with EVS configuration changes).
+
+Current applications:
+
+* :mod:`repro.apps.kv` — a partitioned, durable key-value /
+  transaction store with crash recovery and a linearizability checker.
+"""

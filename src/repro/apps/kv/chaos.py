@@ -1,0 +1,340 @@
+"""Named KV chaos scenarios with machine-checked outcomes.
+
+The application-level mirror of :mod:`repro.faults.scenarios`: build a
+:class:`~repro.apps.kv.cluster.KvCluster`, drive a seeded skewed
+workload (:mod:`repro.workloads.kv`), inject faults — including the
+crash window the WAL exists for, *between durable append and apply* —
+then heal and check everything the subsystem promises:
+
+* membership re-converged and every live replica serving;
+* **store convergence** — byte-identical state digests per ring;
+* **EVS** — every ring's checker clean (crashed incarnations waived);
+* **linearizability** — the client-observed history checks out.
+
+Reports are byte-identical JSON per ``(name, seed)``: the workload is
+seeded, fault times are fixed, and the simulator is deterministic — a
+violation is a diffable artifact carrying its own repro seed, which is
+what the nightly seed-bank job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.apps.kv.cluster import KvCluster
+from repro.util.errors import FaultError
+from repro.workloads.kv import DiurnalArrivals, KvOpMix, ZipfianKeys, drive_schedule
+
+#: Boot window before the workload is armed (matches repro.faults).
+_BOOT = 0.08
+_CONVERGE_SLICE = 0.25
+_CONVERGE_SLICES = 16
+
+
+@dataclass
+class KvScenarioSpec:
+    """Declarative description of one KV chaos scenario."""
+
+    name: str
+    summary: str
+    rings: int
+    hosts_per_ring: int
+    partitions: int
+    #: Simulated seconds of workload + faults after boot.
+    duration: float
+    #: Schedule faults on the cluster; returns the event log entries.
+    faults: Callable[[KvCluster, float, random.Random], List[Dict[str, Any]]]
+    num_keys: int = 64
+    num_clients: int = 4
+    zipf_s: float = 0.99
+    trough_rate: float = 150.0
+    peak_rate: float = 600.0
+    snapshot_every: int = 16
+    txn_weight: float = 0.05
+
+
+@dataclass
+class KvChaosReport:
+    """The checked outcome of one KV scenario run."""
+
+    name: str
+    seed: int
+    rings: int
+    hosts_per_ring: int
+    partitions: int
+    ok: bool
+    converged: bool
+    stores_converged: bool
+    evs_violations: Dict[int, str]
+    linearizability: Dict[str, Any]
+    violations: List[str]
+    digests: Dict[int, Dict[int, str]]
+    history: Dict[str, int]
+    counters: Dict[str, Any]
+    events: List[Dict[str, Any]]
+    sim_time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "topology": {
+                "rings": self.rings,
+                "hosts_per_ring": self.hosts_per_ring,
+                "partitions": self.partitions,
+            },
+            "ok": self.ok,
+            "converged": self.converged,
+            "stores_converged": self.stores_converged,
+            "evs_violations": {
+                str(ring): text for ring, text in sorted(self.evs_violations.items())
+            },
+            "linearizability": self.linearizability,
+            "violations": self.violations,
+            "digests": {
+                str(ring): {str(pid): digest for pid, digest in sorted(per.items())}
+                for ring, per in sorted(self.digests.items())
+            },
+            "history": self.history,
+            "counters": self.counters,
+            "events": self.events,
+            "sim_time": round(self.sim_time, 9),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# The scenario library
+# ----------------------------------------------------------------------
+
+def _event(kind: str, at: float, **details: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"kind": kind, "at": round(at, 9)}
+    entry.update(details)
+    return entry
+
+
+def _crash_mid_txn(kv: KvCluster, base: float, rng: random.Random) -> List[Dict[str, Any]]:
+    """The acceptance scenario: a replica dies between WAL append and
+    apply of a transaction, recovers via snapshot+WAL replay, rejoins
+    through EVS, and resyncs the suffix it missed from a peer."""
+    ring, victim = 0, 2
+    kv.sim.schedule_at(
+        base + 0.05,
+        kv.arm_crash_between_append_and_apply,
+        ring,
+        victim,
+        True,  # only_transactions: die on the next ordered transaction
+    )
+    kv.sim.schedule_at(base + 0.45, kv.restart, ring, victim)
+    return [
+        _event("arm-crash-between-append-and-apply", 0.05, ring=ring, pid=victim,
+               only_transactions=True),
+        _event("restart", 0.45, ring=ring, pid=victim),
+    ]
+
+
+def _partition_minority(kv: KvCluster, base: float, rng: random.Random) -> List[Dict[str, Any]]:
+    """Split ring 0 into a majority and a stalled minority under load;
+    minority-ordered commands must be dropped everywhere (clients see
+    incomplete operations, never wrong answers), then heal."""
+    majority = set(range(kv.hosts_per_ring))
+    minority = {kv.hosts_per_ring - 1}
+    majority -= minority
+    kv.sim.schedule_at(base + 0.06, kv.partition, 0, majority, minority)
+    kv.sim.schedule_at(base + 0.5, kv.heal, 0)
+    return [
+        _event("partition", 0.06, ring=0,
+               groups=[sorted(majority), sorted(minority)]),
+        _event("heal", 0.5, ring=0),
+    ]
+
+
+def _cascade_replicas(kv: KvCluster, base: float, rng: random.Random) -> List[Dict[str, Any]]:
+    """Cascading crash-recover across two rings: each victim recovers
+    from its own WAL and catches the missed suffix by peer transfer."""
+    plan = [
+        ("crash", 0.05, 0, 1),
+        ("crash", 0.12, 1, 2),
+        ("restart", 0.4, 0, 1),
+        ("restart", 0.55, 1, 2),
+    ]
+    events = []
+    for kind, at, ring, pid in plan:
+        action = kv.crash if kind == "crash" else kv.restart
+        kv.sim.schedule_at(base + at, action, ring, pid)
+        events.append(_event(kind, at, ring=ring, pid=pid))
+    return events
+
+
+def _full_ring_outage(kv: KvCluster, base: float, rng: random.Random) -> List[Dict[str, Any]]:
+    """Crash *every* replica of ring 0, then recover all of them: no
+    primary survives, so the majority must elect the longest durable
+    log and resync from it (the durability story with no live donor)."""
+    events = []
+    for pid in range(kv.hosts_per_ring):
+        at = 0.08 + 0.015 * pid
+        kv.sim.schedule_at(base + at, kv.crash, 0, pid)
+        events.append(_event("crash", at, ring=0, pid=pid))
+    for pid in range(kv.hosts_per_ring):
+        at = 0.4 + 0.02 * pid
+        kv.sim.schedule_at(base + at, kv.restart, 0, pid)
+        events.append(_event("restart", at, ring=0, pid=pid))
+    return events
+
+
+SCENARIOS: Dict[str, KvScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        KvScenarioSpec(
+            name="kv-crash-mid-txn",
+            summary="kill a replica between WAL append and apply of a "
+                    "transaction; recover, resync, converge",
+            rings=2,
+            hosts_per_ring=4,
+            partitions=8,
+            duration=0.8,
+            faults=_crash_mid_txn,
+            txn_weight=0.25,
+            snapshot_every=8,
+        ),
+        KvScenarioSpec(
+            name="kv-partition",
+            summary="majority/minority split of one ring under load; "
+                    "minority stalls, no divergence, heal and converge",
+            rings=2,
+            hosts_per_ring=4,
+            partitions=8,
+            duration=0.9,
+            faults=_partition_minority,
+        ),
+        KvScenarioSpec(
+            name="kv-cascade",
+            summary="cascading crash-recover across both rings",
+            rings=2,
+            hosts_per_ring=4,
+            partitions=8,
+            duration=1.0,
+            faults=_cascade_replicas,
+        ),
+        KvScenarioSpec(
+            name="kv-ring-outage",
+            summary="crash every replica of one ring; recover all; the "
+                    "longest durable WAL wins the election",
+            rings=2,
+            hosts_per_ring=3,
+            partitions=6,
+            duration=1.1,
+            faults=_full_ring_outage,
+            snapshot_every=8,
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+def run_kv_scenario(name: str, seed: int = 0) -> KvChaosReport:
+    """Run one named KV scenario; byte-identical JSON per (name, seed)."""
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        raise FaultError(
+            f"unknown KV scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    rng = random.Random(seed)
+    kv = KvCluster(
+        rings=spec.rings,
+        hosts_per_ring=spec.hosts_per_ring,
+        partitions=spec.partitions,
+        snapshot_every=spec.snapshot_every,
+    )
+    kv.start()
+    kv.run(_BOOT)
+    _wait_converged(kv)
+
+    base = kv.sim.now
+    keys = ZipfianKeys(num_keys=spec.num_keys, s=spec.zipf_s, seed=seed * 7 + 1)
+    arrivals = DiurnalArrivals(
+        trough_rate=spec.trough_rate,
+        peak_rate=spec.peak_rate,
+        period=spec.duration,
+        burst_factor=2.0,
+        burst_width=spec.duration / 10.0,
+        seed=seed * 7 + 2,
+    )
+    mix = KvOpMix(
+        keys=keys,
+        num_clients=spec.num_clients,
+        txn_weight=spec.txn_weight,
+        seed=seed * 7 + 3,
+    )
+    scheduled = drive_schedule(kv, mix.schedule(arrivals.times(spec.duration)), base)
+    events = spec.faults(kv, base, rng)
+    kv.run(spec.duration)
+
+    # Quiesce: heal leftover partitions, let membership and the
+    # transfer/election machinery settle.
+    kv.heal()
+    converged = _wait_converged(kv)
+
+    stores_converged = kv.stores_converged()
+    evs_violations = kv.check_evs()
+    lin = kv.check_linearizability()
+
+    violations: List[str] = []
+    if not converged:
+        violations.append("cluster failed to reconverge to serving replicas")
+    if not stores_converged:
+        violations.append(
+            f"replica stores diverged after heal: digests={kv.store_digests()}"
+        )
+    violations.extend(
+        f"ring {ring}: {text}" for ring, text in sorted(evs_violations.items())
+    )
+    violations.extend(lin.violations)
+
+    counters = kv.counters()
+    counters["ops_scheduled"] = scheduled
+    return KvChaosReport(
+        name=spec.name,
+        seed=seed,
+        rings=spec.rings,
+        hosts_per_ring=spec.hosts_per_ring,
+        partitions=spec.partitions,
+        ok=not violations,
+        converged=converged,
+        stores_converged=stores_converged,
+        evs_violations=evs_violations,
+        linearizability=lin.to_dict(),
+        violations=violations,
+        digests=kv.store_digests(),
+        history={
+            "ops": len(kv.history),
+            "completed": kv.history.completed,
+            "incomplete": kv.history.incomplete,
+        },
+        counters=counters,
+        events=events,
+        sim_time=kv.sim.now,
+    )
+
+
+def run_all_kv(seed: int = 0) -> List[KvChaosReport]:
+    """Run the whole KV scenario library (CI's kv-smoke job)."""
+    return [run_kv_scenario(name, seed=seed) for name in sorted(SCENARIOS)]
+
+
+def _wait_converged(kv: KvCluster) -> bool:
+    """Deterministically poll until membership converges *and* every
+    live replica is back to serving (synced into the primary lineage)."""
+    for _ in range(_CONVERGE_SLICES):
+        if kv.converged():
+            return True
+        kv.run(_CONVERGE_SLICE)
+    return kv.converged()

@@ -1,0 +1,259 @@
+"""Linearizability checking over client-observed histories.
+
+The store's consistency claim (docs/PROTOCOL.md §13): within one
+partition, client-observed operations are **linearizable** — there is
+a total order of operations, consistent with real time (if A's
+response precedes B's invocation, A orders before B), under which
+every completed operation's recorded result matches a sequential
+execution.  Partitions are independent total orders, so the history
+factors: the checker runs Wing & Gong's algorithm per partition
+(group), with memoization on (remaining-operation set, state) in the
+style of Lowe's and Porcupine's implementations.
+
+Incomplete operations (invoked, never answered) may be linearized at
+any point after their invocation — their effects happen but their
+unseen results are unconstrained — or omitted entirely (the command
+was dropped in a minority component, or its response died with the
+client's replica).  Both choices are explored.
+
+The search is worst-case exponential; histories here have bounded
+client concurrency, so in practice it is fast.  A node budget keeps
+adversarial inputs from hanging CI: blowing the budget yields
+``decided=False`` (and the chaos gate treats that as failure — an
+undecided check is not a pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.apps.kv.commands import CAS, DELETE, GET, PUT
+from repro.apps.kv.history import History, Operation
+
+#: Default DFS node budget per partition.
+DEFAULT_BUDGET = 500_000
+
+_INFINITY = float("inf")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one history (or one partition of one)."""
+
+    ok: bool
+    decided: bool
+    checked_ops: int
+    violations: List[str] = field(default_factory=list)
+    #: group -> "ok" | "violation" | "undecided"
+    partitions: Dict[str, str] = field(default_factory=dict)
+
+    def merge(self, group: str, other: "CheckResult") -> None:
+        self.checked_ops += other.checked_ops
+        self.violations.extend(other.violations)
+        self.ok = self.ok and other.ok
+        self.decided = self.decided and other.decided
+        self.partitions[group] = (
+            "ok" if other.ok and other.decided
+            else ("undecided" if not other.decided else "violation")
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "decided": self.decided,
+            "checked_ops": self.checked_ops,
+            "violations": self.violations,
+            "partitions": dict(sorted(self.partitions.items())),
+        }
+
+
+State = Tuple[Tuple[str, bytes], ...]
+
+
+def _apply(state_dict: Dict[str, bytes], operation: Operation):
+    """Sequentially execute ``operation`` against ``state_dict``.
+
+    Returns ``(ok, values, applied)`` mirroring
+    :class:`~repro.apps.kv.commands.KvResult`; mutates ``state_dict``
+    only on success (transactions stage, like the real store).
+    """
+    staged = dict(state_dict)
+    values: List[Optional[bytes]] = []
+    applied: List[bool] = []
+    ok = True
+    for op in operation.ops:
+        current = staged.get(op.key)
+        if op.kind == GET:
+            values.append(current)
+            applied.append(False)
+        elif op.kind == PUT:
+            staged[op.key] = op.value or b""
+            values.append(op.value)
+            applied.append(True)
+        elif op.kind == DELETE:
+            existed = op.key in staged
+            if existed:
+                del staged[op.key]
+            values.append(current)
+            applied.append(existed)
+        elif op.kind == CAS:
+            if current == op.expected:
+                staged[op.key] = op.value or b""
+                values.append(op.value)
+                applied.append(True)
+            else:
+                values.append(current)
+                applied.append(False)
+                ok = False
+                break
+    if ok:
+        state_dict.clear()
+        state_dict.update(staged)
+    return ok, tuple(values), tuple(applied)
+
+
+def _matches(operation: Operation, ok: bool, values, applied) -> bool:
+    """Does the sequential outcome match what the client observed?"""
+    result = operation.result
+    if result is None:
+        return True  # incomplete: any outcome is consistent
+    return result.ok == ok and result.values == values and result.applied == applied
+
+
+def check_partition(
+    operations: Sequence[Operation],
+    budget: int = DEFAULT_BUDGET,
+    watermarks: Optional[Dict[int, int]] = None,
+) -> CheckResult:
+    """Wing & Gong DFS over one partition's operations.
+
+    ``watermarks`` (client_id → highest applied request_id) is an
+    optional oracle hint taken from the converged store's idempotence
+    watermarks.  Incomplete *write* operations above their client's
+    watermark were never applied by the surviving lineage, so omitting
+    them is exact, not a search choice — without the hint, a mass
+    outage leaves enough concurrent incomplete writes to blow any
+    budget.  With the hint the check is differential (history plus
+    implementation metadata) rather than purely black-box; a lying
+    watermark cannot hide a violation that any completed operation
+    observed, because applied-but-omitted effects contradict the reads
+    the DFS must still satisfy.
+
+    Incomplete operations containing only GETs are always dropped:
+    they have no effect on state and no observed result, so any
+    linearization extends to one that includes or excludes them.
+    """
+    ops = []
+    for op in sorted(operations, key=lambda op: (op.invoke, op.op_id)):
+        if not op.complete:
+            if all(o.kind == GET for o in op.ops):
+                continue
+            if watermarks is not None and op.request_id > watermarks.get(
+                op.client_id, -1
+            ):
+                continue
+        ops.append(op)
+    n = len(ops)
+    if n == 0:
+        return CheckResult(ok=True, decided=True, checked_ops=0)
+
+    responses = [
+        op.response if op.response is not None else _INFINITY for op in ops
+    ]
+    invokes = [op.invoke for op in ops]
+    memo: set = set()
+    nodes = 0
+
+    def state_key(state_dict: Dict[str, bytes]) -> State:
+        return tuple(sorted(state_dict.items()))
+
+    def dfs(remaining: FrozenSet[int], state_dict: Dict[str, bytes]) -> Optional[bool]:
+        """True = linearizable; False = dead end; None = out of budget."""
+        nonlocal nodes
+        if all(responses[i] == _INFINITY for i in remaining):
+            # Only incomplete operations left: legal to drop them all.
+            return True
+        nodes += 1
+        if nodes > budget:
+            return None
+        key = (remaining, state_key(state_dict))
+        if key in memo:
+            return False
+        first_return = min(responses[i] for i in remaining)
+        for i in sorted(remaining):
+            if invokes[i] > first_return:
+                continue
+            trial = dict(state_dict)
+            ok, values, applied = _apply(trial, ops[i])
+            if not _matches(ops[i], ok, values, applied):
+                continue
+            verdict = dfs(remaining - {i}, trial)
+            if verdict is not False:
+                return verdict
+        memo.add(key)
+        return False
+
+    verdict = dfs(frozenset(range(n)), {})
+    if verdict is None:
+        return CheckResult(
+            ok=False,
+            decided=False,
+            checked_ops=n,
+            violations=[
+                f"linearizability undecided: DFS budget of {budget} nodes "
+                f"exhausted over {n} operations"
+            ],
+        )
+    if verdict:
+        return CheckResult(ok=True, decided=True, checked_ops=n)
+    witness = "; ".join(
+        f"op{op.op_id} c{op.client_id}#{op.request_id} "
+        f"{'+'.join(o.kind_name for o in op.ops)} "
+        f"[{op.invoke:.6f},{'∞' if op.response is None else format(op.response, '.6f')}]"
+        for op in ops[:12]
+    )
+    return CheckResult(
+        ok=False,
+        decided=True,
+        checked_ops=n,
+        violations=[
+            f"no linearization of {n} operation(s) exists; "
+            f"history prefix: {witness}"
+        ],
+    )
+
+
+def check_history(
+    history: History,
+    budget: int = DEFAULT_BUDGET,
+    watermarks: Optional[Dict[Tuple[str, int], int]] = None,
+) -> CheckResult:
+    """Check every partition of ``history`` independently.
+
+    Sound because partitions (groups) never share keys: a composite
+    linearization interleaves the per-partition ones.  Cross-partition
+    transactions do not exist (commands bind to one group), so there is
+    no cross-partition atomicity to check — see the §13 non-promises.
+
+    ``watermarks`` is the store-level ``(group, client_id) → request_id``
+    map (see :meth:`~repro.apps.kv.store.KvStore.watermarks`); it is
+    split per partition and passed to :func:`check_partition` as the
+    applied-operations oracle hint.
+    """
+    total = CheckResult(ok=True, decided=True, checked_ops=0)
+    for group, operations in sorted(history.by_group().items()):
+        per_group = None
+        if watermarks is not None:
+            per_group = {
+                client: reqid
+                for (g, client), reqid in watermarks.items()
+                if g == group
+            }
+        result = check_partition(operations, budget=budget, watermarks=per_group)
+        if not result.ok:
+            result.violations = [
+                f"group {group!r}: {violation}" for violation in result.violations
+            ]
+        total.merge(group, result)
+    return total

@@ -1,0 +1,144 @@
+"""Snapshot codec: a full :class:`~repro.apps.kv.store.KvStore` image.
+
+Snapshots serve two roles with one format:
+
+* **compaction** — a replica periodically writes its state and resets
+  the WAL, so recovery replays a bounded suffix;
+* **state transfer** — a rejoining replica receives a peer's snapshot
+  bytes to cover the prefix it missed while down (:mod:`~repro.apps.
+  kv.cluster`).
+
+The encoding is canonical (groups, keys, and watermarks sorted), so
+equal states produce equal bytes — ``encode_snapshot`` output is
+directly comparable across replicas, and the property suite pins the
+round-trip and the recovery-equivalence law
+``replay(snapshot, wal_suffix) == full_replay``.
+
+Layout::
+
+    snapshot := magic:8  group_count:u32  group*
+    group    := name_len:u16 name  applied:u64
+                key_count:u32  (key_len:u16 key  value_len:u32 value)*
+                mark_count:u32 (client_id:u32 request_id:u64)*
+
+Integrity: the payload is framed with a CRC-32 like a WAL record, so a
+torn snapshot write is detected and recovery falls back to the empty
+store plus full WAL replay.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional
+
+from repro.apps.kv.store import KvStore
+from repro.util.errors import ConfigurationError
+
+MAGIC = b"KVSNAP01"
+_FRAME = struct.Struct("!II")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_MARK = struct.Struct("!IQ")
+
+
+class SnapshotError(ConfigurationError):
+    """A snapshot that cannot be decoded (corruption or bad magic)."""
+
+
+def encode_snapshot(store: KvStore) -> bytes:
+    """Serialize ``store`` canonically; inverse of :func:`decode_snapshot`."""
+    out = [MAGIC]
+    groups = sorted(set(store.data) | set(store.applied_counts))
+    out.append(_U32.pack(len(groups)))
+    for group in groups:
+        gname = group.encode("utf-8")
+        out.append(_U16.pack(len(gname)))
+        out.append(gname)
+        out.append(_U64.pack(store.applied_counts.get(group, 0)))
+        partition = store.data.get(group, {})
+        out.append(_U32.pack(len(partition)))
+        for key in sorted(partition):
+            kname = key.encode("utf-8")
+            out.append(_U16.pack(len(kname)))
+            out.append(kname)
+            value = partition[key]
+            out.append(_U32.pack(len(value)))
+            out.append(value)
+        marks = sorted(
+            (client, reqid)
+            for (g, client), reqid in store.watermarks.items()
+            if g == group
+        )
+        out.append(_U32.pack(len(marks)))
+        for client, reqid in marks:
+            out.append(_MARK.pack(client, reqid))
+    body = b"".join(out)
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_snapshot(data: bytes) -> Optional[KvStore]:
+    """Decode a snapshot; ``None`` for an empty or torn image.
+
+    ``None`` (rather than an exception) on truncation mirrors the WAL's
+    torn-tail semantics: an interrupted snapshot write means "no
+    snapshot", and recovery proceeds from the WAL alone.  Structurally
+    bad bytes beyond that raise :class:`SnapshotError`.
+    """
+    if not data:
+        return None
+    if len(data) < _FRAME.size:
+        return None
+    length, crc = _FRAME.unpack_from(data)
+    if len(data) < _FRAME.size + length:
+        return None
+    body = data[_FRAME.size : _FRAME.size + length]
+    if zlib.crc32(body) != crc:
+        return None
+    if len(data) > _FRAME.size + length:
+        raise SnapshotError(
+            f"{len(data) - _FRAME.size - length} trailing byte(s) "
+            f"after snapshot frame"
+        )
+    if body[: len(MAGIC)] != MAGIC:
+        raise SnapshotError(f"bad snapshot magic {body[:8]!r}")
+
+    store = KvStore()
+    pos = len(MAGIC)
+    try:
+        (group_count,) = _U32.unpack_from(body, pos)
+        pos += _U32.size
+        for _ in range(group_count):
+            (glen,) = _U16.unpack_from(body, pos)
+            pos += _U16.size
+            group = body[pos : pos + glen].decode("utf-8")
+            pos += glen
+            (applied,) = _U64.unpack_from(body, pos)
+            pos += _U64.size
+            store.applied_counts[group] = applied
+            (key_count,) = _U32.unpack_from(body, pos)
+            pos += _U32.size
+            partition = store.data.setdefault(group, {})
+            for _ in range(key_count):
+                (klen,) = _U16.unpack_from(body, pos)
+                pos += _U16.size
+                key = body[pos : pos + klen].decode("utf-8")
+                pos += klen
+                (vlen,) = _U32.unpack_from(body, pos)
+                pos += _U32.size
+                partition[key] = body[pos : pos + vlen]
+                pos += vlen
+            (mark_count,) = _U32.unpack_from(body, pos)
+            pos += _U32.size
+            for _ in range(mark_count):
+                client, reqid = _MARK.unpack_from(body, pos)
+                pos += _MARK.size
+                store.watermarks[(group, client)] = reqid
+    except struct.error as exc:
+        raise SnapshotError(f"snapshot body truncated at offset {pos}") from exc
+    if pos != len(body):
+        raise SnapshotError(
+            f"{len(body) - pos} trailing byte(s) inside snapshot body"
+        )
+    return store

@@ -1,0 +1,176 @@
+"""The replicated state machine: a partitioned map with atomic commands.
+
+One :class:`KvStore` instance is one replica's materialized state.
+Determinism is the whole contract: ``apply`` is a pure function of
+(current state, group, command), so replicas that apply the same
+per-group command sequence — in any interleaving across groups — end
+up byte-identical per group, which :meth:`digest` makes checkable.
+
+Idempotence via watermarks
+--------------------------
+
+Recovery re-applies commands from three overlapping sources: the WAL
+suffix past a snapshot, buffered live deliveries during a state
+transfer, and the transferred snapshot itself.  Rather than make every
+caller reason about exact cut points, ``apply`` is idempotent: each
+command carries ``(client_id, request_id)``, request ids are issued
+monotonically per client, and a client's commands for one group travel
+FIFO through that group's total order.  The store therefore keeps a
+per-``(group, client)`` high-watermark and silently skips any command
+at or below it.  Overlapping replays become harmless; only genuinely
+new commands mutate state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.kv.commands import (
+    CAS,
+    DELETE,
+    GET,
+    PUT,
+    KvCommand,
+    KvResult,
+)
+
+
+class KvStore:
+    """Deterministic partitioned key-value state."""
+
+    def __init__(self) -> None:
+        #: group -> key -> value.
+        self.data: Dict[str, Dict[str, bytes]] = {}
+        #: group -> commands actually applied (duplicates excluded).
+        self.applied_counts: Dict[str, int] = {}
+        #: (group, client_id) -> highest applied request_id.
+        self.watermarks: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def apply(self, group: str, command: KvCommand) -> Optional[KvResult]:
+        """Apply ``command`` to ``group``; ``None`` means duplicate.
+
+        Transactions are atomic: every CAS in the op list must pass
+        against the state *as mutated by the preceding ops*; the first
+        failure aborts the whole command with no writes (``ok=False``
+        results still report the values each op observed).
+        """
+        mark = (group, command.client_id)
+        if command.request_id <= self.watermarks.get(mark, -1):
+            return None
+        self.watermarks[mark] = command.request_id
+        self.applied_counts[group] = self.applied_counts.get(group, 0) + 1
+
+        partition = self.data.setdefault(group, {})
+        # Mutate in place, logging per-key undo state so an aborted
+        # transaction (a failed CAS) rolls back exactly.  Staging by
+        # copying the whole partition would be O(partition size) per
+        # command — quadratic over a run, and fatal at the bench's
+        # multi-million-key scale; the undo log is O(keys touched).
+        undo: List[Tuple[str, bool, Optional[bytes]]] = []
+        values: List[Optional[bytes]] = []
+        applied: List[bool] = []
+        ok = True
+        for op in command.ops:
+            current = partition.get(op.key)
+            if op.kind == GET:
+                values.append(current)
+                applied.append(False)
+            elif op.kind == PUT:
+                undo.append((op.key, op.key in partition, current))
+                partition[op.key] = op.value or b""
+                values.append(op.value)
+                applied.append(True)
+            elif op.kind == DELETE:
+                existed = op.key in partition
+                if existed:
+                    undo.append((op.key, True, current))
+                    del partition[op.key]
+                values.append(current)
+                applied.append(existed)
+            elif op.kind == CAS:
+                if current == op.expected:
+                    undo.append((op.key, op.key in partition, current))
+                    partition[op.key] = op.value or b""
+                    values.append(op.value)
+                    applied.append(True)
+                else:
+                    values.append(current)
+                    applied.append(False)
+                    ok = False
+                    break
+            else:  # pragma: no cover - encoder rejects unknown kinds
+                raise AssertionError(f"unreachable op kind {op.kind}")
+        if not ok:
+            for key, existed, prior in reversed(undo):
+                if existed:
+                    partition[key] = prior  # type: ignore[assignment]
+                else:
+                    partition.pop(key, None)
+        return KvResult(ok=ok, values=tuple(values), applied=tuple(applied))
+
+    # ------------------------------------------------------------------
+
+    def value(self, group: str, key: str) -> Optional[bytes]:
+        return self.data.get(group, {}).get(key)
+
+    def total_applied(self) -> int:
+        """Commands applied across every group (the state-transfer
+        donor-election ordering: states on one primary lineage are
+        stream prefixes, so longer == strictly more complete)."""
+        return sum(self.applied_counts.values())
+
+    def digest(self, groups: Optional[Iterable[str]] = None) -> str:
+        """A byte-stable hash of the store state.
+
+        Covers values, applied counts, and watermarks over ``groups``
+        (default: every group present), in sorted order — two replicas
+        converged iff their digests over the same group set match.
+        """
+        wanted = (
+            sorted(set(self.data) | set(self.applied_counts))
+            if groups is None
+            else sorted(groups)
+        )
+        hasher = hashlib.sha256()
+        for group in wanted:
+            gname = group.encode("utf-8")
+            hasher.update(struct.pack("!H", len(gname)))
+            hasher.update(gname)
+            hasher.update(struct.pack("!Q", self.applied_counts.get(group, 0)))
+            partition = self.data.get(group, {})
+            hasher.update(struct.pack("!I", len(partition)))
+            for key in sorted(partition):
+                kname = key.encode("utf-8")
+                hasher.update(struct.pack("!H", len(kname)))
+                hasher.update(kname)
+                value = partition[key]
+                hasher.update(struct.pack("!I", len(value)))
+                hasher.update(value)
+            marks = sorted(
+                (client, reqid)
+                for (g, client), reqid in self.watermarks.items()
+                if g == group
+            )
+            hasher.update(struct.pack("!I", len(marks)))
+            for client, reqid in marks:
+                hasher.update(struct.pack("!IQ", client, reqid))
+        return hasher.hexdigest()
+
+    def copy(self) -> "KvStore":
+        """A deep, independent copy (state transfer hands these out)."""
+        clone = KvStore()
+        clone.data = {group: dict(items) for group, items in self.data.items()}
+        clone.applied_counts = dict(self.applied_counts)
+        clone.watermarks = dict(self.watermarks)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"KvStore(groups={len(self.data)}, "
+            f"keys={sum(len(p) for p in self.data.values())}, "
+            f"applied={self.total_applied()})"
+        )

@@ -11,6 +11,8 @@
 * ``conformance`` — differential oracle + bounded schedule exploration
   across the protocol variants.
 * ``bench`` — run a benchmark suite, gated on a committed baseline.
+* ``kv`` — the replicated KV store: fault-free runs, skewed benches,
+  chaos scenarios with linearizability checking, WAL recover-replay.
 * ``daemon`` — run a real daemon (UDP ring + unix client socket).
 """
 
@@ -491,6 +493,202 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return 2
 
 
+def _kv_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.apps.kv.chaos import _BOOT
+    from repro.apps.kv.cluster import KvCluster
+    from repro.workloads.kv import (
+        DiurnalArrivals,
+        KvOpMix,
+        ZipfianKeys,
+        drive_schedule,
+    )
+
+    kv = KvCluster(
+        rings=args.rings,
+        hosts_per_ring=args.hosts,
+        partitions=args.partitions,
+    )
+    kv.start()
+    kv.run(_BOOT)
+    base = kv.sim.now
+    keys = ZipfianKeys(num_keys=args.keys, s=args.zipf, seed=args.seed + 1)
+    arrivals = DiurnalArrivals(
+        trough_rate=args.rate / 4.0,
+        peak_rate=args.rate,
+        period=args.duration,
+        seed=args.seed + 2,
+    )
+    mix = KvOpMix(keys=keys, num_clients=args.clients, seed=args.seed + 3)
+    scheduled = drive_schedule(kv, mix.schedule(arrivals.times(args.duration)), base)
+    kv.run(args.duration + 0.3)
+    lin = kv.check_linearizability()
+    doc = {
+        "topology": {
+            "rings": args.rings,
+            "hosts_per_ring": args.hosts,
+            "partitions": args.partitions,
+        },
+        "seed": args.seed,
+        "ops_scheduled": scheduled,
+        "ops_completed": kv.history.completed,
+        "ops_incomplete": kv.history.incomplete,
+        "stores_converged": kv.stores_converged(),
+        "linearizability": lin.to_dict(),
+        "sim_time": round(kv.sim.now, 9),
+    }
+    ok = doc["stores_converged"] and lin.ok and lin.decided
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"  {'PASS' if ok else 'FAIL'}  {args.rings}x{args.hosts} "
+            f"partitions={args.partitions} seed={args.seed} "
+            f"ops={scheduled} completed={doc['ops_completed']} "
+            f"linearizable={lin.ok and lin.decided}"
+        )
+        for violation in lin.violations:
+            print(f"        violation: {violation}")
+    return 0 if ok else 1
+
+
+def _kv_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.apps.kv.bench import run_kv_bench, to_json
+
+    case_names = args.cases.split(",") if args.cases else None
+    report = run_kv_bench(
+        seed=args.seed,
+        case_names=case_names,
+        progress=None if args.json else print,
+    )
+    if args.json:
+        print(to_json(report))
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"kv_bench_seed{args.seed}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_json(report))
+        if not args.json:
+            print(f"report written to {path}")
+    return 0
+
+
+def _kv_chaos(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.apps.kv.chaos import SCENARIOS, run_kv_scenario
+
+    if args.list or (args.scenario is None and not args.all):
+        for name in sorted(SCENARIOS):
+            print(f"  {name:18s} {SCENARIOS[name].summary}")
+        return 0
+    names = sorted(SCENARIOS) if args.all else [args.scenario]
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown KV scenario {unknown[0]!r}; choose from {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for name in names:
+        report = run_kv_scenario(name, seed=args.seed)
+        if args.json:
+            print(report.to_json())
+        else:
+            status = "PASS" if report.ok else "FAIL"
+            print(
+                f"  {status}  {name:18s} seed={report.seed} "
+                f"ops={report.history['ops']} "
+                f"completed={report.history['completed']} "
+                f"sim_time={report.sim_time:.3f}s"
+            )
+            for violation in report.violations:
+                print(f"        violation: {violation}")
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}_seed{args.seed}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            if not args.json:
+                print(f"        report written to {path}")
+        if not report.ok:
+            failures += 1
+    if not args.json:
+        print()
+        print(f"{len(names) - failures} passed, {failures} failed")
+    return 1 if failures else 0
+
+
+def _kv_recover_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.apps.kv.commands import KvCommand, put
+    from repro.apps.kv.replica import DurableMedium, recover_store
+    from repro.apps.kv.snapshot import encode_snapshot
+    from repro.apps.kv.store import KvStore
+    from repro.apps.kv.wal import FileWalStorage, WalRecord, WriteAheadLog
+
+    directory = Path(args.dir)
+    durable = DurableMedium(
+        wal_storage=FileWalStorage(directory / "wal.bin"),
+        snapshot_storage=FileWalStorage(directory / "snapshot.bin"),
+    )
+
+    if args.demo:
+        # Stage a crash scene: a snapshot, a WAL suffix past it, and
+        # (optionally) a torn final append — then recover from it.
+        store = KvStore()
+        wal = WriteAheadLog(durable.wal_storage)
+        wal.reset()
+        for index in range(24):
+            command = KvCommand(
+                client_id=0, request_id=index + 1,
+                ops=(put(f"k{index % 8}", b"%d" % index),),
+            )
+            store.apply("kv00", command)
+            if index < 16:
+                continue  # first 16 live only in the snapshot
+            wal.append(WalRecord(group="kv00", command=command))
+        snap = KvStore()
+        for index in range(16):
+            snap.apply(
+                "kv00",
+                KvCommand(client_id=0, request_id=index + 1,
+                          ops=(put(f"k{index % 8}", b"%d" % index),)),
+            )
+        durable.write_snapshot(encode_snapshot(snap))
+        if args.torn:
+            durable.wal_storage.append(b"\x00\x00\x00\x40partial-frame")
+        print(
+            f"demo scene staged in {directory}: snapshot with 16 commands, "
+            f"WAL suffix of 8{', torn tail appended' if args.torn else ''}"
+        )
+
+    store, replayed = recover_store(durable)
+    digest = store.digest()
+    print(
+        f"recovered: {replayed} WAL record(s) replayed past the snapshot; "
+        f"{sum(len(p) for p in store.data.values())} key(s) across "
+        f"{len(store.data)} group(s); applied={store.total_applied()}"
+    )
+    print(f"digest: {digest}")
+    return 0
+
+
+def cmd_kv(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _kv_run,
+        "bench": _kv_bench,
+        "chaos": _kv_chaos,
+        "recover-replay": _kv_recover_replay,
+    }
+    return handlers[args.kv_mode](args)
+
+
 def cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -727,6 +925,77 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--update-baseline", action="store_true",
                        help="write the results as the new baseline")
     bench.set_defaults(func=cmd_bench)
+
+    kv = sub.add_parser(
+        "kv",
+        help="replicated KV store on the ordered stream: run, bench, "
+             "chaos (with linearizability checking), recover-replay",
+    )
+    kv_sub = kv.add_subparsers(dest="kv_mode", required=True)
+
+    kv_run = kv_sub.add_parser(
+        "run", help="fault-free seeded run with linearizability checking"
+    )
+    kv_run.add_argument("--rings", type=int, default=2)
+    kv_run.add_argument("--hosts", type=int, default=4,
+                        help="replicas per ring")
+    kv_run.add_argument("--partitions", type=int, default=8,
+                        help="key partitions (Spread groups) across rings")
+    kv_run.add_argument("--keys", type=int, default=256,
+                        help="Zipfian keyspace size")
+    kv_run.add_argument("--zipf", type=float, default=0.99,
+                        help="Zipf skew exponent s (0 = uniform)")
+    kv_run.add_argument("--clients", type=int, default=4)
+    kv_run.add_argument("--rate", type=float, default=400.0,
+                        help="peak ops/sec (diurnal trough is rate/4)")
+    kv_run.add_argument("--duration", type=float, default=0.6,
+                        help="simulated seconds of workload")
+    kv_run.add_argument("--seed", type=int, default=0)
+    kv_run.add_argument("--json", action="store_true")
+    kv_run.set_defaults(func=cmd_kv)
+
+    kv_bench = kv_sub.add_parser(
+        "bench", help="skewed multi-million-key benchmark cases"
+    )
+    kv_bench.add_argument("--cases", default=None,
+                          help="comma-separated case names (default: all)")
+    kv_bench.add_argument("--seed", type=int, default=0)
+    kv_bench.add_argument("--json", action="store_true",
+                          help="print the full report as JSON")
+    kv_bench.add_argument("--out", default=None, metavar="DIR",
+                          help="write kv_bench_seed<seed>.json into DIR")
+    kv_bench.set_defaults(func=cmd_kv)
+
+    kv_chaos = kv_sub.add_parser(
+        "chaos",
+        help="KV chaos scenarios: faults under load, then convergence, "
+             "EVS, and linearizability checks",
+    )
+    kv_chaos.add_argument("scenario", nargs="?", default=None,
+                          help="scenario name (omit with --list or --all)")
+    kv_chaos.add_argument("--seed", type=int, default=0,
+                          help="master seed: same seed, byte-identical report")
+    kv_chaos.add_argument("--json", action="store_true",
+                          help="print full scenario reports as JSON")
+    kv_chaos.add_argument("--list", action="store_true",
+                          help="list available KV scenarios")
+    kv_chaos.add_argument("--all", action="store_true",
+                          help="run every scenario (CI's kv-smoke job)")
+    kv_chaos.add_argument("--out", default=None, metavar="DIR",
+                          help="write <scenario>_seed<seed>.json into DIR")
+    kv_chaos.set_defaults(func=cmd_kv)
+
+    kv_recover = kv_sub.add_parser(
+        "recover-replay",
+        help="rebuild a store from on-disk snapshot + WAL (the replica "
+             "restart path, against real files)",
+    )
+    kv_recover.add_argument("dir", help="directory holding wal.bin/snapshot.bin")
+    kv_recover.add_argument("--demo", action="store_true",
+                            help="stage a demo crash scene in DIR first")
+    kv_recover.add_argument("--torn", action="store_true",
+                            help="with --demo: append a torn WAL tail")
+    kv_recover.set_defaults(func=cmd_kv)
 
     daemon = sub.add_parser("daemon", help="run a real daemon over UDP")
     daemon.add_argument("--pid", type=int, required=True)

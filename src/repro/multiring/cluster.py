@@ -94,6 +94,18 @@ class GroupStreamTap:
 
     def __init__(self) -> None:
         self.streams: Dict[int, List[tuple]] = {}
+        #: Live subscribers (e.g. replicated state machines in
+        #: :mod:`repro.apps`): duck-typed objects with ``on_deliver(pid,
+        #: group, payload, config_id, origin_ring)``, ``on_config(pid,
+        #: configuration)``, and ``on_restart(pid)`` hooks, called in
+        #: exact delivery order as events happen — where :meth:`labels`
+        #: is a post-hoc read, listeners see the stream *during* the
+        #: run, so they can interact with fault timing.
+        self.listeners: List[object] = []
+
+    def add_listener(self, listener: object) -> None:
+        """Subscribe ``listener`` to live delivery/config/restart events."""
+        self.listeners.append(listener)
 
     def _stream(self, pid: int) -> List[tuple]:
         return self.streams.setdefault(pid, [])
@@ -101,14 +113,20 @@ class GroupStreamTap:
     def on_deliver(self, pid, message, config_id, origin_ring) -> None:
         group, payload = decode_group_payload(bytes(message.payload))
         self._stream(pid).append((MSG, group, payload))
+        for listener in self.listeners:
+            listener.on_deliver(pid, group, payload, config_id, origin_ring)
 
     def on_config(self, pid, configuration) -> None:
         self._stream(pid).append(
             (CONFIG, configuration.config_id, configuration.transitional)
         )
+        for listener in self.listeners:
+            listener.on_config(pid, configuration)
 
     def on_restart(self, pid) -> None:
         self._stream(pid).append((RESTART,))
+        for listener in self.listeners:
+            listener.on_restart(pid)
 
     def labels(
         self, pid: int, groups: Optional[Iterable[str]] = None

@@ -5,5 +5,21 @@ from repro.workloads.generators import (
     ClosedLoopWorkload,
     BurstWorkload,
 )
+from repro.workloads.kv import (
+    DiurnalArrivals,
+    KvOp,
+    KvOpMix,
+    ZipfianKeys,
+    drive_schedule,
+)
 
-__all__ = ["FixedRateWorkload", "ClosedLoopWorkload", "BurstWorkload"]
+__all__ = [
+    "FixedRateWorkload",
+    "ClosedLoopWorkload",
+    "BurstWorkload",
+    "ZipfianKeys",
+    "DiurnalArrivals",
+    "KvOp",
+    "KvOpMix",
+    "drive_schedule",
+]

@@ -11,9 +11,48 @@ many messages as flow control allows whenever it holds the token.
 from __future__ import annotations
 
 import random
+from typing import Callable, List
 
 from repro.core.messages import DeliveryService
 from repro.sim.cluster import RingCluster
+from repro.util.errors import ConfigurationError
+
+#: A sender handle: ``submit(payload_size, service)``.
+Submitter = Callable[[int, DeliveryService], None]
+
+
+def _submitters(cluster) -> List[Submitter]:
+    """One submit callable per sender, for any cluster shape.
+
+    Protocol-mode clusters (:class:`~repro.sim.cluster.RingCluster`,
+    protocol-mode :class:`~repro.multiring.cluster.MultiRingCluster`)
+    expose ``drivers``; membership-mode clusters expose per-ring
+    ``hosts`` instead.  Generators drive both through this one seam, so
+    ``attach`` works on whatever :class:`~repro.sim.build.
+    ClusterBuilder` built.  Ordering is deterministic: driver pid order,
+    or (ring, pid) order for membership clusters.
+    """
+    try:
+        drivers = cluster.drivers
+    except ConfigurationError:
+        drivers = None  # membership-mode MultiRingCluster
+    if drivers is not None:
+        return [drivers[pid].client_submit for pid in sorted(drivers)]
+
+    # MultiRingCluster.rings is a list; MembershipCluster.rings() is a
+    # method (the per-pid view map) — only the former means "fan out".
+    rings = cluster.rings if isinstance(getattr(cluster, "rings", None), list) else [cluster]
+
+    def host_submitter(host) -> Submitter:
+        return lambda size, service: host.submit(
+            payload=b"", service=service, payload_size=size
+        )
+
+    out: List[Submitter] = []
+    for ring in rings:
+        for pid in sorted(ring.hosts):
+            out.append(host_submitter(ring.hosts[pid]))
+    return out
 
 
 class FixedRateWorkload:
@@ -44,25 +83,26 @@ class FixedRateWorkload:
         self.seed = seed
         self.messages_injected = 0
 
-    def attach(self, cluster: RingCluster, start: float, stop: float) -> None:
-        """Schedule injections on every host between ``start`` and ``stop``."""
-        num_senders = len(cluster.drivers)
-        per_sender_bps = self.aggregate_rate_bps / num_senders
+    def attach(self, cluster, start: float, stop: float) -> None:
+        """Schedule injections on every sender between ``start`` and
+        ``stop``.  Accepts any built cluster (protocol- or
+        membership-mode, single- or multi-ring)."""
+        senders = _submitters(cluster)
+        per_sender_bps = self.aggregate_rate_bps / len(senders)
         interval = self.payload_size * 8.0 / per_sender_bps
-        for index, pid in enumerate(sorted(cluster.drivers)):
-            driver = cluster.driver(pid)
+        for index, submit in enumerate(senders):
             rng = random.Random(self.seed + index) if self.poisson else None
-            phase = interval * index / num_senders
-            self._schedule_next(cluster, driver, start + phase, stop, interval, rng)
+            phase = interval * index / len(senders)
+            self._schedule_next(cluster, submit, start + phase, stop, interval, rng)
 
-    def _schedule_next(self, cluster, driver, when, stop, interval, rng) -> None:
+    def _schedule_next(self, cluster, submit, when, stop, interval, rng) -> None:
         if when >= stop:
             return
         def fire() -> None:
-            driver.client_submit(self.payload_size, self.service)
+            submit(self.payload_size, self.service)
             self.messages_injected += 1
             gap = rng.expovariate(1.0 / interval) if rng else interval
-            self._schedule_next(cluster, driver, cluster.sim.now + gap, stop, interval, rng)
+            self._schedule_next(cluster, submit, cluster.sim.now + gap, stop, interval, rng)
 
         cluster.sim.schedule_at(when, fire)
 
@@ -134,21 +174,21 @@ class BurstWorkload:
         self.service = service
         self.messages_injected = 0
 
-    def attach(self, cluster: RingCluster, start: float, stop: float) -> None:
-        num_senders = len(cluster.drivers)
-        for index, pid in enumerate(sorted(cluster.drivers)):
-            driver = cluster.driver(pid)
-            phase = self.burst_interval * index / num_senders
-            self._schedule_burst(cluster, driver, start + phase, stop)
+    def attach(self, cluster, start: float, stop: float) -> None:
+        """Accepts any built cluster, like :meth:`FixedRateWorkload.attach`."""
+        senders = _submitters(cluster)
+        for index, submit in enumerate(senders):
+            phase = self.burst_interval * index / len(senders)
+            self._schedule_burst(cluster, submit, start + phase, stop)
 
-    def _schedule_burst(self, cluster, driver, when, stop) -> None:
+    def _schedule_burst(self, cluster, submit, when, stop) -> None:
         if when >= stop:
             return
 
         def fire() -> None:
             for _ in range(self.burst_size):
-                driver.client_submit(self.payload_size, self.service)
+                submit(self.payload_size, self.service)
                 self.messages_injected += 1
-            self._schedule_burst(cluster, driver, cluster.sim.now + self.burst_interval, stop)
+            self._schedule_burst(cluster, submit, cluster.sim.now + self.burst_interval, stop)
 
         cluster.sim.schedule_at(when, fire)

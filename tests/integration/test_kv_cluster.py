@@ -1,0 +1,207 @@
+"""Integration tests: the KV store on the live multi-ring stream.
+
+These drive real :class:`~repro.apps.kv.cluster.KvCluster` instances —
+full ordering stack underneath — through the fault library, and check
+the three subsystem promises end to end: store convergence, EVS
+cleanliness, and linearizability of the observed history.
+"""
+
+import pytest
+
+from repro.apps.kv.chaos import SCENARIOS, run_kv_scenario
+from repro.apps.kv.cluster import KvCluster
+from repro.apps.kv.commands import CommandError
+from repro.workloads.generators import BurstWorkload, FixedRateWorkload
+
+_BOOT = 0.08
+
+
+def make_kv(**overrides):
+    params = dict(rings=2, hosts_per_ring=4, partitions=8, snapshot_every=8)
+    params.update(overrides)
+    kv = KvCluster(**params)
+    kv.start()
+    kv.run(_BOOT)
+    return kv
+
+
+def settle(kv, slices=16, dt=0.25):
+    for _ in range(slices):
+        if kv.converged():
+            return True
+        kv.run(dt)
+    return kv.converged()
+
+
+class TestFaultFree:
+    def test_ops_complete_and_linearize(self):
+        kv = make_kv()
+        client = kv.client(0)
+        client.put("alpha", b"1")
+        client.put("beta", b"2")
+        client.get("alpha")
+        client.cas("alpha", b"1", b"one")
+        other = kv.client(1)
+        other.get("alpha")
+        other.delete("beta")
+        kv.run(0.5)
+        assert kv.history.incomplete == 0
+        assert kv.stores_converged()
+        result = kv.check_linearizability()
+        assert result.ok and result.decided
+
+    def test_transaction_applies_atomically_everywhere(self):
+        kv = make_kv()
+        client = kv.client(0)
+        key = "txn-anchor"
+        group = kv.group_of(key)
+        # Find sibling keys in the same partition (same trick the
+        # workload generator uses).
+        siblings, probe = [], 0
+        while len(siblings) < 2:
+            candidate = f"{key}~{probe}"
+            if kv.group_of(candidate) == group:
+                siblings.append(candidate)
+            probe += 1
+        from repro.apps.kv.commands import put as put_op
+
+        client.transact([put_op(key, b"a")] + [put_op(k, b"b") for k in siblings])
+        kv.run(0.5)
+        assert kv.history.incomplete == 0
+        for (ring, pid), replica in kv.replicas.items():
+            if group in kv.ring_groups(ring):
+                assert replica.store.value(group, key) == b"a"
+                for k in siblings:
+                    assert replica.store.value(group, k) == b"b"
+
+    def test_cross_partition_transaction_rejected(self):
+        kv = make_kv()
+        client = kv.client(0)
+        from repro.apps.kv.commands import put as put_op
+
+        # Find two keys in different partitions.
+        key_a = "a0"
+        key_b = next(
+            f"b{i}" for i in range(64) if kv.group_of(f"b{i}") != kv.group_of(key_a)
+        )
+        with pytest.raises(CommandError):
+            client.transact([put_op(key_a, b"1"), put_op(key_b, b"2")])
+
+    def test_cross_shard_snapshot_matches_replicas(self):
+        kv = make_kv()
+        client = kv.client(0)
+        for index in range(12):
+            client.put(f"key{index}", b"%d" % index)
+        kv.run(0.5)
+        merged = kv.cross_shard_snapshot(kv.groups(), vantage=0)
+        reference = kv.replicas[(0, 0)].store
+        for group in kv.ring_groups(0):
+            assert merged.digest([group]) == reference.digest([group])
+
+
+class TestAcceptance:
+    """ISSUE acceptance: crash between WAL append and apply of a txn."""
+
+    def test_crash_mid_transaction_recovers_and_converges(self):
+        report = run_kv_scenario("kv-crash-mid-txn", seed=0)
+        assert report.ok, report.violations
+        assert report.stores_converged
+        assert report.evs_violations == {}
+        assert report.linearizability["ok"]
+        assert report.linearizability["decided"]
+        # The victim actually died and actually recovered.
+        victim = report.counters["replicas"]["r0p2"]
+        assert victim["recoveries"] >= 1
+
+    def test_wal_covered_the_crash_window(self):
+        """Drive the armed crash by hand and inspect the replica: the
+        WAL must hold the fatal command that memory never applied, and
+        recovery must replay it exactly once."""
+        kv = make_kv(snapshot_every=1000)  # keep everything in the WAL
+        kv.run(0.3)
+        settle(kv)
+        client = kv.client(0)
+        for index in range(6):
+            client.put(f"warm{index}", b"x")
+        kv.run(0.3)
+
+        victim = kv.replicas[(0, 2)]
+        applied_before = victim.store.total_applied()
+        kv.arm_crash_between_append_and_apply(0, 2)
+        client.put("fatal", b"boom")
+        kv.run(0.3)
+        assert not victim.alive
+        # Durable medium: WAL has everything ordered to this replica,
+        # including the fatal command memory never saw.
+        from repro.apps.kv.replica import recover_store
+
+        recovered, replayed = recover_store(victim.durable)
+        assert recovered.total_applied() > applied_before
+
+        kv.restart(0, 2)
+        assert settle(kv)
+        assert kv.stores_converged()
+        assert kv.check_evs() == {}
+        result = kv.check_linearizability()
+        assert result.ok and result.decided
+
+
+class TestScenarioLibrary:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_passes(self, name):
+        report = run_kv_scenario(name, seed=1)
+        assert report.ok, report.violations
+
+    def test_reports_are_deterministic(self):
+        a = run_kv_scenario("kv-crash-mid-txn", seed=2)
+        b = run_kv_scenario("kv-crash-mid-txn", seed=2)
+        assert a.to_json() == b.to_json()
+
+    def test_seeds_vary_the_workload(self):
+        a = run_kv_scenario("kv-partition", seed=0)
+        b = run_kv_scenario("kv-partition", seed=1)
+        assert a.history["ops"] != b.history["ops"] or a.to_json() != b.to_json()
+
+
+class TestPartitionSemantics:
+    def test_minority_commands_never_applied(self):
+        kv = make_kv()
+        settle(kv)
+        kv.partition(0, {0, 1, 2}, {3})
+        kv.run(0.4)
+        # A client homed on the minority host submits into the void.
+        minority_client = kv.client(3)
+        minority_client.put("doomed", b"x")
+        kv.run(0.4)
+        kv.heal(0)
+        assert settle(kv)
+        assert kv.stores_converged()
+        result = kv.check_linearizability()
+        assert result.ok and result.decided
+
+    def test_full_ring_outage_elects_longest_wal(self):
+        report = run_kv_scenario("kv-ring-outage", seed=0)
+        assert report.ok, report.violations
+        assert report.counters["elections_held"] >= 1
+
+
+class TestWorkloadAttach:
+    """Satellite: protocol-level workloads attach to MultiRingCluster."""
+
+    def test_fixed_rate_attaches_to_multiring(self):
+        kv = make_kv()
+        now = kv.sim.now
+        workload = FixedRateWorkload(payload_size=200, aggregate_rate_bps=2_000_000)
+        workload.attach(kv.net, start=now, stop=now + 0.05)
+        kv.run(0.1)
+        assert workload.messages_injected > 0
+
+    def test_burst_attaches_to_multiring(self):
+        kv = make_kv()
+        now = kv.sim.now
+        workload = BurstWorkload(payload_size=100, burst_size=4,
+                                 burst_interval=0.02)
+        workload.attach(kv.net, start=now, stop=now + 0.04)
+        kv.run(0.1)
+        # 8 hosts x 2 bursts x 4 messages
+        assert workload.messages_injected == 64

@@ -13,6 +13,7 @@ from repro.workloads.generators import (
     ClosedLoopWorkload,
     FixedRateWorkload,
 )
+from repro.workloads.kv import DiurnalArrivals, KvOpMix, ZipfianKeys
 
 
 def make_cluster(n=4):
@@ -86,6 +87,120 @@ class TestClosedLoopWorkload:
         pending = cluster.driver(0).participant.pending_count
         assert pending > 0
         assert workload.messages_injected > 20
+
+
+class TestZipfianKeys:
+    def test_deterministic_per_seed(self):
+        a = ZipfianKeys(num_keys=1000, s=0.99, seed=7)
+        b = ZipfianKeys(num_keys=1000, s=0.99, seed=7)
+        assert a.draws(200) == b.draws(200)
+
+    def test_seeds_differ(self):
+        a = ZipfianKeys(num_keys=1000, seed=1)
+        b = ZipfianKeys(num_keys=1000, seed=2)
+        assert a.draws(100) != b.draws(100)
+
+    def test_skew_concentrates_on_hot_keys(self):
+        keys = ZipfianKeys(num_keys=10_000, s=0.99, seed=3)
+        hot = set(keys.hottest(10))
+        draws = keys.draws(2000)
+        hot_fraction = sum(1 for key in draws if key in hot) / len(draws)
+        # Zipf(0.99) puts roughly a third of the mass on the top 10
+        # of 10k keys; uniform would put 0.1% there.
+        assert hot_fraction > 0.15
+
+    def test_uniform_when_s_zero(self):
+        keys = ZipfianKeys(num_keys=100, s=0.0, seed=4)
+        draws = keys.draws(5000)
+        hot_fraction = sum(1 for key in draws if key in set(keys.hottest(10))) / 5000
+        assert 0.05 < hot_fraction < 0.2  # ~0.1 expected
+
+    def test_all_draws_in_keyspace(self):
+        keys = ZipfianKeys(num_keys=50, seed=5)
+        for key in keys.draws(500):
+            assert 0 <= int(key[1:]) < 50
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(num_keys=0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(num_keys=10, s=-1.0)
+
+
+class TestDiurnalArrivals:
+    def test_deterministic_per_seed(self):
+        spec = dict(trough_rate=50.0, peak_rate=400.0, period=1.0, seed=9)
+        assert DiurnalArrivals(**spec).times(1.0) == DiurnalArrivals(**spec).times(1.0)
+
+    def test_rate_curve_hits_trough_and_peak(self):
+        arrivals = DiurnalArrivals(trough_rate=100.0, peak_rate=500.0, period=2.0)
+        assert arrivals.rate_at(0.0) == pytest.approx(100.0)
+        assert arrivals.rate_at(1.0) == pytest.approx(500.0)  # mid-period peak
+
+    def test_burst_window_multiplies_peak(self):
+        arrivals = DiurnalArrivals(
+            trough_rate=100.0, peak_rate=500.0, period=2.0,
+            burst_factor=3.0, burst_width=0.2,
+        )
+        assert arrivals.rate_at(1.0) == pytest.approx(1500.0)
+        assert arrivals.rate_at(0.5) < 500.0  # outside the window
+
+    def test_volume_tracks_mean_rate(self):
+        arrivals = DiurnalArrivals(trough_rate=200.0, peak_rate=200.0,
+                                   period=1.0, seed=11)
+        count = len(arrivals.times(5.0))
+        assert count == pytest.approx(1000, rel=0.2)
+
+    def test_times_sorted_and_bounded(self):
+        arrivals = DiurnalArrivals(trough_rate=50.0, peak_rate=300.0,
+                                   period=1.0, seed=12)
+        times = arrivals.times(1.0)
+        assert times == sorted(times)
+        assert all(0.0 <= t < 1.0 for t in times)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(trough_rate=-1.0, peak_rate=10.0, period=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(trough_rate=10.0, peak_rate=5.0, period=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(trough_rate=1.0, peak_rate=2.0, period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(trough_rate=1.0, peak_rate=2.0, period=1.0,
+                            burst_factor=0.5)
+
+
+class TestKvOpMix:
+    def make_mix(self, **overrides):
+        params = dict(keys=ZipfianKeys(num_keys=64, seed=1),
+                      num_clients=4, seed=2)
+        params.update(overrides)
+        return KvOpMix(**params)
+
+    def test_schedule_deterministic(self):
+        times = [0.1, 0.2, 0.3, 0.4]
+        assert self.make_mix().schedule(times) == self.make_mix().schedule(times)
+
+    def test_schedule_shape(self):
+        mix = self.make_mix(txn_weight=1.0, get_weight=0.0, put_weight=0.0,
+                            delete_weight=0.0, cas_weight=0.0, txn_size=3)
+        schedule = mix.schedule([0.5])
+        assert schedule[0].kind == "txn"
+        assert len(schedule[0].keys) == 3
+        assert 0 <= schedule[0].client_id < 4
+
+    def test_mix_roughly_matches_weights(self):
+        mix = self.make_mix()
+        schedule = mix.schedule([i / 1000 for i in range(1000)])
+        gets = sum(1 for op in schedule if op.kind == "get")
+        assert 0.6 < gets / 1000 < 0.8  # weight 0.70
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_mix(get_weight=-1.0).schedule([0.1])
+        with pytest.raises(ValueError):
+            self.make_mix(get_weight=0.0, put_weight=0.0, delete_weight=0.0,
+                          cas_weight=0.0, txn_weight=0.0).schedule([0.1])
 
 
 class TestBurstWorkload:
