@@ -224,3 +224,72 @@ def run_kv_bench(
 
 def to_json(report: Dict[str, Any], indent: int = 2) -> str:
     return json.dumps(report, indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Baseline gate (repro bench conventions, kv report shape)
+# ----------------------------------------------------------------------
+
+#: Allowed fractional drop in ops/sec before a wall regression (mirrors
+#: the harness's REPRO_BENCH_WALL_TOL default).
+WALL_TOL = 0.5
+
+#: The committed baseline is recorded at this seed; the gate refuses to
+#: compare reports recorded at any other (their deterministic metrics
+#: legitimately differ).
+BASELINE_SEED = 0
+
+
+def baseline_path(root: Optional[Any] = None):
+    """``benchmarks/baselines/BENCH_kv.json`` under ``root`` (cwd default)."""
+    from pathlib import Path
+
+    base = Path(root) if root is not None else Path(".")
+    return base / "benchmarks" / "baselines" / "BENCH_kv.json"
+
+
+def compare_report(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    wall_tol: float = WALL_TOL,
+) -> List[str]:
+    """Compare a kv report against a baseline report.
+
+    Deterministic blocks must match exactly — they are byte-stable per
+    seed, so any drift means store/ordering behavior changed.  Wall
+    metrics only fail on an ops/sec drop beyond ``wall_tol``.  Returns
+    human-readable regression messages; empty means within tolerance.
+    """
+    problems: List[str] = []
+    if current.get("seed") != baseline.get("seed"):
+        problems.append(
+            f"seed mismatch: run has {current.get('seed')}, baseline has "
+            f"{baseline.get('seed')} — deterministic metrics are per-seed"
+        )
+        return problems
+    base_cases = baseline.get("cases", {})
+    cur_cases = current.get("cases", {})
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        expected = base.get("deterministic", {})
+        actual = cur.get("deterministic", {})
+        for metric in sorted(set(expected) | set(actual)):
+            if expected.get(metric) != actual.get(metric):
+                problems.append(
+                    f"{name}: {metric} changed (baseline "
+                    f"{expected.get(metric)!r}, got {actual.get(metric)!r}) — "
+                    f"deterministic kv metrics must match the baseline"
+                )
+        expected_rate = base.get("wall", {}).get("ops_per_sec")
+        if expected_rate:
+            actual_rate = cur.get("wall", {}).get("ops_per_sec", 0.0)
+            floor = expected_rate * (1.0 - wall_tol)
+            if actual_rate < floor:
+                problems.append(
+                    f"{name}: ops_per_sec regressed to {actual_rate:,.0f} "
+                    f"(baseline {expected_rate:,.0f}, floor {floor:,.0f})"
+                )
+    return problems

@@ -152,6 +152,42 @@ def _fixed_rate(
     return build
 
 
+def _coalesced_closed_loop(
+    messages_per_datagram: int,
+    params: NetworkParams = TEN_GIGABIT,
+    payload_size: int = 1350,
+) -> Callable[[], Tuple[RingCluster, object]]:
+    """The max-throughput closed loop with wire coalescing enabled.
+
+    Sweeping ``messages_per_datagram`` is the proof for the datagram
+    coalescing layer: each step up collapses a run of per-message send
+    and receive CPU tasks into one, so goodput rises and latency falls
+    while the event loop does the same simulated window of work.
+    """
+
+    def build() -> Tuple[RingCluster, object]:
+        from dataclasses import replace
+
+        from repro.bench.windows import window_for
+
+        config = replace(
+            window_for(LIBRARY, params, True, payload_size),
+            messages_per_datagram=messages_per_datagram,
+        )
+        cluster = (
+            ClusterBuilder()
+            .hosts(NUM_HOSTS)
+            .profile(LIBRARY)
+            .network(params)
+            .config(config)
+            .build_ring()
+        )
+        workload = ClosedLoopWorkload(payload_size=payload_size)
+        return cluster, workload
+
+    return build
+
+
 def _multiring_closed_loop(
     num_rings: int,
     hosts_per_ring: int = 4,
@@ -225,6 +261,27 @@ SUITES: Dict[str, List[BenchCase]] = {
             build=_closed_loop(
                 LIBRARY, TEN_GIGABIT, service=DeliveryService.SAFE
             ),
+            warmup=0.04,
+            measure=0.08,
+        ),
+        # The datagram-coalescing sweep (ISSUE 8): max-throughput-10g is
+        # the messages_per_datagram=1 anchor of this curve; the gated
+        # expectation is goodput rising monotonically along it.
+        BenchCase(
+            name="batch-10g-mpd2",
+            build=_coalesced_closed_loop(2),
+            warmup=0.04,
+            measure=0.08,
+        ),
+        BenchCase(
+            name="batch-10g-mpd4",
+            build=_coalesced_closed_loop(4),
+            warmup=0.04,
+            measure=0.08,
+        ),
+        BenchCase(
+            name="batch-10g-mpd8",
+            build=_coalesced_closed_loop(8),
             warmup=0.04,
             measure=0.08,
         ),
@@ -308,6 +365,43 @@ def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS) -> CaseResult:
         peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         repeats=repeats,
     )
+
+
+def profile_case(case: BenchCase, path: Path, top: int = 25) -> None:
+    """Run one extra, profiled repetition of ``case`` and dump the top
+    ``top`` functions by cumulative time to ``path``.
+
+    The profiled run is separate from the measured repeats — cProfile
+    instrumentation roughly doubles the wall clock, so its numbers never
+    land in the results document; it exists to show *where* the wall
+    clock of the adjacent ``BENCH_<suite>.json`` went.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    cluster, workload = case.build()
+    start = 0.002
+    stop = start + case.warmup + case.measure
+    workload.attach(cluster, start=start, stop=stop)
+    cluster.set_measure_from(start + case.warmup)
+    cluster.start()
+    gc.collect()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    cluster.run(stop + 0.01)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buffer.getvalue())
+
+
+def profile_path(suite: str, case_name: str, output: Path) -> Path:
+    """Where the profile dump for ``case_name`` goes: next to the
+    results JSON, named after it."""
+    return output.parent / f"PROFILE_{suite}_{case_name}.txt"
 
 
 def select_cases(suite: str, cases: Optional[List[str]] = None) -> List[BenchCase]:
@@ -472,6 +566,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated case names to run (default: the whole "
         "suite); baseline comparison restricts itself to the selection",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the measured repeats, run one cProfile'd repetition "
+        "per case and write the top-25 cumulative functions to "
+        "PROFILE_<suite>_<case>.txt next to the results file",
+    )
     args = parser.parse_args(argv)
     return run_from_args(
         suite=args.suite,
@@ -481,6 +582,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         check_baseline=args.check_baseline,
         update_baseline=args.update_baseline,
         cases=args.cases.split(",") if args.cases else None,
+        profile=args.profile,
     )
 
 
@@ -492,6 +594,7 @@ def run_from_args(
     check_baseline: bool = False,
     update_baseline: bool = False,
     cases: Optional[List[str]] = None,
+    profile: bool = False,
 ) -> int:
     if suite not in SUITES:
         print(f"unknown suite {suite!r}; available: {', '.join(sorted(SUITES))}")
@@ -504,6 +607,11 @@ def run_from_args(
     out_path = output if output is not None else results_path(suite)
     save_results(results, out_path)
     print(f"wrote {out_path}")
+    if profile:
+        for case in select_cases(suite, cases):
+            dump = profile_path(suite, case.name, out_path)
+            print(f"profiling {suite}/{case.name} -> {dump}")
+            profile_case(case, dump)
     base_path = baseline if baseline is not None else baseline_path(suite)
     if update_baseline:
         if cases is not None:

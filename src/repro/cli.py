@@ -554,10 +554,25 @@ def _kv_run(args: argparse.Namespace) -> int:
 
 
 def _kv_bench(args: argparse.Namespace) -> int:
+    import json
     import os
 
-    from repro.apps.kv.bench import run_kv_bench, to_json
+    from repro.apps.kv.bench import (
+        BASELINE_SEED,
+        baseline_path,
+        compare_report,
+        run_kv_bench,
+        to_json,
+    )
 
+    if (args.check_baseline or args.update_baseline) and args.seed != BASELINE_SEED:
+        print(
+            f"the committed kv baseline is recorded at seed {BASELINE_SEED}; "
+            f"gating a seed-{args.seed} run against it would only report "
+            f"legitimate per-seed differences",
+            file=sys.stderr,
+        )
+        return 2
     case_names = args.cases.split(",") if args.cases else None
     report = run_kv_bench(
         seed=args.seed,
@@ -573,6 +588,35 @@ def _kv_bench(args: argparse.Namespace) -> int:
             handle.write(to_json(report))
         if not args.json:
             print(f"report written to {path}")
+    base_path = baseline_path()
+    if args.update_baseline:
+        if case_names is not None:
+            print("--update-baseline needs the full suite, not --cases")
+            return 2
+        base_path.parent.mkdir(parents=True, exist_ok=True)
+        base_path.write_text(to_json(report) + "\n")
+        print(f"updated baseline {base_path}")
+        return 0
+    if args.check_baseline:
+        if not base_path.exists():
+            print(f"BASELINE MISSING: {base_path} — run with --update-baseline")
+            return 1
+        reference = json.loads(base_path.read_text())
+        if case_names is not None:
+            # A partial run gates against the matching baseline slice.
+            reference = dict(reference)
+            reference["cases"] = {
+                name: metrics
+                for name, metrics in reference.get("cases", {}).items()
+                if name in set(case_names)
+            }
+        problems = compare_report(report, reference)
+        if problems:
+            print(f"REGRESSIONS vs {base_path}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"within tolerance of baseline {base_path}")
     return 0
 
 
@@ -751,6 +795,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check_baseline=args.check_baseline,
         update_baseline=args.update_baseline,
         cases=args.cases.split(",") if args.cases else None,
+        profile=args.profile,
     )
 
 
@@ -922,6 +967,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "benchmarks/baselines/BENCH_<suite>.json)")
     bench.add_argument("--check-baseline", action="store_true",
                        help="compare against the baseline; exit 1 on regression")
+    bench.add_argument("--profile", action="store_true",
+                       help="additionally cProfile one repetition per case; "
+                            "writes PROFILE_<suite>_<case>.txt next to the "
+                            "results file")
     bench.add_argument("--update-baseline", action="store_true",
                        help="write the results as the new baseline")
     bench.set_defaults(func=cmd_bench)
@@ -964,6 +1013,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the full report as JSON")
     kv_bench.add_argument("--out", default=None, metavar="DIR",
                           help="write kv_bench_seed<seed>.json into DIR")
+    kv_bench.add_argument("--check-baseline", action="store_true",
+                          help="compare against benchmarks/baselines/"
+                               "BENCH_kv.json; exit 1 on regression")
+    kv_bench.add_argument("--update-baseline", action="store_true",
+                          help="write this run over the committed kv baseline")
     kv_bench.set_defaults(func=cmd_kv)
 
     kv_chaos = kv_sub.add_parser(

@@ -57,6 +57,14 @@ class ProtocolConfig:
     accelerated_window: int = 15
     global_window: int = 150
     priority_method: TokenPriorityMethod = TokenPriorityMethod.AGGRESSIVE
+    #: How many new data messages a sender may coalesce into one UDP
+    #: datagram (length-prefixed multi-message frame).  1 — the default,
+    #: and the paper's prototype behaviour — sends every message in its
+    #: own datagram; higher values amortize per-datagram send/receive
+    #: overhead at the cost of a larger loss blast radius (losing the
+    #: datagram loses every message in it).  Retransmissions are never
+    #: coalesced: they must be individually addressable by ``rtr``.
+    messages_per_datagram: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -70,7 +78,12 @@ class ProtocolConfig:
         fails loudly at the protocol boundary instead of deep inside
         flow control.  Returns ``self`` so call sites can chain.
         """
-        for name in ("personal_window", "accelerated_window", "global_window"):
+        for name in (
+            "personal_window",
+            "accelerated_window",
+            "global_window",
+            "messages_per_datagram",
+        ):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ConfigurationError(
@@ -89,6 +102,11 @@ class ProtocolConfig:
             raise ConfigurationError(
                 f"global_window ({self.global_window}) must be >= "
                 f"personal_window ({self.personal_window})"
+            )
+        if self.messages_per_datagram < 1:
+            raise ConfigurationError(
+                "messages_per_datagram must be >= 1, "
+                f"got {self.messages_per_datagram}"
             )
         if not isinstance(self.priority_method, TokenPriorityMethod):
             raise ConfigurationError(

@@ -89,6 +89,34 @@ class Deliver(Effect):
     __hash__ = None
 
 
+class DeliverBatch(Effect):
+    """Deliver a contiguous in-order run of messages in one step.
+
+    Emitted by the engines when the delivery frontier advances by more
+    than one message at once (``_deliver_ready`` found a run): the
+    hosting layer performs *one* observer hook call, one checker append,
+    and one driver callback for the whole slice instead of one of each
+    per message.  ``messages`` is a tuple in delivery (sequence) order.
+    Semantically equivalent to that many consecutive :class:`Deliver`
+    effects; single-message runs still use :class:`Deliver`.
+    """
+
+    __slots__ = ("messages",)
+
+    def __init__(self, messages: tuple) -> None:
+        self.messages = messages
+
+    def __repr__(self) -> str:
+        return f"DeliverBatch(messages={self.messages!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not DeliverBatch:
+            return NotImplemented
+        return self.messages == other.messages
+
+    __hash__ = None
+
+
 class Stable(Effect):
     """Messages up to ``seq`` are stable everywhere and were discarded.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.events import Deliver, MulticastData, SendToken, Stable
+from repro.core.events import Deliver, DeliverBatch, MulticastData, SendToken, Stable
 from repro.core.messages import DataMessage
 from repro.core.participant import AcceleratedRingParticipant
 from repro.core.token import initial_token
@@ -108,6 +108,8 @@ class InstantNetwork:
                 self._queue.append((effect.destination, "token", effect.token))
             elif isinstance(effect, Deliver):
                 self.delivered[source.pid].append(effect.message)
+            elif isinstance(effect, DeliverBatch):
+                self.delivered[source.pid].extend(effect.messages)
             elif isinstance(effect, Stable):
                 pass
             else:

@@ -23,7 +23,7 @@ it sees only traces, so protocol bugs cannot hide inside it.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.evs.configuration import Configuration
 from repro.evs.events import ConfigDelivery, DeliveryEvent, MessageDelivery
@@ -59,6 +59,11 @@ class EvsChecker:
 
     def record(self, pid: int, event: DeliveryEvent) -> None:
         self.traces[pid].append(event)
+
+    def record_batch(self, pid: int, events: Sequence[DeliveryEvent]) -> None:
+        """Append a run of delivery events in order (one list op, not
+        one :meth:`record` call per event — the batched delivery path)."""
+        self.traces[pid].extend(events)
 
     def record_submission(self, pid: int, count: int = 1) -> None:
         self.submissions[pid] = self.submissions.get(pid, 0) + count

@@ -32,7 +32,7 @@ from typing import (
 )
 
 from repro.core.config import ProtocolConfig
-from repro.core.events import Deliver, Effect, SendToken, Stable
+from repro.core.events import Deliver, DeliverBatch, Effect, SendToken, Stable
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.original import OriginalRingParticipant
 from repro.core.participant import AcceleratedRingParticipant
@@ -42,6 +42,7 @@ from repro.membership.effects import (
     CancelTimer,
     DeliverConfiguration,
     DeliverMessage,
+    DeliverMessageBatch,
     SendControl,
     SetTimer,
 )
@@ -357,6 +358,18 @@ class MembershipController:
                     self.observer.on_deliver(
                         self.pid, effect.message, now=self._now()
                     )
+            elif isinstance(effect, DeliverBatch):
+                effects.append(
+                    DeliverMessageBatch(
+                        messages=effect.messages,
+                        config_id=self.ring_config.config_id,
+                        origin_ring=self.ring_config.config_id,
+                    )
+                )
+                if self.observer is not None:
+                    self.observer.on_deliver_batch(
+                        self.pid, effect.messages, now=self._now()
+                    )
             elif isinstance(effect, Stable):
                 pass
             else:
@@ -388,7 +401,7 @@ class MembershipController:
             else:
                 # Delay deliveries until recovery decides attribution.
                 for effect in core:
-                    if not isinstance(effect, (Deliver, Stable)):
+                    if not isinstance(effect, (Deliver, DeliverBatch, Stable)):
                         effects.append(effect)
                 self._rewind_deliveries(core)
             return
@@ -405,10 +418,13 @@ class MembershipController:
         delivery frontier (recovery owns attribution).  The engine has no
         un-deliver operation, so instead we roll its frontier back."""
         assert self.ordering is not None
-        delivered = [e for e in core_effects if isinstance(e, Deliver)]
-        if delivered:
-            first = min(e.message.seq for e in delivered)
-            self.ordering.rollback_delivery_frontier(first - 1)
+        seqs = [
+            e.message.seq if isinstance(e, Deliver) else e.messages[0].seq
+            for e in core_effects
+            if isinstance(e, (Deliver, DeliverBatch))
+        ]
+        if seqs:
+            self.ordering.rollback_delivery_frontier(min(seqs) - 1)
 
     # ------------------------------------------------------------------
     # Gather

@@ -7,7 +7,7 @@ must also handle control sends, timers, and configuration deliveries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.core.events import Effect
 from repro.core.messages import DataMessage
@@ -51,6 +51,22 @@ class DeliverMessage(Effect):
     """
 
     message: DataMessage
+    config_id: int
+    origin_ring: int
+
+
+@dataclass
+class DeliverMessageBatch(Effect):
+    """Deliver a contiguous in-order run of messages at once.
+
+    The membership mirror of :class:`~repro.core.events.DeliverBatch`:
+    one configuration attribution covers the whole slice (a batch never
+    spans a view change — the engine only batches runs it delivered
+    under one ring).  Drivers record per-message checker events in
+    order, but fire observer/tap hooks once per batch.
+    """
+
+    messages: Tuple[DataMessage, ...]
     config_id: int
     origin_ring: int
 

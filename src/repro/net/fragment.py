@@ -20,6 +20,30 @@ from repro.net.packet import Frame, PortKind
 _datagram_ids = itertools.count(1)
 
 
+class CoalescedDatagram:
+    """Several data messages riding one simulated UDP datagram.
+
+    ``payload_size`` is the whole frame's wire size (batch header, per-item
+    length prefixes, per-item protocol headers, payloads) *minus* one
+    protocol data header, so every existing cost expression of the shape
+    ``header_bytes + payload_size`` prices the real datagram bytes without
+    a coalescing special case.  Like a real multi-message frame, losing
+    any fragment of the datagram loses every message in it.
+    """
+
+    __slots__ = ("messages", "payload_size")
+
+    def __init__(self, messages: tuple, payload_size: int) -> None:
+        self.messages = messages
+        self.payload_size = payload_size
+
+    def __repr__(self) -> str:
+        return (
+            f"CoalescedDatagram({len(self.messages)} messages, "
+            f"payload_size={self.payload_size})"
+        )
+
+
 def fragment_datagram(
     src: int,
     dst: Optional[int],
@@ -52,7 +76,11 @@ class Reassembler:
     """Per-host IP fragment reassembly buffer."""
 
     def __init__(self, max_partial: int = 1024) -> None:
-        self._partial: Dict[tuple, set] = {}
+        #: key -> bitmask of fragment indices seen so far.  An int bitmask
+        #: gives the per-index bookkeeping real IP reassembly keeps
+        #: (duplicates are harmless: re-setting a bit is a no-op) without
+        #: allocating a set per partial datagram on the hot path.
+        self._partial: Dict[tuple, int] = {}
         self._max_partial = max_partial
         self.datagrams_completed = 0
         self.datagrams_expired = 0
@@ -63,18 +91,20 @@ class Reassembler:
         Unfragmented frames complete immediately.  The key includes the
         source host so fragments from different senders never mix.
         """
-        if frame.fragment is None:
+        fragment = frame.fragment
+        if fragment is None:
             self.datagrams_completed += 1
             return frame.payload
-        datagram_id, index, total = frame.fragment
-        key = (frame.src, datagram_id)
-        seen = self._partial.setdefault(key, set())
-        seen.add(index)
-        if len(seen) == total:
-            del self._partial[key]
+        partial = self._partial
+        key = (frame.src, fragment[0])
+        seen = partial.get(key, 0) | (1 << fragment[1])
+        if seen == (1 << fragment[2]) - 1:
+            if key in partial:
+                del partial[key]
             self.datagrams_completed += 1
             return frame.payload
-        if len(self._partial) > self._max_partial:
+        partial[key] = seen
+        if len(partial) > self._max_partial:
             self._expire_oldest()
         return None
 

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappush
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Optional, List
 
 from repro.net.loss import LossModel, NoLoss
 from repro.net.nic import Nic
 from repro.net.packet import Frame, PortKind
 from repro.net.params import NetworkParams
+from repro.net.ring import FrameRing
 from repro.net.simulator import Simulator
 
 # Hoisted enum member for the receive hot path (one global load instead of
@@ -25,18 +26,23 @@ _DATA = PortKind.DATA
 
 
 class SocketBuffer:
-    """A bounded kernel receive buffer for one UDP socket."""
+    """A bounded kernel receive buffer for one UDP socket.
+
+    Frames sit in a preallocated :class:`FrameRing` — steady-state
+    push/pop touch only ring slots and index integers, no heap churn.
+    """
 
     def __init__(self, capacity_bytes: int) -> None:
         self._capacity = capacity_bytes
-        self._queue: Deque[Frame] = deque()
+        self._ring = FrameRing()
         self._queued_bytes = 0
         self.frames_received = 0
         self.frames_dropped = 0
         self.peak_queue_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._queue)
+        ring = self._ring
+        return ring._tail - ring._head
 
     @property
     def queued_bytes(self) -> int:
@@ -47,7 +53,7 @@ class SocketBuffer:
         if self._queued_bytes + frame.size > self._capacity:
             self.frames_dropped += 1
             return False
-        self._queue.append(frame)
+        self._ring.push(frame)
         self._queued_bytes += frame.size
         self.frames_received += 1
         if self._queued_bytes > self.peak_queue_bytes:
@@ -55,16 +61,16 @@ class SocketBuffer:
         return True
 
     def pop(self) -> Frame:
-        frame = self._queue.popleft()
+        frame = self._ring.pop()
         self._queued_bytes -= frame.size
         return frame
 
     def peek(self) -> Frame:
-        return self._queue[0]
+        return self._ring.peek()
 
     def clear(self) -> None:
         """Drop every queued frame (kernel buffers are volatile state)."""
-        self._queue.clear()
+        self._ring.clear()
         self._queued_bytes = 0
 
 
@@ -254,12 +260,19 @@ class SimHost:
             socket = self.data_socket
         else:
             socket = self.token_socket
-        # SocketBuffer.push inlined: one call per received frame saved.
+        # SocketBuffer.push inlined (ring push included): one call per
+        # received frame saved.  Must mirror FrameRing.push exactly.
         queued = socket._queued_bytes + frame.size
         if queued > socket._capacity:
             socket.frames_dropped += 1
             return
-        socket._queue.append(frame)
+        ring = socket._ring
+        tail = ring._tail
+        if tail - ring._head > ring._mask:
+            ring._grow()
+            tail = ring._tail
+        ring._slots[tail & ring._mask] = frame
+        ring._tail = tail + 1
         socket._queued_bytes = queued
         socket.frames_received += 1
         if queued > socket.peak_queue_bytes:

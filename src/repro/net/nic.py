@@ -8,12 +8,12 @@ ingress after serialization plus propagation.
 
 from __future__ import annotations
 
-from collections import deque
 from heapq import heappush
-from typing import Callable, Deque, Optional
+from typing import Callable, Optional
 
 from repro.net.packet import Frame
 from repro.net.params import NetworkParams
+from repro.net.ring import FrameRing
 from repro.net.simulator import Simulator
 
 
@@ -30,7 +30,7 @@ class Nic:
         self._sim = sim
         self._params = params
         self._on_wire = on_wire
-        self._queue: Deque[Frame] = deque()
+        self._ring = FrameRing()
         self._queued_bytes = 0
         self._capacity = tx_queue_bytes if tx_queue_bytes is not None else 4 * 1024 * 1024
         self._busy = False
@@ -45,7 +45,8 @@ class Nic:
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        ring = self._ring
+        return ring._tail - ring._head
 
     def send(self, frame: Frame) -> bool:
         """Enqueue a frame for transmission.
@@ -57,18 +58,32 @@ class Nic:
         if self._queued_bytes + frame.size > self._capacity:
             self.frames_dropped += 1
             return False
-        self._queue.append(frame)
+        # FrameRing.push inlined (one call per frame sent saved); must
+        # mirror the method exactly.
+        ring = self._ring
+        tail = ring._tail
+        if tail - ring._head > ring._mask:
+            ring._grow()
+            tail = ring._tail
+        ring._slots[tail & ring._mask] = frame
+        ring._tail = tail + 1
         self._queued_bytes += frame.size
         if not self._busy:
             self._start_next()
         return True
 
     def _start_next(self) -> None:
-        if not self._queue:
+        ring = self._ring
+        head = ring._head
+        if head == ring._tail:
             self._busy = False
             return
         self._busy = True
-        frame = self._queue.popleft()
+        slots = ring._slots
+        index = head & ring._mask
+        frame = slots[index]
+        slots[index] = None
+        ring._head = head + 1
         size = frame.size
         self._queued_bytes -= size
         sim = self._sim
@@ -89,11 +104,16 @@ class Nic:
         queue = sim._queue
         sim._seq = seq = sim._seq + 1
         heappush(queue, (sim.now + self._propagation, seq, self._on_wire, (frame,)))
-        pending = self._queue
-        if not pending:
+        ring = self._ring
+        head = ring._head
+        if head == ring._tail:
             self._busy = False
             return
-        frame = pending.popleft()
+        slots = ring._slots
+        index = head & ring._mask
+        frame = slots[index]
+        slots[index] = None
+        ring._head = head + 1
         size = frame.size
         self._queued_bytes -= size
         sim._seq = seq = sim._seq + 1

@@ -11,12 +11,12 @@ behind the protocol's controlled parallelism.
 
 from __future__ import annotations
 
-from collections import deque
 from heapq import heappush
-from typing import Callable, Deque, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.net.packet import Frame
 from repro.net.params import NetworkParams
+from repro.net.ring import FrameRing
 from repro.net.simulator import Simulator
 
 
@@ -32,7 +32,7 @@ class OutputPort:
         self._sim = sim
         self._params = params
         self._deliver = deliver
-        self._queue: Deque[Frame] = deque()
+        self._ring = FrameRing()
         self._queued_bytes = 0
         self._busy = False
         # Hoisted for the per-frame hot path; must reproduce
@@ -55,7 +55,15 @@ class OutputPort:
         if queued > self._capacity:
             self.frames_dropped += 1
             return False
-        self._queue.append(frame)
+        # FrameRing.push inlined (one call per forwarded copy saved);
+        # must mirror the method exactly.
+        ring = self._ring
+        tail = ring._tail
+        if tail - ring._head > ring._mask:
+            ring._grow()
+            tail = ring._tail
+        ring._slots[tail & ring._mask] = frame
+        ring._tail = tail + 1
         self._queued_bytes = queued
         if queued > self.peak_queue_bytes:
             self.peak_queue_bytes = queued
@@ -64,11 +72,17 @@ class OutputPort:
         return True
 
     def _start_next(self) -> None:
-        if not self._queue:
+        ring = self._ring
+        head = ring._head
+        if head == ring._tail:
             self._busy = False
             return
         self._busy = True
-        frame = self._queue.popleft()
+        slots = ring._slots
+        index = head & ring._mask
+        frame = slots[index]
+        slots[index] = None
+        ring._head = head + 1
         size = frame.size
         self._queued_bytes -= size
         sim = self._sim
@@ -87,11 +101,16 @@ class OutputPort:
         queue = sim._queue
         sim._seq = seq = sim._seq + 1
         heappush(queue, (sim.now + self._propagation, seq, self._deliver, (frame,)))
-        pending = self._queue
-        if not pending:
+        ring = self._ring
+        head = ring._head
+        if head == ring._tail:
             self._busy = False
             return
-        frame = pending.popleft()
+        slots = ring._slots
+        index = head & ring._mask
+        frame = slots[index]
+        slots[index] = None
+        ring._head = head + 1
         size = frame.size
         self._queued_bytes -= size
         sim._seq = seq = sim._seq + 1
@@ -109,6 +128,10 @@ class Switch:
         self._params = params
         self._latency = params.switch_latency
         self._ports: Dict[int, OutputPort] = {}
+        #: (host_id, port) pairs frozen at attach time; the multicast
+        #: fan-out loop iterates this tuple instead of a dict view (one
+        #: fewer iterator protocol round-trip per ingress frame).
+        self._fanout: Tuple[Tuple[int, OutputPort], ...] = ()
         self.frames_received = 0
         self.frames_partitioned = 0
         self.frames_filtered = 0
@@ -165,6 +188,7 @@ class Switch:
         if host_id in self._ports:
             raise ValueError(f"host {host_id} already attached")
         self._ports[host_id] = OutputPort(self._sim, self._params, deliver)
+        self._fanout = tuple(self._ports.items())
 
     def port(self, host_id: int) -> OutputPort:
         return self._ports[host_id]
@@ -191,7 +215,7 @@ class Switch:
         if frame.dst is None:
             src = frame.src
             clone_for = frame.clone_for
-            for host_id, port in self._ports.items():
+            for host_id, port in self._fanout:
                 if host_id == src:
                     continue
                 if partition and not self._connected(src, host_id):

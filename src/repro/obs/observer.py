@@ -25,7 +25,7 @@ in :mod:`repro.sim`, the event-loop clock in :mod:`repro.runtime` — or
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.messages import DataMessage
 from repro.core.token import RegularToken
@@ -62,6 +62,24 @@ class ProtocolObserver:
         self, pid: int, message: DataMessage, now: Optional[float] = None
     ) -> None:
         """A message was delivered to the local application."""
+
+    def on_deliver_batch(
+        self,
+        pid: int,
+        messages: Sequence[DataMessage],
+        now: Optional[float] = None,
+    ) -> None:
+        """A contiguous in-order run of messages was delivered at once.
+
+        The hosting layers fire this once per delivered batch instead of
+        ``len(messages)`` :meth:`on_deliver` calls.  The base
+        implementation fans out to :meth:`on_deliver` per message, so
+        observers that only override the scalar hook keep seeing every
+        delivery; batch-aware observers override this for one call per
+        slice.
+        """
+        for message in messages:
+            self.on_deliver(pid, message, now=now)
 
     def on_retransmit(
         self, pid: int, seq: int, now: Optional[float] = None
@@ -191,6 +209,10 @@ class CompositeObserver(ProtocolObserver):
         for observer in self.observers:
             observer.on_deliver(pid, message, now=now)
 
+    def on_deliver_batch(self, pid, messages, now=None):
+        for observer in self.observers:
+            observer.on_deliver_batch(pid, messages, now=now)
+
     def on_retransmit(self, pid, seq, now=None):
         for observer in self.observers:
             observer.on_retransmit(pid, seq, now=now)
@@ -305,6 +327,19 @@ class MetricsObserver(ProtocolObserver):
                 self.registry.histogram(
                     "deliver.latency", LATENCY_BOUNDS
                 ).record(latency)
+
+    def on_deliver_batch(self, pid, messages, now=None):
+        # One counter bump for the whole slice; the latency histogram
+        # still records per message (each message has its own timestamp).
+        self.registry.counter("deliver.messages").inc(len(messages))
+        if now is None:
+            return
+        record = self.registry.histogram("deliver.latency", LATENCY_BOUNDS).record
+        for message in messages:
+            if message.timestamp is not None:
+                latency = now - message.timestamp
+                if latency >= 0:
+                    record(latency)
 
     # -- recovery ------------------------------------------------------
 

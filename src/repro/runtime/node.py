@@ -24,6 +24,7 @@ from repro.membership.effects import (
     CancelTimer,
     DeliverConfiguration,
     DeliverMessage,
+    DeliverMessageBatch,
     SendControl,
     SetTimer,
 )
@@ -219,6 +220,12 @@ class RingNode:
                 self.delivered.append(effect.message)
                 if self.on_deliver is not None:
                     self.on_deliver(effect.message, effect.config_id)
+            elif isinstance(effect, DeliverMessageBatch):
+                self.delivered.extend(effect.messages)
+                if self.on_deliver is not None:
+                    config_id = effect.config_id
+                    for message in effect.messages:
+                        self.on_deliver(message, config_id)
             elif isinstance(effect, DeliverConfiguration):
                 self.configurations.append(effect.configuration)
                 if self.on_config is not None:

@@ -11,11 +11,19 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.core.events import Deliver, Effect, MulticastData, SendToken, Stable
+from repro.core.events import (
+    Deliver,
+    DeliverBatch,
+    Effect,
+    MulticastData,
+    SendToken,
+    Stable,
+)
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.participant import AcceleratedRingParticipant
 from repro.core.token import RegularToken
-from repro.net.fragment import Reassembler, fragment_datagram
+from repro.core.codec import BATCH_FRAME_OVERHEAD, BATCH_ITEM_OVERHEAD
+from repro.net.fragment import CoalescedDatagram, Reassembler, fragment_datagram
 from repro.net.host import SimHost
 from repro.net.packet import Frame, PortKind
 from repro.obs.observer import ProtocolObserver, effective_observer
@@ -69,16 +77,33 @@ class ProtocolHost:
         # Non-final fragments all cost the same and carry no arguments, so
         # a single shared task tuple serves every one of them.
         self._fragment_task = (profile.fragment_cpu, _noop, ())
+        #: Wire coalescing knob: >1 packs runs of consecutive new sends
+        #: into one datagram (retransmissions always travel alone).
+        self._mpd = participant.config.messages_per_datagram
+        self.coalesced_datagrams = 0
+        self.coalesced_messages = 0
         if participant.clock is None:
             participant.clock = lambda: host.sim.now
         #: Deliveries of messages submitted before this time are excluded
         #: from latency statistics (warm-up window).
         self.measure_from = measure_from
+        # The socket FrameRing objects are stable for the host's lifetime
+        # (crash/clear mutate them in place, never replace them), so the
+        # idle hook can hold them directly instead of walking
+        # host -> socket -> ring on every call.
+        self._token_socket = host.token_socket
+        self._data_socket = host.data_socket
+        self._token_ring = host.token_socket._ring
+        self._data_ring = host.data_socket._ring
         self.reassembler = Reassembler()
         self.delivered_log: List[DataMessage] = []
         #: Optional hooks for tracing (see :mod:`repro.sim.trace`).
         self.on_transmit: Optional[Callable[[Frame], None]] = None
         self.on_deliver: Optional[Callable[[DataMessage], None]] = None
+        #: Batch form of ``on_deliver``: called once per delivered run
+        #: with the message tuple.  When unset, batches fan out to
+        #: ``on_deliver`` per message, so scalar tracers keep working.
+        self.on_deliver_batch: Optional[Callable[[Tuple[DataMessage, ...]], None]] = None
         #: Bound by the cluster: stop delivering application payloads
         #: (used when an experiment caps message counts).
         self.keep_delivered_log = False
@@ -138,25 +163,35 @@ class ProtocolHost:
         Returns ``(cost, fn, args)`` tasks — arguments ride in the tuple
         so no closure is allocated per frame.
         """
-        host = self.host
-        if host.crashed:
+        if self.host.crashed:
             return None
-        token_socket = host.token_socket
-        data_socket = host.data_socket
-        # Emptiness tests go straight to the deques: this hook runs once
-        # per frame processed, and SocketBuffer.__len__ adds two calls.
-        data_avail = bool(data_socket._queue)
-        if token_socket._queue and (
+        # Emptiness tests and pops go straight to the rings (index
+        # arithmetic inlined, mirroring FrameRing.pop): this hook runs
+        # once per frame processed and method calls dominate its cost.
+        data_ring = self._data_ring
+        data_avail = data_ring._tail != data_ring._head
+        token_ring = self._token_ring
+        if token_ring._tail != token_ring._head and (
             self.participant.token_has_priority or not data_avail
         ):
-            frame = token_socket._queue.popleft()
-            token_socket._queued_bytes -= frame.size
+            head = token_ring._head
+            slots = token_ring._slots
+            index = head & token_ring._mask
+            frame = slots[index]
+            slots[index] = None
+            token_ring._head = head + 1
+            self._token_socket._queued_bytes -= frame.size
             token = frame.payload
             frame.recycle()
             return (self._token_cpu, self._process_token, (token,))
         if data_avail:
-            frame = data_socket._queue.popleft()
-            data_socket._queued_bytes -= frame.size
+            head = data_ring._head
+            slots = data_ring._slots
+            index = head & data_ring._mask
+            frame = slots[index]
+            slots[index] = None
+            data_ring._head = head + 1
+            self._data_socket._queued_bytes -= frame.size
             # Reassembler.accept inlined for the unfragmented common case
             # (same counter updates); fragments take the slow path.  The
             # per-destination clone is consumed either way: return it to
@@ -175,10 +210,13 @@ class ProtocolHost:
                     return self._fragment_task
             # profile.recv_cost(datagram.wire_size(header)) inlined —
             # identical arithmetic shape, two method calls saved per
-            # data message.
+            # data message.  CoalescedDatagram.payload_size is defined so
+            # the same expression prices the whole multi-message frame.
             cost = self._recv_cpu + self._per_byte_recv * (
                 self._header_bytes + int(datagram.payload_size)
             )
+            if datagram.__class__ is CoalescedDatagram:
+                return (cost, self._process_data_batch, (datagram,))
             return (cost, self._process_data, (datagram,))
         return None
 
@@ -190,6 +228,11 @@ class ProtocolHost:
 
     def _process_data(self, message: DataMessage) -> None:
         effects = self.participant.on_data(message)
+        if effects:
+            self._execute(effects)
+
+    def _process_data_batch(self, datagram: CoalescedDatagram) -> None:
+        effects = self.participant.on_data_batch(datagram.messages)
         if effects:
             self._execute(effects)
 
@@ -207,14 +250,56 @@ class ProtocolHost:
         cpu = self.host.cpu
         append = cpu._queue.append
         queued = False
+        # Coalescing accumulator: runs of consecutive new multicasts are
+        # packed into one datagram task.  Stays None (no list allocated)
+        # on the default messages_per_datagram=1 path.
+        mpd = self._mpd
+        group: Optional[List[DataMessage]] = None
         for effect in effects:
             kind = type(effect)
+            # A run of coalescible multicasts ends at the first effect of
+            # any other kind: flush before it so tasks keep effect order
+            # (the token must not overtake pre-token sends).
+            if group is not None and kind is not MulticastData:
+                append(self._coalesced_task(group))
+                group = None
             # Deliver dominates (one per delivered message vs one
             # MulticastData per send), so it is tested first.
             if kind is Deliver:
                 append((self._deliver_cpu, self._run_delivery, (effect.message,)))
+            elif kind is DeliverBatch:
+                # One CPU task for the whole run, at the same total cost k
+                # scalar deliveries would have charged: the CPU's busy time
+                # and every subsequent task's start time are unchanged, so
+                # transmit timing (and the seeded traces built on it) stays
+                # identical — only the per-message delivery records move to
+                # the batch end.
+                messages = effect.messages
+                append(
+                    (
+                        self._deliver_cpu * len(messages),
+                        self._run_delivery_batch,
+                        (messages,),
+                    )
+                )
             elif kind is MulticastData:
                 message = effect.message
+                if mpd > 1 and not effect.retransmission:
+                    # Retransmissions precede new sends in effect order,
+                    # so accumulating only new messages keeps the wire
+                    # order of this effect list intact.
+                    if group is None:
+                        group = [message]
+                    else:
+                        group.append(message)
+                    if len(group) >= mpd:
+                        append(self._coalesced_task(group))
+                        group = None
+                    queued = True
+                    continue
+                if group is not None:
+                    append(self._coalesced_task(group))
+                    group = None
                 # profile.send_cost(message.wire_size(header)) inlined —
                 # identical arithmetic shape.
                 append(
@@ -239,8 +324,39 @@ class ProtocolHost:
             else:
                 raise TypeError(f"unknown effect {effect!r}")
             queued = True
+        if group is not None:
+            append(self._coalesced_task(group))
         if queued and not cpu._busy:
             cpu._start_next()
+
+    def _coalesced_task(
+        self, group: List[DataMessage]
+    ) -> Tuple[float, Callable[..., None], tuple]:
+        if len(group) == 1:
+            # A run of one gains nothing from the batch frame: send it as
+            # a plain datagram with the exact single-message arithmetic.
+            message = group[0]
+            return (
+                self._send_cpu
+                + self._per_byte_send
+                * (self._header_bytes + int(message.payload_size)),
+                self._run_multicast,
+                (message, False),
+            )
+        size = BATCH_FRAME_OVERHEAD
+        for message in group:
+            size += (
+                BATCH_ITEM_OVERHEAD + self._header_bytes + int(message.payload_size)
+            )
+        datagram = CoalescedDatagram(tuple(group), size - self._header_bytes)
+        # One send_cpu for the whole datagram — the coalescing win — but
+        # every wire byte (batch framing included) still costs
+        # per_byte_send, mirroring encode_data_batch's real format.
+        return (
+            self._send_cpu + self._per_byte_send * size,
+            self._run_multicast_coalesced,
+            (datagram,),
+        )
 
     def _run_multicast(self, message: DataMessage, retransmission: bool) -> None:
         size = self._header_bytes + int(message.payload_size)
@@ -260,6 +376,25 @@ class ProtocolHost:
             send(frame)
         if retransmission:
             self.stats.retransmissions += 1
+
+    def _run_multicast_coalesced(self, datagram: CoalescedDatagram) -> None:
+        size = self._header_bytes + datagram.payload_size
+        frames = fragment_datagram(
+            src=self.participant.pid,
+            dst=None,
+            kind=PortKind.DATA,
+            size=size,
+            payload=datagram,
+            mtu=self.host.params.mtu,
+        )
+        on_transmit = self.on_transmit
+        send = self.host.nic.send
+        for frame in frames:
+            if on_transmit is not None:
+                on_transmit(frame)
+            send(frame)
+        self.coalesced_datagrams += 1
+        self.coalesced_messages += len(datagram.messages)
 
     def _run_token_send(self, token: RegularToken, destination: int) -> None:
         frame = Frame.acquire(
@@ -291,6 +426,25 @@ class ProtocolHost:
             self.stats.record_delivery(
                 now, message.pid, now - timestamp, message.payload_size
             )
+
+    def _run_delivery_batch(self, messages: Tuple[DataMessage, ...]) -> None:
+        # The batched mirror of _run_delivery: one hook call, one tracer
+        # callback, and one stats loop for the whole in-order run.
+        now = self.host.sim.now
+        observer = self.observer
+        if observer is not None:
+            observer.on_deliver_batch(self.participant.pid, messages, now=now)
+        on_batch = self.on_deliver_batch
+        if on_batch is not None:
+            on_batch(messages)
+        else:
+            on_deliver = self.on_deliver
+            if on_deliver is not None:
+                for message in messages:
+                    on_deliver(message)
+        if self.keep_delivered_log:
+            self.delivered_log.extend(messages)
+        self.stats.record_delivery_batch(now, messages, self.measure_from)
 
 
 def _noop() -> None:

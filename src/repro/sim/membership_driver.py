@@ -24,6 +24,7 @@ from repro.membership.effects import (
     CancelTimer,
     DeliverConfiguration,
     DeliverMessage,
+    DeliverMessageBatch,
     SendControl,
     SetTimer,
 )
@@ -59,6 +60,14 @@ class DeliveryTap:
 
     def on_deliver(self, pid, message, config_id, origin_ring) -> None:
         """``pid`` delivered ``message`` (a ``DataMessage``)."""
+
+    def on_deliver_batch(self, pid, messages, config_id, origin_ring) -> None:
+        """``pid`` delivered an in-order run of messages under one
+        configuration.  Default fans out to :meth:`on_deliver` per
+        message, so scalar taps keep working unchanged."""
+        on_deliver = self.on_deliver
+        for message in messages:
+            on_deliver(pid, message, config_id, origin_ring)
 
     def on_config(self, pid, configuration) -> None:
         """``pid`` installed ``configuration``."""
@@ -254,6 +263,32 @@ class MembershipHost:
                 if self.tap is not None:
                     self.tap.on_deliver(
                         self.pid, effect.message, effect.config_id, effect.origin_ring
+                    )
+            elif isinstance(effect, DeliverMessageBatch):
+                # Expand the run in delivery order: per-message checker
+                # events (one extend, not len(batch) record calls) but a
+                # single tap hook for the whole slice.
+                messages = effect.messages
+                self.delivered.extend(messages)
+                if self.checker is not None:
+                    config_id = effect.config_id
+                    origin_ring = effect.origin_ring
+                    self.checker.record_batch(
+                        self.pid,
+                        [
+                            MessageDelivery(
+                                seq=message.seq,
+                                sender=message.pid,
+                                service=message.service,
+                                config_id=config_id,
+                                origin_ring=origin_ring,
+                            )
+                            for message in messages
+                        ],
+                    )
+                if self.tap is not None:
+                    self.tap.on_deliver_batch(
+                        self.pid, messages, effect.config_id, effect.origin_ring
                     )
             elif isinstance(effect, DeliverConfiguration):
                 self.configurations.append(effect.configuration)

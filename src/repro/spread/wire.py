@@ -55,11 +55,36 @@ class AppData:
     payload: bytes
 
     def encode(self) -> bytes:
-        parts = [_TAG.pack(ENV_APP), _pack_str(self.sender), struct.pack("!B", len(self.groups))]
+        # Single exactly-sized buffer, byte-compatible with the old
+        # list-of-parts + join encoding but without the intermediate
+        # copies (this runs once per application send).
+        sender_raw = self.sender.encode("utf-8")
+        if len(sender_raw) > 0xFFFF:
+            raise CodecError(f"string too long: {len(sender_raw)} bytes")
+        group_raws = []
+        total = 1 + 2 + len(sender_raw) + 1
         for group in self.groups:
-            parts.append(_pack_str(group))
-        parts.append(self.payload)
-        return b"".join(parts)
+            raw = group.encode("utf-8")
+            if len(raw) > 0xFFFF:
+                raise CodecError(f"string too long: {len(raw)} bytes")
+            group_raws.append(raw)
+            total += 2 + len(raw)
+        payload = self.payload
+        out = bytearray(total + len(payload))
+        out[0] = ENV_APP
+        struct.pack_into("!H", out, 1, len(sender_raw))
+        offset = 3
+        out[offset : offset + len(sender_raw)] = sender_raw
+        offset += len(sender_raw)
+        out[offset] = len(self.groups)
+        offset += 1
+        for raw in group_raws:
+            struct.pack_into("!H", out, offset, len(raw))
+            offset += 2
+            out[offset : offset + len(raw)] = raw
+            offset += len(raw)
+        out[offset:] = payload
+        return bytes(out)
 
 
 @dataclass(frozen=True)
@@ -92,11 +117,25 @@ class Packed:
     items: Tuple[bytes, ...]  # encoded envelopes
 
     def encode(self) -> bytes:
-        parts = [_TAG.pack(ENV_PACKED), struct.pack("!H", len(self.items))]
-        for item in self.items:
-            parts.append(struct.pack("!I", len(item)))
-            parts.append(item)
-        return b"".join(parts)
+        # Single exactly-sized buffer: container header packed in place,
+        # each item copied exactly once (the packer calls this for every
+        # flushed container, so it sits on the toolkit send path).
+        items = self.items
+        total = 3
+        for item in items:
+            total += 4 + len(item)
+        out = bytearray(total)
+        out[0] = ENV_PACKED
+        struct.pack_into("!H", out, 1, len(items))
+        offset = 3
+        pack_len = struct.pack_into
+        for item in items:
+            pack_len("!I", out, offset, len(item))
+            offset += 4
+            end = offset + len(item)
+            out[offset:end] = item
+            offset = end
+        return bytes(out)
 
 
 @dataclass(frozen=True)
@@ -153,14 +192,21 @@ def decode_envelope(data: bytes) -> Envelope:
         return GroupLeave(member=member, group=group)
     if tag == ENV_PACKED:
         (count,) = struct.unpack_from("!H", data, 1)
+        # Offset arithmetic over one memoryview; the only copies are the
+        # per-item bytes() the returned container owns (each item is
+        # decoded again downstream, so it must not alias the datagram).
+        view = memoryview(data)
+        end = len(data)
         offset = 3
         items = []
+        append = items.append
+        unpack_len = struct.unpack_from
         for _ in range(count):
-            (length,) = struct.unpack_from("!I", data, offset)
+            (length,) = unpack_len("!I", view, offset)
             offset += 4
-            if offset + length > len(data):
+            if offset + length > end:
                 raise CodecError("truncated packed item")
-            items.append(data[offset : offset + length])
+            append(bytes(view[offset : offset + length]))
             offset += length
         return Packed(items=tuple(items))
     if tag == ENV_FRAGMENT:

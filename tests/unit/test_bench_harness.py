@@ -188,6 +188,33 @@ def test_run_case_is_deterministic_across_repeats():
     assert again.latency_us == result.latency_us
 
 
+def test_profile_writes_top_functions_dump(tmp_path, monkeypatch):
+    from repro.bench.harness import profile_path
+
+    tiny = BenchCase(
+        name="tiny",
+        build=SUITES["smoke"][0].build,
+        warmup=0.001,
+        measure=0.002,
+    )
+    monkeypatch.setitem(SUITES, "tiny", [tiny])
+    out = tmp_path / "BENCH_tiny.json"
+    rc = run_from_args("tiny", repeats=1, output=out, profile=True)
+    assert rc == 0
+    dump = profile_path("tiny", "tiny", out)
+    assert dump == tmp_path / "PROFILE_tiny_tiny.txt"
+    text = dump.read_text()
+    # A cProfile cumulative dump over the simulated run: the event loop
+    # must appear, and the restriction line proves the top-N cut.
+    assert "cumulative" in text
+    assert "simulator.py" in text
+
+
+def test_headline_has_batching_sweep():
+    names = [case.name for case in SUITES["headline"]]
+    assert {"batch-10g-mpd2", "batch-10g-mpd4", "batch-10g-mpd8"} <= set(names)
+
+
 def test_update_then_check_baseline_round_trip(tmp_path, monkeypatch):
     tiny = BenchCase(
         name="tiny",

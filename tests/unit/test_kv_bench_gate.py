@@ -1,0 +1,65 @@
+"""The KV bench baseline gate: exact deterministic compare, loose wall."""
+
+from repro.apps.kv.bench import WALL_TOL, baseline_path, compare_report
+
+
+def _report(digest="abc", ops_per_sec=1000.0, seed=0):
+    return {
+        "suite": "kv",
+        "seed": seed,
+        "cases": {
+            "store-tiny": {
+                "deterministic": {"operations": 100, "digest": digest},
+                "wall": {"wall_time_s": 0.1, "ops_per_sec": ops_per_sec},
+            }
+        },
+    }
+
+
+def test_identical_reports_pass():
+    assert compare_report(_report(), _report()) == []
+
+
+def test_deterministic_drift_fails():
+    problems = compare_report(_report(digest="xyz"), _report(digest="abc"))
+    assert len(problems) == 1
+    assert "digest" in problems[0]
+
+
+def test_new_deterministic_metric_fails():
+    current = _report()
+    current["cases"]["store-tiny"]["deterministic"]["extra"] = 1
+    problems = compare_report(current, _report())
+    assert any("extra" in p for p in problems)
+
+
+def test_wall_drop_beyond_tolerance_fails():
+    floor = 1000.0 * (1.0 - WALL_TOL)
+    assert compare_report(_report(ops_per_sec=floor + 1), _report()) == []
+    problems = compare_report(_report(ops_per_sec=floor - 1), _report())
+    assert len(problems) == 1
+    assert "ops_per_sec" in problems[0]
+
+
+def test_wall_speedup_passes():
+    assert compare_report(_report(ops_per_sec=99999.0), _report()) == []
+
+
+def test_missing_case_fails():
+    current = _report()
+    del current["cases"]["store-tiny"]
+    problems = compare_report(current, _report())
+    assert problems == ["store-tiny: missing from current run"]
+
+
+def test_seed_mismatch_fails_without_metric_noise():
+    problems = compare_report(_report(seed=3), _report(seed=0))
+    assert len(problems) == 1
+    assert "seed" in problems[0]
+
+
+def test_baseline_path(tmp_path):
+    assert (
+        baseline_path(tmp_path)
+        == tmp_path / "benchmarks" / "baselines" / "BENCH_kv.json"
+    )
