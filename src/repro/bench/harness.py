@@ -224,6 +224,56 @@ def _multiring_closed_loop(
     return build
 
 
+def _fabric_closed_loop(
+    racks: int = 0,
+    oversubscription: float = 2.0,
+    impair_name: str = "",
+    params: NetworkParams = GIGABIT,
+    payload_size: int = 1350,
+) -> Callable[[], Tuple[RingCluster, object]]:
+    """The closed loop on a leaf–spine fabric (``racks == 0`` = star).
+
+    The fabric suite's comparison: the same engine and windows on a
+    single switch, across an oversubscribed two-rack fabric, and with a
+    reordering impairment layered on top.  Everything except the network
+    is held fixed, so the deltas isolate the fabric's trunk serialization
+    and the protocol's tolerance of displaced arrivals.  The impairment
+    model is constructed fresh inside ``build()`` — ``run_case`` repeats
+    the case and asserts determinism, which a reused RNG would break.
+    """
+
+    def build() -> Tuple[RingCluster, object]:
+        from repro.bench.windows import window_for
+
+        config = window_for(LIBRARY, params, True, payload_size)
+        builder = (
+            ClusterBuilder()
+            .hosts(NUM_HOSTS)
+            .profile(LIBRARY)
+            .network(params)
+            .config(config)
+        )
+        if racks:
+            from repro.net.fabric import LeafSpineSpec
+
+            builder.fabric(
+                LeafSpineSpec(
+                    racks=racks,
+                    hosts_per_rack=NUM_HOSTS // racks,
+                    oversubscription=oversubscription,
+                )
+            )
+        if impair_name:
+            from repro.net.impair import impairment_from_name
+
+            builder.impair(impairment_from_name(impair_name, seed=0))
+        cluster = builder.build_ring()
+        workload = ClosedLoopWorkload(payload_size=payload_size)
+        return cluster, workload
+
+    return build
+
+
 SUITES: Dict[str, List[BenchCase]] = {
     # Fast enough for a CI gate (~seconds): short windows, two regimes.
     "smoke": [
@@ -290,6 +340,32 @@ SUITES: Dict[str, List[BenchCase]] = {
     # rings.  Near-linear scaling of the deterministic work metrics is
     # the acceptance gate for the sharded-ordering layer (ISSUE 6);
     # benchmarks/bench_scaling.py asserts the ratios.
+    # Fabric topologies (ISSUE 9): the identical closed loop on a single
+    # switch, a 2:1-oversubscribed two-rack leaf–spine, and the fabric
+    # with a reordering impairment — the deltas isolate trunk
+    # serialization and reorder tolerance.
+    "fabric": [
+        BenchCase(
+            name="star-1g",
+            build=_fabric_closed_loop(racks=0),
+            warmup=0.01,
+            measure=0.02,
+        ),
+        BenchCase(
+            name="leafspine-2x4",
+            build=_fabric_closed_loop(racks=2, oversubscription=2.0),
+            warmup=0.01,
+            measure=0.02,
+        ),
+        BenchCase(
+            name="leafspine-reorder",
+            build=_fabric_closed_loop(
+                racks=2, oversubscription=2.0, impair_name="reorder"
+            ),
+            warmup=0.01,
+            measure=0.02,
+        ),
+    ],
     "scaling": [
         BenchCase(
             name="rings-1",

@@ -234,6 +234,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_steps=args.max_steps,
         minimize=not args.no_minimize,
+        fabric_racks=args.fabric_racks,
+        impair=args.impair,
         progress=progress,
     )
     if args.out is not None:
@@ -272,6 +274,8 @@ def _conformance_workload(args: argparse.Namespace):
         rounds=args.rounds,
         burst_size=args.burst_size,
         probe_burst=args.probe_burst,
+        fabric_racks=args.fabric_racks,
+        impair=args.impair or "",
     )
 
 
@@ -877,6 +881,13 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--out", default=None, metavar="DIR",
                       help="write soak_report.json and counterexample_<n>.json "
                            "artifacts into DIR")
+    soak.add_argument("--fabric-racks", type=int, default=0, metavar="N",
+                      help="soak on a leaf-spine fabric with N racks "
+                           "(adds correlated rack_power_loss to the action "
+                           "vocabulary; 0 = single-switch star)")
+    soak.add_argument("--impair", default=None,
+                      choices=("reorder", "jitter", "duplicate"),
+                      help="layer a named impairment preset under every plan")
     soak.add_argument("--no-minimize", action="store_true",
                       help="keep failing plans as generated (skip shrinking)")
     soak.add_argument("--replay", default=None, metavar="FILE",
@@ -938,6 +949,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="explore mode: max differential runs")
     conformance.add_argument("--max-instants", type=int, default=4,
                              help="explore mode: harvested instants kept")
+    conformance.add_argument("--fabric-racks", type=int, default=0, metavar="N",
+                             help="run the workload on a leaf-spine fabric "
+                                  "with N racks (0 = single-switch star)")
+    conformance.add_argument("--impair", default=None,
+                             choices=("reorder", "jitter", "duplicate"),
+                             help="layer a named impairment preset under "
+                                  "every variant run")
     conformance.add_argument("--no-minimize", action="store_true",
                              help="explore mode: keep divergent schedules "
                                   "as enumerated (skip shrinking)")

@@ -43,6 +43,12 @@ Atom = Tuple[int, str, int]
 #: exercises the fault *and* the matching repair path.
 DEFAULT_ACTIONS: Tuple[str, ...] = ("token_drop", "crash", "pause", "loss_burst")
 
+#: Fault kinds when the workload runs on a leaf–spine fabric: everything
+#: above plus correlated rack failure (the pid selects the rack, modulo
+#: the rack count, exactly as in the soak generator).  The quiesce phase
+#: restarts every crashed pid, so rack losses converge like crashes.
+FABRIC_EXPLORE_ACTIONS: Tuple[str, ...] = DEFAULT_ACTIONS + ("rack_power_loss",)
+
 #: Follow-up delays (ms) for the paired repair steps.
 _RECOVER_AFTER_MS = 60
 _RESUME_AFTER_MS = 15
@@ -267,6 +273,9 @@ def explore(
     ``skipped_budget``.  ``progress`` is called after each run with
     ``(ran, total_candidates, diverged)``.
     """
+    racks = getattr(workload, "fabric_racks", 0)
+    if racks and tuple(actions) == DEFAULT_ACTIONS:
+        actions = FABRIC_EXPLORE_ACTIONS
     instants = harvest_instants(
         workload, seed=seed, max_instants=max_instants
     )
@@ -286,7 +295,7 @@ def explore(
     seen: set = set()
     for atoms in schedules:
         steps = schedule_to_steps(atoms)
-        plan = build_plan(steps, workload.num_hosts)
+        plan = build_plan(steps, workload.num_hosts, racks=racks)
         signature = json.dumps(plan.to_dicts(), sort_keys=True)
         if signature in seen:
             report.deduped += 1
@@ -306,7 +315,9 @@ def explore(
             if minimize:
 
                 def still_diverges(candidate: List[Step]) -> bool:
-                    candidate_plan = build_plan(candidate, workload.num_hosts)
+                    candidate_plan = build_plan(
+                        candidate, workload.num_hosts, racks=racks
+                    )
                     return not run_differential(
                         workload,
                         plan=candidate_plan,

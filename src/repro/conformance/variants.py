@@ -208,6 +208,22 @@ def run_variant(
     )
     if workload.config is not None:
         builder.config(workload.config)
+    racks = getattr(workload, "fabric_racks", 0)
+    if racks:
+        from repro.net.fabric import LeafSpineSpec
+
+        builder.fabric(
+            LeafSpineSpec(
+                racks=racks,
+                hosts_per_rack=workload.num_hosts // racks,
+                oversubscription=2.0,
+            )
+        )
+    impair = getattr(workload, "impair", "")
+    if impair:
+        from repro.net.impair import impairment_from_name
+
+        builder.impair(impairment_from_name(impair, seed=seed))
     if observer is not None:
         builder.observe(observer)
     cluster = builder.build_membership()

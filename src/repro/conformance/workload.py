@@ -74,6 +74,11 @@ class Workload:
     #: the Spread variant; ``None`` disables.
     oversized_index: Optional[int] = 5
     oversized_bytes: int = 2000
+    #: Leaf–spine rack count (0 = single-switch star).  The workload
+    #: carries the fabric shape so artifacts replay on the same network.
+    fabric_racks: int = 0
+    #: Named impairment preset ("" = none) layered under every variant.
+    impair: str = ""
     config: ProtocolConfig = field(default=CONFORMANCE_CONFIG)
 
     @property
@@ -95,6 +100,8 @@ class Workload:
             "probe_burst": self.probe_burst,
             "oversized_index": self.oversized_index,
             "oversized_bytes": self.oversized_bytes,
+            "fabric_racks": self.fabric_racks,
+            "impair": self.impair,
             "windows": [
                 self.config.personal_window,
                 self.config.accelerated_window,
@@ -124,5 +131,7 @@ class Workload:
             probe_burst=int(payload["probe_burst"]),
             oversized_index=None if oversized is None else int(oversized),
             oversized_bytes=int(payload.get("oversized_bytes", 2000)),
+            fabric_racks=int(payload.get("fabric_racks", 0)),
+            impair=str(payload.get("impair", "")),
             config=config,
         )

@@ -17,6 +17,8 @@ fault experiments of §IV-A4:
   (the event Totem's token-loss timeout defends against).
 * :class:`LossBurst` — a transient window of receiver-side data loss at
   ``rate`` on the targeted pids (a flapping lossy link).
+* :class:`RackPowerLoss` — correlated fail-stop of every process in one
+  rack (a PDU failure in a leaf–spine fabric).
 * :class:`Pause` / :class:`Resume` — GC-stall-style freeze of one
   process: it stops executing but keeps receiving into kernel buffers.
 """
@@ -158,6 +160,38 @@ class LossBurst(FaultEvent):
 
 
 @dataclass(frozen=True)
+class RackPowerLoss(FaultEvent):
+    """Simultaneous fail-stop of every member of one rack.
+
+    The correlated failure of data centers: a rack PDU dies and every
+    co-located process fails in the same instant.  ``pids`` names the
+    rack's members explicitly (keeping the plan validator's crash
+    bookkeeping exact); with ``pids=None`` the injector resolves the
+    membership from the topology's rack map at apply time, which
+    requires a fabric topology (see :mod:`repro.net.fabric`).
+    """
+
+    rack: int = 0
+    pids: Optional[FrozenSet[int]] = None
+    kind: ClassVar[str] = "rack_power_loss"
+
+    def __post_init__(self) -> None:
+        if self.pids is not None:
+            object.__setattr__(self, "pids", frozenset(self.pids))
+
+    def validate(self) -> None:
+        super().validate()
+        if self.rack < 0:
+            raise FaultError(
+                f"rack_power_loss at {self.at}: rack must be >= 0, got {self.rack}"
+            )
+        if self.pids is not None and not self.pids:
+            raise FaultError(
+                f"rack_power_loss at {self.at}: explicit pid set must be non-empty"
+            )
+
+
+@dataclass(frozen=True)
 class Pause(FaultEvent):
     """Freeze process ``pid`` (GC stall): no execution, frames queue up."""
 
@@ -176,7 +210,17 @@ class Resume(FaultEvent):
 #: Registry used by :func:`event_from_dict` (and the plan JSON codec).
 EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
     cls.kind: cls
-    for cls in (Crash, Recover, Partition, Heal, TokenDrop, LossBurst, Pause, Resume)
+    for cls in (
+        Crash,
+        Recover,
+        Partition,
+        Heal,
+        TokenDrop,
+        LossBurst,
+        RackPowerLoss,
+        Pause,
+        Resume,
+    )
 }
 
 
@@ -189,7 +233,7 @@ def event_from_dict(payload: Dict[str, Any]) -> FaultEvent:
         raise FaultError(f"unknown fault event kind {kind!r}")
     if cls is Partition and "groups" in data:
         data["groups"] = tuple(frozenset(group) for group in data["groups"])
-    if cls is LossBurst and data.get("pids") is not None:
+    if cls in (LossBurst, RackPowerLoss) and data.get("pids") is not None:
         data["pids"] = frozenset(data["pids"])
     try:
         event = cls(**data)

@@ -42,13 +42,21 @@ ACTIONS: Tuple[str, ...] = (
 MIN_DELTA_MS = 5
 MAX_DELTA_MS = 60
 
+#: The action vocabulary for fabric (leaf–spine) soak runs: everything
+#: above plus correlated rack failure.  A separate tuple — appending to
+#: ``ACTIONS`` would shift every existing seeded draw stream.
+FABRIC_ACTIONS: Tuple[str, ...] = ACTIONS + ("rack_power_loss",)
 
-def build_plan(steps: Iterable[Step], num_hosts: int) -> FaultPlan:
+
+def build_plan(steps: Iterable[Step], num_hosts: int, racks: int = 0) -> FaultPlan:
     """Turn arbitrary abstract steps into a *valid* plan.
 
     Tracks the same state machine the validator enforces and skips steps
     that would be invalid at that point.  The mapping is deterministic:
-    the same steps always produce the same plan.
+    the same steps always produce the same plan.  ``racks > 0`` enables
+    the ``rack_power_loss`` action (pid selects the rack, modulo), with
+    hosts assigned rack-major as in
+    :class:`~repro.net.fabric.LeafSpineSpec`.
     """
     builder = PlanBuilder()
     crashed = set()
@@ -57,7 +65,18 @@ def build_plan(steps: Iterable[Step], num_hosts: int) -> FaultPlan:
     at = 0.0
     for delta_ms, action, pid in steps:
         at += delta_ms / 1000.0
-        if action == "crash" and pid not in crashed:
+        if action == "rack_power_loss" and racks > 0:
+            hosts_per_rack = num_hosts // racks
+            if hosts_per_rack < 1:
+                continue
+            rack = pid % racks
+            members = range(rack * hosts_per_rack, (rack + 1) * hosts_per_rack)
+            fresh = [member for member in members if member not in crashed]
+            if fresh:
+                builder.rack_power_loss(rack, at=at, pids=fresh)
+                crashed.update(fresh)
+                paused.difference_update(fresh)
+        elif action == "crash" and pid not in crashed:
             builder.crash(pid, at=at)
             crashed.add(pid)
             paused.discard(pid)
@@ -86,14 +105,21 @@ def build_plan(steps: Iterable[Step], num_hosts: int) -> FaultPlan:
 
 
 def random_steps(
-    rng: random.Random, num_hosts: int, max_steps: int = 8
+    rng: random.Random,
+    num_hosts: int,
+    max_steps: int = 8,
+    actions: Sequence[str] = ACTIONS,
 ) -> List[Step]:
-    """Draw a random abstract step sequence from a seeded RNG."""
+    """Draw a random abstract step sequence from a seeded RNG.
+
+    The default ``actions`` keeps the historical draw stream; fabric
+    soaks pass :data:`FABRIC_ACTIONS`.
+    """
     count = rng.randint(0, max_steps)
     return [
         (
             rng.randint(MIN_DELTA_MS, MAX_DELTA_MS),
-            rng.choice(ACTIONS),
+            rng.choice(actions),
             rng.randrange(num_hosts),
         )
         for _ in range(count)
@@ -101,15 +127,19 @@ def random_steps(
 
 
 def random_plan(
-    rng: random.Random, num_hosts: int, max_steps: int = 8
+    rng: random.Random,
+    num_hosts: int,
+    max_steps: int = 8,
+    actions: Sequence[str] = ACTIONS,
+    racks: int = 0,
 ) -> Tuple[FaultPlan, List[Step]]:
     """One random valid plan plus the abstract steps that produced it.
 
     The steps are returned too so callers (the soak minimizer, the
     counterexample artifact) can manipulate the pre-validation form.
     """
-    steps = random_steps(rng, num_hosts, max_steps=max_steps)
-    return build_plan(steps, num_hosts), steps
+    steps = random_steps(rng, num_hosts, max_steps=max_steps, actions=actions)
+    return build_plan(steps, num_hosts, racks=racks), steps
 
 
 def steps_to_lists(steps: Sequence[Step]) -> List[List[object]]:

@@ -28,6 +28,7 @@ from repro.faults.events import (
     LossBurst,
     Partition,
     Pause,
+    RackPowerLoss,
     Recover,
     Resume,
     TokenDrop,
@@ -117,6 +118,8 @@ class FaultInjector:
             self._arm_token_drop(event)
         elif isinstance(event, LossBurst):
             self._arm_loss_burst(event)
+        elif isinstance(event, RackPowerLoss):
+            detail["pids"] = self._apply_rack_power_loss(event)
         elif isinstance(event, Pause):
             self.cluster.pause(event.pid)
         elif isinstance(event, Resume):
@@ -128,6 +131,28 @@ class FaultInjector:
             self.observer.on_fault(kind, detail=detail, now=self.sim.now)
 
     # ------------------------------------------------------------------
+
+    def _apply_rack_power_loss(self, event: RackPowerLoss) -> List[int]:
+        """Crash every member of the rack; returns the resolved pids."""
+        pids = event.pids
+        if pids is None:
+            racks = getattr(self.cluster.topology, "racks", None)
+            if racks is None:
+                raise FaultError(
+                    "rack_power_loss without explicit pids needs a fabric "
+                    "topology with a rack map; pass pids= on star topologies"
+                )
+            try:
+                pids = racks[event.rack]
+            except KeyError:
+                raise FaultError(
+                    f"rack {event.rack} not in the fabric rack map "
+                    f"(racks {sorted(racks)})"
+                ) from None
+        resolved = sorted(pids)
+        for pid in resolved:
+            self.cluster.crash(pid)
+        return resolved
 
     def _arm_token_drop(self, event: TokenDrop) -> None:
         """Eat the next ``count`` token frames at the switch."""

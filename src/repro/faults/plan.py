@@ -31,6 +31,7 @@ from repro.faults.events import (
     LossBurst,
     Partition,
     Pause,
+    RackPowerLoss,
     Recover,
     Resume,
     TokenDrop,
@@ -85,11 +86,19 @@ class FaultPlan:
                     touched |= group
             if isinstance(event, LossBurst) and event.pids is not None:
                 touched |= event.pids
+            if isinstance(event, RackPowerLoss) and event.pids is not None:
+                touched |= event.pids
         return touched
 
     def crashed_pids(self) -> Set[int]:
         """Pids the plan ever crashes (for EVS-checker waivers)."""
-        return {event.pid for event in self.events if isinstance(event, Crash)}
+        crashed: Set[int] = set()
+        for event in self.events:
+            if isinstance(event, Crash):
+                crashed.add(event.pid)
+            elif isinstance(event, RackPowerLoss) and event.pids is not None:
+                crashed |= event.pids
+        return crashed
 
     # -- validation ----------------------------------------------------
 
@@ -102,6 +111,12 @@ class FaultPlan:
         crashed: Set[int] = set()
         paused: Set[int] = set()
         partitioned = False
+        # A rack_power_loss without explicit pids crashes a set only the
+        # injector can resolve (it needs the topology's rack map), so the
+        # crash/recover bookkeeping below turns best-effort once one is
+        # seen: cluster-level crash/restart are idempotent, and rejecting
+        # plausible plans would be worse than letting them run.
+        rack_wildcard = False
         for event in self.events:
             event.validate()
             if num_hosts is not None:
@@ -119,12 +134,24 @@ class FaultPlan:
                 crashed.add(event.pid)
                 paused.discard(event.pid)
             elif isinstance(event, Recover):
-                if event.pid not in crashed:
+                if event.pid not in crashed and not rack_wildcard:
                     raise FaultError(
                         f"recover at {event.at}: pid {event.pid} was never "
                         "crashed (recover-before-crash)"
                     )
                 crashed.discard(event.pid)
+            elif isinstance(event, RackPowerLoss):
+                if event.pids is None:
+                    rack_wildcard = True
+                else:
+                    for pid in sorted(event.pids):
+                        if pid in crashed:
+                            raise FaultError(
+                                f"rack_power_loss at {event.at}: pid {pid} "
+                                "is already crashed"
+                            )
+                        crashed.add(pid)
+                        paused.discard(pid)
             elif isinstance(event, Partition):
                 if partitioned:
                     raise FaultError(
@@ -162,6 +189,8 @@ class FaultPlan:
             for group in event.groups:
                 pids |= group
         if isinstance(event, LossBurst) and event.pids is not None:
+            pids |= event.pids
+        if isinstance(event, RackPowerLoss) and event.pids is not None:
             pids |= event.pids
         return pids
 
@@ -232,6 +261,21 @@ class PlanBuilder:
                 at=at,
                 rate=rate,
                 duration=duration,
+                pids=None if pids is None else frozenset(pids),
+            )
+        )
+        return self
+
+    def rack_power_loss(
+        self,
+        rack: int,
+        at: float,
+        pids: Optional[Iterable[int]] = None,
+    ) -> "PlanBuilder":
+        self._events.append(
+            RackPowerLoss(
+                at=at,
+                rack=rack,
                 pids=None if pids is None else frozenset(pids),
             )
         )

@@ -20,6 +20,12 @@ The library maps to the paper's robustness story:
   uniform loss, the §IV-A4 regime pushed into burst territory.
 * ``gc-stall`` — a process freezes past the token-loss timeout and
   returns: the ring reforms around it, then merges it back.
+* ``incast`` / ``mixed-speed`` / ``rack-power-loss`` — leaf–spine
+  fabric scenarios (:mod:`repro.net.fabric`): an oversubscribed spine
+  trunk under all-to-all load, 1G and 10G racks sharing one ring, and a
+  correlated rack failure with staggered recovery.
+* ``reorder-storm`` — heavy data-frame reordering
+  (:class:`~repro.net.impair.ReorderModel`) layered under token loss.
 """
 
 from __future__ import annotations
@@ -33,7 +39,10 @@ from repro.core.messages import DeliveryService
 from repro.evs.checker import EvsViolation
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, PlanBuilder
+from repro.net.fabric import LeafSpineSpec
+from repro.net.impair import ImpairmentModel, ReorderModel
 from repro.net.loss import LossModel, UniformLoss
+from repro.net.params import GIGABIT, TEN_GIGABIT
 from repro.obs.observer import MetricsObserver
 from repro.sim.build import ClusterBuilder
 from repro.util.errors import FaultError
@@ -66,6 +75,11 @@ class ScenarioSpec:
     #: Optional background loss model sharing the scenario RNG.
     loss_model: Optional[Callable[[random.Random], LossModel]] = None
     accelerated: bool = True
+    #: Optional leaf–spine fabric in place of the default star switch.
+    fabric: Optional[LeafSpineSpec] = None
+    #: Optional impairment model factory sharing the scenario RNG
+    #: (applied to every host's delivery path).
+    impairment: Optional[Callable[[random.Random], ImpairmentModel]] = None
 
 
 @dataclass
@@ -184,6 +198,45 @@ def _gc_stall(rng: random.Random) -> FaultPlan:
     )
 
 
+def _incast(rng: random.Random) -> FaultPlan:
+    # The fabric itself is the adversary (a 4:1 oversubscribed trunk
+    # under all-to-all traffic); one token loss on top checks that the
+    # loss timeout still works while the trunk is congested.
+    return PlanBuilder().token_drop(at=0.1, count=1).build()
+
+
+def _mixed_speed(rng: random.Random) -> FaultPlan:
+    return (
+        PlanBuilder()
+        .crash(1, at=0.05)
+        .recover(1, at=0.3)
+        .build()
+    )
+
+
+def _reorder_storm(rng: random.Random) -> FaultPlan:
+    return (
+        PlanBuilder()
+        .token_drop(at=0.08, count=1)
+        .token_drop(at=0.2, count=1)
+        .build()
+    )
+
+
+def _rack_loss(rng: random.Random) -> FaultPlan:
+    # Rack 1 of the 2x4 fabric loses power (pids 4-7 fail together),
+    # then the members return one by one and must all merge back.
+    return (
+        PlanBuilder()
+        .rack_power_loss(rack=1, at=0.03, pids={4, 5, 6, 7})
+        .recover(4, at=0.3)
+        .recover(5, at=0.33)
+        .recover(6, at=0.36)
+        .recover(7, at=0.39)
+        .build()
+    )
+
+
 SCENARIOS: Dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -236,6 +289,49 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             plan=_gc_stall,
             traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.3, per_pid=4),
         ),
+        ScenarioSpec(
+            name="incast",
+            summary="all-to-all burst into a 4:1 oversubscribed spine trunk",
+            num_hosts=8,
+            duration=0.6,
+            plan=_incast,
+            traffic=_spread_traffic(list(range(8)), 0.005, 0.4, per_pid=6),
+            fabric=LeafSpineSpec(racks=2, hosts_per_rack=4, oversubscription=4.0),
+        ),
+        ScenarioSpec(
+            name="mixed-speed",
+            summary="1G and 10G racks on one ring, crash-recover across them",
+            num_hosts=4,
+            duration=0.6,
+            plan=_mixed_speed,
+            traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.4, per_pid=4),
+            fabric=LeafSpineSpec(
+                racks=2,
+                hosts_per_rack=2,
+                rack_params=(GIGABIT, TEN_GIGABIT),
+                rack_trunk_extra_propagation=(0.0, 2e-6),
+            ),
+        ),
+        ScenarioSpec(
+            name="reorder-storm",
+            summary="heavy data-frame reordering plus token loss",
+            num_hosts=4,
+            duration=0.5,
+            plan=_reorder_storm,
+            traffic=_spread_traffic([0, 1, 2, 3], 0.005, 0.3, per_pid=4),
+            impairment=lambda rng: ReorderModel(
+                rate=0.12, max_displacement=3, rng=rng
+            ),
+        ),
+        ScenarioSpec(
+            name="rack-power-loss",
+            summary="rack PDU failure: 4 co-located members crash at once",
+            num_hosts=8,
+            duration=0.8,
+            plan=_rack_loss,
+            traffic=_spread_traffic(list(range(8)), 0.005, 0.5, per_pid=3),
+            fabric=LeafSpineSpec(racks=2, hosts_per_rack=4, oversubscription=2.0),
+        ),
     )
 }
 
@@ -262,8 +358,14 @@ def run_scenario(name: str, seed: int = 0) -> ScenarioReport:
         .accelerated(spec.accelerated)
         .observe(observer)
     )
+    if spec.fabric is not None:
+        builder.fabric(spec.fabric)
+    # rng draw order: loss model first, then impairment — existing
+    # scenarios (no impairment) keep their historical rng streams.
     if spec.loss_model is not None:
         builder.loss(spec.loss_model(rng))
+    if spec.impairment is not None:
+        builder.impair(spec.impairment(rng))
     cluster = builder.build_membership()
     cluster.start()
     cluster.run(_BOOT)
@@ -305,6 +407,16 @@ def run_scenario(name: str, seed: int = 0) -> ScenarioReport:
             if name.startswith("fault.")
         }
     )
+    # Fabric congestion counters (deterministic, so they belong in the
+    # byte-identical report); only present on multi-switch topologies,
+    # leaving star-scenario reports unchanged.
+    switch = cluster.topology.switch
+    if hasattr(switch, "frames_transited"):
+        fault_metrics["fabric.frames_transited"] = switch.frames_transited
+        fault_metrics["fabric.peak_trunk_queue_bytes"] = (
+            switch.peak_trunk_queue_bytes
+        )
+        fault_metrics["fabric.total_drops"] = switch.total_drops
 
     return ScenarioReport(
         name=spec.name,

@@ -30,6 +30,8 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.core.messages import DeliveryService
 from repro.evs.checker import EvsViolation
 from repro.faults.generator import (
+    ACTIONS,
+    FABRIC_ACTIONS,
     Step,
     build_plan,
     random_steps,
@@ -38,6 +40,8 @@ from repro.faults.generator import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.net.fabric import LeafSpineSpec
+from repro.net.impair import impairment_from_name
 from repro.sim.build import ClusterBuilder
 from repro.sim.membership_driver import MembershipCluster
 
@@ -55,7 +59,13 @@ def case_seed(seed: int, index: int) -> int:
     return seed * _SEED_STRIDE + index
 
 
-def drive_plan(plan: FaultPlan, num_hosts: int, seed: int) -> MembershipCluster:
+def drive_plan(
+    plan: FaultPlan,
+    num_hosts: int,
+    seed: int,
+    fabric_racks: int = 0,
+    impair: Optional[str] = None,
+) -> MembershipCluster:
     """Run ``plan`` against a fresh cluster and return it (traces full).
 
     This is the canonical soak drive, shared with the hypothesis suite in
@@ -64,8 +74,25 @@ def drive_plan(plan: FaultPlan, num_hosts: int, seed: int) -> MembershipCluster:
     Safe/Agreed from rotating senders), then quiesce — heal, resume, and
     settle — so the checker sees completed recoveries, not mid-flight
     state.
+
+    ``fabric_racks > 0`` builds the cluster on a leaf–spine fabric
+    (2:1 oversubscribed, ``num_hosts`` split evenly across the racks);
+    ``impair`` names an impairment preset
+    (:func:`repro.net.impair.impairment_from_name`) seeded from the
+    case seed.  Both default off, keeping the historical drive.
     """
-    cluster = ClusterBuilder().hosts(num_hosts).membership().build_membership()
+    builder = ClusterBuilder().hosts(num_hosts).membership()
+    if fabric_racks:
+        builder.fabric(
+            LeafSpineSpec(
+                racks=fabric_racks,
+                hosts_per_rack=num_hosts // fabric_racks,
+                oversubscription=2.0,
+            )
+        )
+    if impair:
+        builder.impair(impairment_from_name(impair, seed=seed))
+    cluster = builder.build_membership()
     cluster.start()
     cluster.run(0.08)
     injector = FaultInjector(cluster, plan, rng=random.Random(seed))
@@ -92,14 +119,26 @@ def drive_plan(plan: FaultPlan, num_hosts: int, seed: int) -> MembershipCluster:
     return cluster
 
 
-def check_plan(plan: FaultPlan, num_hosts: int, seed: int) -> Optional[str]:
+def check_plan(
+    plan: FaultPlan,
+    num_hosts: int,
+    seed: int,
+    fabric_racks: int = 0,
+    impair: Optional[str] = None,
+) -> Optional[str]:
     """Drive ``plan`` and EVS-check the traces.
 
     Returns ``None`` when every guarantee holds, or the violation message
     when one does not.  Crashed pids are waived exactly as the property
     suite waives them.
     """
-    cluster = drive_plan(plan, num_hosts=num_hosts, seed=seed)
+    cluster = drive_plan(
+        plan,
+        num_hosts=num_hosts,
+        seed=seed,
+        fabric_racks=fabric_racks,
+        impair=impair,
+    )
     try:
         cluster.checker.check(crashed=plan.crashed_pids())
     except EvsViolation as violation:
@@ -130,7 +169,13 @@ def greedy_minimize(items: List, still_fails: Callable[[List], bool]) -> List:
     return current
 
 
-def minimize_steps(steps: List[Step], num_hosts: int, seed: int) -> List[Step]:
+def minimize_steps(
+    steps: List[Step],
+    num_hosts: int,
+    seed: int,
+    fabric_racks: int = 0,
+    impair: Optional[str] = None,
+) -> List[Step]:
     """Greedily shrink a failing step sequence.
 
     Because :func:`build_plan` folds any step sequence through the
@@ -139,8 +184,17 @@ def minimize_steps(steps: List[Step], num_hosts: int, seed: int) -> List[Step]:
     """
 
     def still_fails(candidate: List[Step]) -> bool:
-        plan = build_plan(candidate, num_hosts)
-        return check_plan(plan, num_hosts=num_hosts, seed=seed) is not None
+        plan = build_plan(candidate, num_hosts, racks=fabric_racks)
+        return (
+            check_plan(
+                plan,
+                num_hosts=num_hosts,
+                seed=seed,
+                fabric_racks=fabric_racks,
+                impair=impair,
+            )
+            is not None
+        )
 
     return greedy_minimize(steps, still_fails)
 
@@ -161,15 +215,26 @@ class Counterexample:
     violation: str
     steps: List[Step]
     minimized_steps: List[Step]
+    #: The soak's topology dimension; needed for a faithful replay.
+    fabric_racks: int = 0
+    impair: Optional[str] = None
 
     @property
     def plan(self) -> FaultPlan:
-        return build_plan(self.minimized_steps, self.num_hosts)
+        return build_plan(
+            self.minimized_steps, self.num_hosts, racks=self.fabric_racks
+        )
 
     def replay(self) -> Optional[str]:
         """Re-run the minimized plan; returns the violation (or ``None``
         if the failure no longer reproduces)."""
-        return check_plan(self.plan, num_hosts=self.num_hosts, seed=self.seed)
+        return check_plan(
+            self.plan,
+            num_hosts=self.num_hosts,
+            seed=self.seed,
+            fabric_racks=self.fabric_racks,
+            impair=self.impair,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -177,6 +242,8 @@ class Counterexample:
             "index": self.index,
             "seed": self.seed,
             "num_hosts": self.num_hosts,
+            "fabric_racks": self.fabric_racks,
+            "impair": self.impair,
             "violation": self.violation,
             "steps": steps_to_lists(self.steps),
             "minimized_steps": steps_to_lists(self.minimized_steps),
@@ -188,6 +255,7 @@ class Counterexample:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Counterexample":
+        impair = payload.get("impair")
         return cls(
             soak_seed=int(payload["soak_seed"]),
             index=int(payload["index"]),
@@ -196,6 +264,8 @@ class Counterexample:
             violation=str(payload["violation"]),
             steps=steps_from_lists(payload["steps"]),
             minimized_steps=steps_from_lists(payload["minimized_steps"]),
+            fabric_racks=int(payload.get("fabric_racks", 0)),
+            impair=None if impair is None else str(impair),
         )
 
     @classmethod
@@ -231,6 +301,8 @@ class SoakReport:
     num_hosts: int
     plans: int
     max_steps: int
+    fabric_racks: int = 0
+    impair: Optional[str] = None
     cases: List[SoakCase] = field(default_factory=list)
     counterexamples: List[Counterexample] = field(default_factory=list)
 
@@ -248,6 +320,8 @@ class SoakReport:
             "num_hosts": self.num_hosts,
             "plans": self.plans,
             "max_steps": self.max_steps,
+            "fabric_racks": self.fabric_racks,
+            "impair": self.impair,
             "failures": self.failures,
             "passed": self.passed,
             "cases": [case.to_dict() for case in self.cases],
@@ -264,6 +338,8 @@ def run_soak(
     seed: int,
     max_steps: int = 8,
     minimize: bool = True,
+    fabric_racks: int = 0,
+    impair: Optional[str] = None,
     progress: Optional[Callable[[SoakCase], None]] = None,
 ) -> SoakReport:
     """Run ``plans`` seeded random fault plans and EVS-check each one.
@@ -274,23 +350,45 @@ def run_soak(
     minimized (unless ``minimize=False``) and recorded as
     :class:`Counterexample` artifacts on the report.  ``progress`` is
     called after each case (CLI progress lines).
+
+    ``fabric_racks > 0`` soaks on a leaf–spine fabric and widens the
+    action vocabulary with correlated ``rack_power_loss`` events;
+    ``impair`` layers a named impairment preset under every plan.
     """
     report = SoakReport(
-        seed=seed, num_hosts=num_hosts, plans=plans, max_steps=max_steps
+        seed=seed,
+        num_hosts=num_hosts,
+        plans=plans,
+        max_steps=max_steps,
+        fabric_racks=fabric_racks,
+        impair=impair,
     )
+    actions = FABRIC_ACTIONS if fabric_racks else ACTIONS
     for index in range(plans):
         derived = case_seed(seed, index)
         rng = random.Random(derived)
-        steps = random_steps(rng, num_hosts, max_steps=max_steps)
-        plan = build_plan(steps, num_hosts)
-        violation = check_plan(plan, num_hosts=num_hosts, seed=derived)
+        steps = random_steps(rng, num_hosts, max_steps=max_steps, actions=actions)
+        plan = build_plan(steps, num_hosts, racks=fabric_racks)
+        violation = check_plan(
+            plan,
+            num_hosts=num_hosts,
+            seed=derived,
+            fabric_racks=fabric_racks,
+            impair=impair,
+        )
         case = SoakCase(
             index=index, seed=derived, events=len(plan), violation=violation
         )
         report.cases.append(case)
         if violation is not None:
             minimized = (
-                minimize_steps(steps, num_hosts=num_hosts, seed=derived)
+                minimize_steps(
+                    steps,
+                    num_hosts=num_hosts,
+                    seed=derived,
+                    fabric_racks=fabric_racks,
+                    impair=impair,
+                )
                 if minimize
                 else list(steps)
             )
@@ -303,6 +401,8 @@ def run_soak(
                     violation=violation,
                     steps=list(steps),
                     minimized_steps=minimized,
+                    fabric_racks=fabric_racks,
+                    impair=impair,
                 )
             )
         if progress is not None:

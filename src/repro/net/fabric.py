@@ -1,0 +1,495 @@
+"""Leaf–spine fabric topologies: multi-switch data-center networks.
+
+The paper's testbed is one switch; real data centers are fabrics.  Hosts
+attach to their rack's leaf (top-of-rack) switch, and racks interconnect
+through a spine layer over trunk links that are usually *oversubscribed*:
+a rack of eight 1G hosts might share a single 4G trunk, so cross-rack
+incast congests the trunk long before any host link saturates.
+
+:class:`LeafSpineSpec` declares such a fabric — rack count, hosts per
+rack, trunk oversubscription, per-rack link parameters (mixed 1G/10G
+hosts on one ring), and per-rack extra trunk propagation (cross-rack
+latency asymmetry) — and :func:`build_leaf_spine` assembles it from the
+same :class:`~repro.net.switch.OutputPort` building blocks the star
+switch uses, so serialization, propagation, and tail-drop behaviour
+price identically per hop.
+
+Fault-surface parity with the star switch is deliberate and exact: the
+:class:`Fabric` facade exposes the same ``set_partition`` / ``heal`` /
+``add_filter`` / ``remove_filter`` / ``port`` / ``total_drops`` API as
+:class:`~repro.net.switch.Switch`, and partitions/filters are consulted
+exactly once per (frame, destination) — at the destination leaf's host
+port, the same logical point the star switch consults them — so a fault
+plan or chaos scenario means the same thing on either topology, and the
+fault injector works unchanged.
+
+Frame lifetime through the fabric mirrors the star switch's pooling
+discipline: local fan-out enqueues per-destination ``clone_for`` copies;
+the multicast original travels up the trunk (or is recycled when there
+is nowhere further to go); the spine clones once per remote rack and
+recycles; each remote leaf clones per local host and recycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.net.host import SimHost
+from repro.net.impair import ImpairmentModel
+from repro.net.loss import LossModel
+from repro.net.packet import Frame
+from repro.net.params import NetworkParams
+from repro.net.simulator import Simulator
+from repro.net.switch import OutputPort
+
+
+@dataclass(frozen=True)
+class LeafSpineSpec:
+    """Declarative description of a leaf–spine fabric.
+
+    Host ids are rack-major: rack ``r`` owns hosts
+    ``r*hosts_per_rack .. (r+1)*hosts_per_rack - 1``.
+
+    Attributes:
+        racks: number of leaf (top-of-rack) switches.
+        hosts_per_rack: hosts attached to each leaf.
+        oversubscription: trunk oversubscription factor.  Each rack's
+            trunk serializes at ``hosts_per_rack * host_rate /
+            oversubscription`` — ``1.0`` is a non-blocking fabric,
+            larger values congest the trunk under cross-rack incast.
+        rack_params: optional per-rack host-link parameters (one entry
+            per rack), letting mixed 1G/10G racks share one ring; racks
+            fall back to the cluster-wide params when ``None``.
+        rack_trunk_extra_propagation: optional per-rack extra one-way
+            propagation on that rack's trunk (cross-rack latency
+            asymmetry, e.g. a rack at the far end of the hall).
+        trunk_params: optional explicit trunk link parameters, overriding
+            the oversubscription-derived rate.
+    """
+
+    racks: int = 2
+    hosts_per_rack: int = 4
+    oversubscription: float = 1.0
+    rack_params: Optional[Tuple[NetworkParams, ...]] = None
+    rack_trunk_extra_propagation: Optional[Tuple[float, ...]] = None
+    trunk_params: Optional[NetworkParams] = None
+
+    def __post_init__(self) -> None:
+        # Normalize sequences to tuples so specs stay hashable/frozen.
+        if self.rack_params is not None and not isinstance(self.rack_params, tuple):
+            object.__setattr__(self, "rack_params", tuple(self.rack_params))
+        extra = self.rack_trunk_extra_propagation
+        if extra is not None and not isinstance(extra, tuple):
+            object.__setattr__(self, "rack_trunk_extra_propagation", tuple(extra))
+
+    @property
+    def num_hosts(self) -> int:
+        return self.racks * self.hosts_per_rack
+
+    def rack_of(self, host_id: int) -> int:
+        return host_id // self.hosts_per_rack
+
+    def rack_members(self, rack: int) -> Tuple[int, ...]:
+        base = rack * self.hosts_per_rack
+        return tuple(range(base, base + self.hosts_per_rack))
+
+    def validate(self) -> "LeafSpineSpec":
+        if self.racks < 1:
+            raise ValueError(f"need at least one rack, got {self.racks}")
+        if self.hosts_per_rack < 1:
+            raise ValueError(
+                f"need at least one host per rack, got {self.hosts_per_rack}"
+            )
+        if self.oversubscription <= 0:
+            raise ValueError(
+                f"oversubscription must be positive, got {self.oversubscription}"
+            )
+        if self.rack_params is not None and len(self.rack_params) != self.racks:
+            raise ValueError(
+                f"rack_params has {len(self.rack_params)} entries "
+                f"for {self.racks} racks"
+            )
+        extra = self.rack_trunk_extra_propagation
+        if extra is not None and len(extra) != self.racks:
+            raise ValueError(
+                f"rack_trunk_extra_propagation has {len(extra)} entries "
+                f"for {self.racks} racks"
+            )
+        return self
+
+    def host_params_for(self, rack: int, default: NetworkParams) -> NetworkParams:
+        if self.rack_params is not None:
+            return self.rack_params[rack]
+        return default
+
+    def trunk_params_for(self, rack: int, default: NetworkParams) -> NetworkParams:
+        """Link parameters for one rack's leaf↔spine trunk."""
+        host_params = self.host_params_for(rack, default)
+        if self.trunk_params is not None:
+            trunk = self.trunk_params
+        else:
+            trunk = replace(
+                host_params,
+                rate_bps=host_params.rate_bps
+                * self.hosts_per_rack
+                / self.oversubscription,
+            )
+        extra = 0.0
+        if self.rack_trunk_extra_propagation is not None:
+            extra = self.rack_trunk_extra_propagation[rack]
+        if extra:
+            trunk = replace(trunk, propagation=trunk.propagation + extra)
+        return trunk
+
+
+def _trunk_clone(frame: Frame) -> Frame:
+    """A copy of a multicast frame for another trunk (same frame_id)."""
+    clone = Frame.acquire(
+        frame.src, frame.dst, frame.kind, frame.size, frame.payload, frame.fragment
+    )
+    clone.frame_id = frame.frame_id
+    return clone
+
+
+class _LeafSwitch:
+    """One top-of-rack switch: local host ports plus an optional uplink."""
+
+    def __init__(self, fabric: "Fabric", rack: int, latency: float) -> None:
+        self._fabric = fabric
+        self._sim = fabric._sim
+        self._rack = rack
+        self._latency = latency
+        self._ports: Dict[int, OutputPort] = {}
+        self._fanout: Tuple[Tuple[int, OutputPort], ...] = ()
+        #: Trunk to the spine; ``None`` in a single-rack fabric.
+        self._uplink: Optional[OutputPort] = None
+
+    def attach(
+        self,
+        host_id: int,
+        deliver: Callable[[Frame], None],
+        params: NetworkParams,
+    ) -> None:
+        if host_id in self._ports:
+            raise ValueError(f"host {host_id} already attached")
+        self._ports[host_id] = OutputPort(self._sim, params, deliver)
+        self._fanout = tuple(self._ports.items())
+
+    def ingress(self, frame: Frame) -> None:
+        """A frame has fully arrived from a local host NIC."""
+        self._fabric.frames_received += 1
+        self._sim.post(self._latency, self._forward_origin, frame)
+
+    def trunk_ingress(self, frame: Frame) -> None:
+        """A frame has fully arrived over the spine downlink."""
+        self._fabric.frames_transited += 1
+        self._sim.post(self._latency, self._forward_remote, frame)
+
+    def _forward_origin(self, frame: Frame) -> None:
+        fabric = self._fabric
+        if frame.dst is None:
+            src = frame.src
+            clone_for = frame.clone_for
+            for host_id, port in self._fanout:
+                if host_id == src:
+                    continue
+                if fabric._deliverable(frame, host_id):
+                    port.enqueue(clone_for(host_id))
+            if self._uplink is not None:
+                # The ingress original continues up the trunk; the local
+                # deliveries above were per-destination clones.
+                self._uplink.enqueue(frame)
+            else:
+                frame.recycle()
+        else:
+            port = self._ports.get(frame.dst)
+            if port is not None:
+                if fabric._deliverable(frame, frame.dst):
+                    port.enqueue(frame)
+            elif self._uplink is not None:
+                self._uplink.enqueue(frame)
+            else:
+                raise KeyError(f"frame for unattached host {frame.dst}")
+
+    def _forward_remote(self, frame: Frame) -> None:
+        fabric = self._fabric
+        if frame.dst is None:
+            clone_for = frame.clone_for
+            for host_id, port in self._fanout:
+                if fabric._deliverable(frame, host_id):
+                    port.enqueue(clone_for(host_id))
+            frame.recycle()
+        else:
+            port = self._ports.get(frame.dst)
+            if port is None:
+                raise KeyError(f"frame for unattached host {frame.dst}")
+            if fabric._deliverable(frame, frame.dst):
+                port.enqueue(frame)
+
+
+class Fabric:
+    """Leaf–spine fabric with the single-switch fault surface.
+
+    Drop-in for :class:`~repro.net.switch.Switch` wherever the cluster
+    and fault layers touch the network: partitions, filters, per-port
+    counters, and ``total_drops`` behave identically, with partition and
+    filter checks applied once per (frame, destination) at the
+    destination leaf's host port.
+    """
+
+    def __init__(self, sim: Simulator, spec: LeafSpineSpec, params: NetworkParams) -> None:
+        self._sim = sim
+        self.spec = spec
+        self.params = params
+        #: Spine forwarding latency (the leaf latency comes from each
+        #: rack's own host-link params).
+        self._latency = params.switch_latency
+        self._leaves: List[_LeafSwitch] = []
+        self._downlinks: List[OutputPort] = []
+        self.frames_received = 0
+        #: Frames that crossed the spine into a remote rack.
+        self.frames_transited = 0
+        self.frames_partitioned = 0
+        self.frames_filtered = 0
+        self._partition: Dict[int, int] = {}  # host -> partition group
+        self._filters: List[Callable[[Frame, int], bool]] = []
+
+        for rack in range(spec.racks):
+            host_params = spec.host_params_for(rack, params)
+            self._leaves.append(_LeafSwitch(self, rack, host_params.switch_latency))
+        if spec.racks > 1:
+            for rack, leaf in enumerate(self._leaves):
+                trunk = spec.trunk_params_for(rack, params)
+                leaf._uplink = OutputPort(
+                    sim, trunk, self._uplink_deliver(rack)
+                )
+                self._downlinks.append(OutputPort(sim, trunk, leaf.trunk_ingress))
+
+    def _uplink_deliver(self, rack: int) -> Callable[[Frame], None]:
+        def deliver(frame: Frame) -> None:
+            self._spine_ingress(frame, rack)
+
+        return deliver
+
+    # ------------------------------------------------------------------
+    # Spine
+    # ------------------------------------------------------------------
+
+    def _spine_ingress(self, frame: Frame, from_rack: int) -> None:
+        self._sim.post(self._latency, self._spine_forward, frame, from_rack)
+
+    def _spine_forward(self, frame: Frame, from_rack: int) -> None:
+        if frame.dst is None:
+            for rack, downlink in enumerate(self._downlinks):
+                if rack == from_rack:
+                    continue
+                downlink.enqueue(_trunk_clone(frame))
+            frame.recycle()
+        else:
+            self._downlinks[self.spec.rack_of(frame.dst)].enqueue(frame)
+
+    # ------------------------------------------------------------------
+    # Switch-compatible fault surface
+    # ------------------------------------------------------------------
+
+    def set_partition(self, *groups) -> None:
+        """Partition the network: frames cross only within a group.
+
+        Same semantics as the star switch — the check happens at the
+        destination host's leaf port, so a partition cuts cross-rack and
+        intra-rack traffic alike.
+        """
+        self._partition = {}
+        for index, group in enumerate(groups):
+            for host_id in group:
+                self._partition[host_id] = index
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition = {}
+
+    def add_filter(self, fn: Callable[[Frame, int], bool]) -> None:
+        """Install a drop filter (consulted once per (frame, destination))."""
+        self._filters.append(fn)
+
+    def remove_filter(self, fn: Callable[[Frame, int], bool]) -> None:
+        """Remove a previously installed filter (no-op if absent)."""
+        try:
+            self._filters.remove(fn)
+        except ValueError:
+            pass
+
+    def _deliverable(self, frame: Frame, dst: int) -> bool:
+        partition = self._partition
+        if partition:
+            default = -1
+            if partition.get(frame.src, default) != partition.get(dst, default):
+                self.frames_partitioned += 1
+                return False
+        if self._filters:
+            for fn in list(self._filters):
+                if fn(frame, dst):
+                    self.frames_filtered += 1
+                    return False
+        return True
+
+    def attach(self, host_id: int, deliver: Callable[[Frame], None]) -> None:
+        rack = self.spec.rack_of(host_id)
+        self._leaves[rack].attach(
+            host_id, deliver, self.spec.host_params_for(rack, self.params)
+        )
+
+    def leaf_ingress(self, host_id: int) -> Callable[[Frame], None]:
+        """The ``on_wire`` entry point for one host (its leaf's ingress)."""
+        return self._leaves[self.spec.rack_of(host_id)].ingress
+
+    def port(self, host_id: int) -> OutputPort:
+        """The destination-side host port (where drops/queueing surface)."""
+        return self._leaves[self.spec.rack_of(host_id)]._ports[host_id]
+
+    def trunk(self, rack: int) -> Tuple[OutputPort, OutputPort]:
+        """(uplink, downlink) trunk ports for one rack (multi-rack only)."""
+        uplink = self._leaves[rack]._uplink
+        if uplink is None:
+            raise ValueError("single-rack fabric has no trunks")
+        return uplink, self._downlinks[rack]
+
+    @property
+    def total_drops(self) -> int:
+        drops = 0
+        for leaf in self._leaves:
+            drops += sum(port.frames_dropped for port in leaf._ports.values())
+            if leaf._uplink is not None:
+                drops += leaf._uplink.frames_dropped
+        drops += sum(port.frames_dropped for port in self._downlinks)
+        return drops
+
+    @property
+    def peak_trunk_queue_bytes(self) -> int:
+        """Worst trunk-buffer depth seen — the incast congestion signal."""
+        peaks = [0]
+        for leaf in self._leaves:
+            if leaf._uplink is not None:
+                peaks.append(leaf._uplink.peak_queue_bytes)
+        peaks.extend(port.peak_queue_bytes for port in self._downlinks)
+        return max(peaks)
+
+
+@dataclass
+class FabricTopology:
+    """A leaf–spine fabric plus its attached hosts.
+
+    Duck-types :class:`~repro.net.topology.StarTopology` (``sim`` /
+    ``params`` / ``switch`` / ``hosts`` / ``host_ids`` / ``host``) so the
+    cluster drivers and fault injector work unchanged, and adds the rack
+    map that correlated-failure events resolve against.
+    """
+
+    sim: Simulator
+    params: NetworkParams
+    switch: Fabric
+    spec: LeafSpineSpec
+    hosts: Dict[int, SimHost] = field(default_factory=dict)
+
+    @property
+    def host_ids(self) -> List[int]:
+        return sorted(self.hosts)
+
+    def host(self, host_id: int) -> SimHost:
+        return self.hosts[host_id]
+
+    @property
+    def racks(self) -> Dict[int, Tuple[int, ...]]:
+        """rack id -> tuple of member host ids."""
+        return {
+            rack: self.spec.rack_members(rack) for rack in range(self.spec.racks)
+        }
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    spec: LeafSpineSpec,
+    params: NetworkParams,
+    loss_model: Optional[LossModel] = None,
+    loss_models: Optional[Mapping[int, LossModel]] = None,
+    impairment: Optional[ImpairmentModel] = None,
+    impairments: Optional[Mapping[int, ImpairmentModel]] = None,
+) -> FabricTopology:
+    """Build a leaf–spine fabric and its hosts.
+
+    ``loss_model`` is the shared receiver-side model (as in
+    :func:`~repro.net.topology.build_star`); ``loss_models`` overrides it
+    per host id.  ``impairment`` / ``impairments`` wrap each host's
+    delivery path analogously (see :mod:`repro.net.impair`).
+    """
+    spec.validate()
+    fabric = Fabric(sim, spec, params)
+    topology = FabricTopology(sim=sim, params=params, switch=fabric, spec=spec)
+    for host_id in range(spec.num_hosts):
+        rack = spec.rack_of(host_id)
+        host_loss = loss_model
+        if loss_models is not None and host_id in loss_models:
+            host_loss = loss_models[host_id]
+        host = SimHost(
+            host_id=host_id,
+            sim=sim,
+            params=spec.host_params_for(rack, params),
+            on_wire=fabric.leaf_ingress(host_id),
+            loss_model=host_loss,
+        )
+        deliver: Callable[[Frame], None] = host.receive
+        model = None
+        if impairments is not None and host_id in impairments:
+            model = impairments[host_id]
+        elif impairment is not None:
+            model = impairment
+        if model is not None:
+            deliver = model.wrap(host_id, deliver, sim)
+        fabric.attach(host_id, deliver)
+        topology.hosts[host_id] = host
+    return topology
+
+
+def build_topology(
+    sim: Simulator,
+    num_hosts: int,
+    params: NetworkParams,
+    fabric: Optional[LeafSpineSpec] = None,
+    loss_model: Optional[LossModel] = None,
+    loss_models: Optional[Mapping[int, LossModel]] = None,
+    impairment: Optional[ImpairmentModel] = None,
+    impairments: Optional[Mapping[int, ImpairmentModel]] = None,
+):
+    """Dispatch between the star default and a leaf–spine fabric.
+
+    With no fabric spec and no per-host models this is exactly
+    ``build_star(sim, num_hosts, params, loss_model)`` — the event
+    schedule (and therefore every golden trace) is unchanged.
+    """
+    from repro.net.topology import build_star
+
+    if fabric is not None:
+        if fabric.num_hosts != num_hosts:
+            raise ValueError(
+                f"fabric defines {fabric.num_hosts} hosts but the cluster "
+                f"wants {num_hosts}"
+            )
+        return build_leaf_spine(
+            sim,
+            fabric,
+            params,
+            loss_model=loss_model,
+            loss_models=loss_models,
+            impairment=impairment,
+            impairments=impairments,
+        )
+    return build_star(
+        sim,
+        num_hosts,
+        params,
+        loss_model=loss_model,
+        loss_models=loss_models,
+        impairment=impairment,
+        impairments=impairments,
+    )

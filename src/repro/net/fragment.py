@@ -73,15 +73,46 @@ def fragment_datagram(
 
 
 class Reassembler:
-    """Per-host IP fragment reassembly buffer."""
+    """Per-host IP fragment reassembly buffer.
 
-    def __init__(self, max_partial: int = 1024) -> None:
+    Two garbage-collection policies bound the partial-datagram state:
+
+    * a count cap (``max_partial``), always on, evicting the stalest
+      partial when the buffer overflows, and
+    * an age cap (``max_age`` seconds read off ``clock``), expiring any
+      partial whose *first* fragment arrived more than ``max_age`` ago —
+      like a kernel's IP reassembly timer.
+
+    The age check runs lazily on the fragmented-accept path (never from
+    a scheduled event, so enabling it perturbs no event schedule).  It
+    is the defence against partials no overflow will ever evict on a
+    quiet link: a datagram orphaned by a dropped fragment, or — the
+    subtle one — a *duplicated* final fragment arriving after its
+    datagram completed, which re-creates the partial entry with every
+    other fragment already consumed, so it can never complete.
+    """
+
+    def __init__(
+        self,
+        max_partial: int = 1024,
+        max_age: Optional[float] = None,
+        clock: Optional[Any] = None,
+    ) -> None:
         #: key -> bitmask of fragment indices seen so far.  An int bitmask
         #: gives the per-index bookkeeping real IP reassembly keeps
         #: (duplicates are harmless: re-setting a bit is a no-op) without
         #: allocating a set per partial datagram on the hot path.
         self._partial: Dict[tuple, int] = {}
         self._max_partial = max_partial
+        if max_age is not None and clock is None:
+            raise ValueError("max_age needs a clock")
+        self._max_age = max_age
+        self._clock = clock
+        #: key -> time the partial's first fragment arrived.  Keys are
+        #: inserted once per partial lifetime and removed on completion
+        #: or expiry, so dict order is oldest-first and the expiry scan
+        #: stops at the first fresh entry.
+        self._first_seen: Dict[tuple, float] = {}
         self.datagrams_completed = 0
         self.datagrams_expired = 0
 
@@ -95,22 +126,44 @@ class Reassembler:
         if fragment is None:
             self.datagrams_completed += 1
             return frame.payload
+        max_age = self._max_age
+        if max_age is not None:
+            now = self._clock()
+            self._expire_stale(now)
         partial = self._partial
         key = (frame.src, fragment[0])
         seen = partial.get(key, 0) | (1 << fragment[1])
         if seen == (1 << fragment[2]) - 1:
             if key in partial:
                 del partial[key]
+                self._first_seen.pop(key, None)
             self.datagrams_completed += 1
             return frame.payload
         partial[key] = seen
+        if max_age is not None and key not in self._first_seen:
+            # Expiry ran first, so a late fragment of an expired
+            # datagram starts a fresh partial with a fresh timer.
+            self._first_seen[key] = now
         if len(partial) > self._max_partial:
             self._expire_oldest()
         return None
+
+    def _expire_stale(self, now: float) -> None:
+        """Drop every partial older than ``max_age``, oldest first."""
+        first_seen = self._first_seen
+        cutoff = now - self._max_age
+        while first_seen:
+            key = next(iter(first_seen))
+            if first_seen[key] > cutoff:
+                break
+            del first_seen[key]
+            self._partial.pop(key, None)
+            self.datagrams_expired += 1
 
     def _expire_oldest(self) -> None:
         # Datagram ids increase monotonically; the smallest id is the
         # stalest partial datagram, which a dropped fragment has orphaned.
         oldest = min(self._partial, key=lambda key: key[1])
         del self._partial[oldest]
+        self._first_seen.pop(oldest, None)
         self.datagrams_expired += 1

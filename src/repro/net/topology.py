@@ -2,16 +2,19 @@
 
 The paper's testbed is 8 servers on one switch; :func:`build_star` builds
 that star.  Hosts are attached in id order, which also defines the default
-ring order used by the protocol layer.
+ring order used by the protocol layer.  Multi-switch fabrics live in
+:mod:`repro.net.fabric`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.net.host import SimHost
+from repro.net.impair import ImpairmentModel
 from repro.net.loss import LossModel
+from repro.net.packet import Frame
 from repro.net.params import NetworkParams
 from repro.net.simulator import Simulator
 from repro.net.switch import Switch
@@ -39,24 +42,43 @@ def build_star(
     num_hosts: int,
     params: NetworkParams,
     loss_model: Optional[LossModel] = None,
+    loss_models: Optional[Mapping[int, LossModel]] = None,
+    impairment: Optional[ImpairmentModel] = None,
+    impairments: Optional[Mapping[int, ImpairmentModel]] = None,
 ) -> StarTopology:
     """Build ``num_hosts`` hosts around a single switch.
 
     The same ``loss_model`` instance is shared by every host; models keyed
     on receiver id (all of ours) behave independently per host.
+    ``loss_models`` overrides the shared model for specific host ids.
+    ``impairment`` wraps every host's delivery path with one shared
+    :class:`~repro.net.impair.ImpairmentModel`; ``impairments`` overrides
+    it per host id.  With none of these given, the wiring (and the event
+    schedule it produces) is identical to the historical builder.
     """
     if num_hosts < 1:
         raise ValueError(f"need at least one host, got {num_hosts}")
     switch = Switch(sim, params)
     topology = StarTopology(sim=sim, params=params, switch=switch)
     for host_id in range(num_hosts):
+        host_loss = loss_model
+        if loss_models is not None and host_id in loss_models:
+            host_loss = loss_models[host_id]
         host = SimHost(
             host_id=host_id,
             sim=sim,
             params=params,
             on_wire=switch.ingress,
-            loss_model=loss_model,
+            loss_model=host_loss,
         )
-        switch.attach(host_id, host.receive)
+        deliver: Callable[[Frame], None] = host.receive
+        model = None
+        if impairments is not None and host_id in impairments:
+            model = impairments[host_id]
+        elif impairment is not None:
+            model = impairment
+        if model is not None:
+            deliver = model.wrap(host_id, deliver, sim)
+        switch.attach(host_id, deliver)
         topology.hosts[host_id] = host
     return topology

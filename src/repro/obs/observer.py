@@ -284,6 +284,9 @@ class MetricsObserver(ProtocolObserver):
     ``fault.partitions_active``   partitions currently in force (gauge)
     ``fault.token_drops``         token frames deliberately dropped (counter)
     ``fault.loss_bursts``         loss bursts injected (counter)
+    ``fault.rack_power_losses``   correlated rack failures injected (counter);
+                                  the rack's member crashes also count in
+                                  ``fault.crashes``
     ``fault.pauses``              GC-stall pauses injected (counter)
     ``fault.resumes``             pause resumes injected (counter)
     ==============================  ==========================================
@@ -413,6 +416,11 @@ class MetricsObserver(ProtocolObserver):
             self.registry.counter("fault.token_drops").inc(int(detail.get("count", 1)))
         elif kind == "loss_burst":
             self.registry.counter("fault.loss_bursts").inc()
+        elif kind == "rack_power_loss":
+            self.registry.counter("fault.rack_power_losses").inc()
+            self.registry.counter("fault.crashes").inc(
+                len(detail.get("pids") or ())
+            )
         elif kind == "pause":
             self.registry.counter("fault.pauses").inc()
         elif kind == "resume":

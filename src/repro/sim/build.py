@@ -35,10 +35,11 @@ from repro.core.config import ProtocolConfig
 from repro.core.original import OriginalRingParticipant
 from repro.core.participant import AcceleratedRingParticipant
 from repro.membership.params import MembershipTimeouts
+from repro.net.fabric import LeafSpineSpec, build_topology
+from repro.net.impair import ImpairmentModel
 from repro.net.loss import LossModel
 from repro.net.params import NetworkParams, GIGABIT
 from repro.net.simulator import Simulator
-from repro.net.topology import build_star
 from repro.sim.cluster import RingCluster
 from repro.sim.driver import ProtocolHost
 from repro.sim.profiles import ImplementationProfile, DAEMON, LIBRARY
@@ -76,9 +77,20 @@ class TopologySpec:
     #: membership, LIBRARY for protocol).
     profile: Optional[ImplementationProfile] = None
     params: NetworkParams = GIGABIT
+    #: Multi-switch fabric (leaf–spine) in place of the default
+    #: single-switch star; ``hosts_per_ring`` must equal the fabric's
+    #: host count.  See :mod:`repro.net.fabric`.
+    fabric: Optional[LeafSpineSpec] = None
     config: Optional[ProtocolConfig] = None
     timeouts: Optional[MembershipTimeouts] = None
     loss_model: Optional[LossModel] = None
+    #: Per-host loss overrides; hosts absent from the mapping fall back
+    #: to the shared ``loss_model``.
+    loss_models: Optional[Mapping[int, LossModel]] = None
+    #: Shared impairment model wrapped around every host's delivery path
+    #: (see :mod:`repro.net.impair`); ``impairments`` overrides per host.
+    impairment: Optional[ImpairmentModel] = None
+    impairments: Optional[Mapping[int, ImpairmentModel]] = None
     observer: Optional["ProtocolObserver"] = None
     #: Per-delivery callback surface (single-ring membership clusters;
     #: multi-ring clusters install their own group-aware taps).
@@ -117,6 +129,29 @@ class TopologySpec:
             raise ConfigurationError(
                 "multi-ring clusters install their own per-ring group "
                 "taps; read cluster.group_stream()/merged_stream() instead"
+            )
+        if self.fabric is not None:
+            try:
+                self.fabric.validate()
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
+            if self.rings > 1:
+                raise ConfigurationError(
+                    "fabric topologies are single-ring; multi-ring clusters "
+                    "build their own per-ring stars"
+                )
+            if self.fabric.num_hosts != self.hosts_per_ring:
+                raise ConfigurationError(
+                    f"fabric defines {self.fabric.num_hosts} hosts but the "
+                    f"spec declares {self.hosts_per_ring} per ring"
+                )
+        if self.rings > 1 and (
+            self.loss_models is not None
+            or self.impairment is not None
+            or self.impairments is not None
+        ):
+            raise ConfigurationError(
+                "per-host loss/impairment models are single-ring only"
             )
         return self
 
@@ -170,6 +205,15 @@ class ClusterBuilder:
     def network(self, params: NetworkParams) -> "ClusterBuilder":
         return self._set(params=params)
 
+    def fabric(self, spec: Optional[LeafSpineSpec]) -> "ClusterBuilder":
+        """Build on a leaf–spine fabric; the host count follows the spec.
+
+        Pass ``None`` to return to the default single-switch star.
+        """
+        if spec is None:
+            return self._set(fabric=None)
+        return self._set(fabric=spec, hosts_per_ring=spec.num_hosts)
+
     def config(self, config: ProtocolConfig) -> "ClusterBuilder":
         return self._set(config=config)
 
@@ -178,6 +222,18 @@ class ClusterBuilder:
 
     def loss(self, model: Optional[LossModel]) -> "ClusterBuilder":
         return self._set(loss_model=model)
+
+    def loss_map(self, models: Mapping[int, LossModel]) -> "ClusterBuilder":
+        """Per-host loss overrides (hosts not listed keep the shared model)."""
+        return self._set(loss_models=dict(models))
+
+    def impair(self, model: Optional[ImpairmentModel]) -> "ClusterBuilder":
+        """Wrap every host's delivery path with one impairment model."""
+        return self._set(impairment=model)
+
+    def impair_map(self, models: Mapping[int, ImpairmentModel]) -> "ClusterBuilder":
+        """Per-host impairment overrides (take precedence over ``impair``)."""
+        return self._set(impairments=dict(models))
 
     def observe(self, observer: "ProtocolObserver") -> "ClusterBuilder":
         return self._set(observer=observer)
@@ -227,13 +283,25 @@ class ClusterBuilder:
             return self.build_membership()
         return self.build_ring()
 
+    @staticmethod
+    def _build_topology(sim: Simulator, spec: TopologySpec):
+        """Star or fabric, per the spec.  Default star wiring is untouched."""
+        return build_topology(
+            sim,
+            spec.hosts_per_ring,
+            spec.params,
+            fabric=spec.fabric,
+            loss_model=spec.loss_model,
+            loss_models=spec.loss_models,
+            impairment=spec.impairment,
+            impairments=spec.impairments,
+        )
+
     def build_ring(self) -> RingCluster:
         """A single bare ordering ring (the paper's §IV-A testbed)."""
         spec = self._spec.validate()
         sim = self._sim if self._sim is not None else Simulator()
-        topology = build_star(
-            sim, spec.hosts_per_ring, spec.params, loss_model=spec.loss_model
-        )
+        topology = self._build_topology(sim, spec)
         ring = topology.host_ids
         config = (spec.config or ProtocolConfig()).validate()
         participant_cls: Type[AcceleratedRingParticipant]
@@ -271,6 +339,19 @@ class ClusterBuilder:
         from repro.sim.membership_driver import MembershipCluster
 
         spec = self._spec.validate()
+        # A prebuilt topology is passed only when an adverse-network
+        # feature is in play; otherwise MembershipCluster runs its
+        # historical construction path, byte-identical to the goldens.
+        topology = None
+        sim = self._sim
+        if (
+            spec.fabric is not None
+            or spec.loss_models is not None
+            or spec.impairment is not None
+            or spec.impairments is not None
+        ):
+            sim = sim if sim is not None else Simulator()
+            topology = self._build_topology(sim, spec)
         return MembershipCluster(
             num_hosts=spec.hosts_per_ring,
             accelerated=spec.accelerated,
@@ -281,7 +362,8 @@ class ClusterBuilder:
             loss_model=spec.loss_model,
             observer=spec.observer,
             delivery_tap=spec.delivery_tap,
-            sim=self._sim,
+            sim=sim,
+            topology=topology,
             _from_builder=True,
         )
 

@@ -30,6 +30,11 @@ from repro.obs.observer import ProtocolObserver, effective_observer
 from repro.sim.profiles import ImplementationProfile
 from repro.util.stats import RunStats
 
+#: Age bound (simulated seconds) on partial reassembly state — the IP
+#: reassembly timer.  Checked lazily on fragment arrival (no scheduled
+#: events), so it leaves the event sequence of every run untouched.
+_REASSEMBLY_MAX_AGE = 0.5
+
 
 class ProtocolHost:
     """One server: a protocol engine + its host machine + its clients.
@@ -95,7 +100,9 @@ class ProtocolHost:
         self._data_socket = host.data_socket
         self._token_ring = host.token_socket._ring
         self._data_ring = host.data_socket._ring
-        self.reassembler = Reassembler()
+        self.reassembler = Reassembler(
+            max_age=_REASSEMBLY_MAX_AGE, clock=lambda: host.sim.now
+        )
         self.delivered_log: List[DataMessage] = []
         #: Optional hooks for tracing (see :mod:`repro.sim.trace`).
         self.on_transmit: Optional[Callable[[Frame], None]] = None

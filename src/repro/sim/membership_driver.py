@@ -315,6 +315,7 @@ class MembershipCluster:
         observer: Optional["ProtocolObserver"] = None,
         delivery_tap: Optional[DeliveryTap] = None,
         sim: Optional[Simulator] = None,
+        topology: Optional[StarTopology] = None,
         _from_builder: bool = False,
     ) -> None:
         if not _from_builder:
@@ -330,9 +331,16 @@ class MembershipCluster:
         #: MultiRingCluster) share one simulated fabric; each still gets
         #: its own switch.
         self.sim = sim if sim is not None else Simulator()
-        self.topology: StarTopology = build_star(
-            self.sim, num_hosts, params, loss_model=loss_model
-        )
+        #: ``topology`` lets the builder substitute a prebuilt network
+        #: (leaf–spine fabric, per-host loss/impairment models); any
+        #: star-compatible topology works.  The default star path below
+        #: is the historical wiring, untouched for trace stability.
+        if topology is not None:
+            self.topology = topology
+        else:
+            self.topology = build_star(
+                self.sim, num_hosts, params, loss_model=loss_model
+            )
         self.checker = EvsChecker()
         self.observer = observer
         #: Shared by every host (and re-attached across restarts): sees

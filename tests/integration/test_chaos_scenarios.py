@@ -49,6 +49,31 @@ def test_report_shape():
     assert payload["final_rings"] == {str(pid): [0, 1, 2, 3] for pid in range(4)}
 
 
+def test_fabric_scenarios_report_trunk_metrics():
+    report = run_scenario("incast", seed=7)
+    assert "fabric.frames_transited" in report.fault_metrics
+    assert report.fault_metrics["fabric.frames_transited"] > 0
+    assert "fabric.peak_trunk_queue_bytes" in report.fault_metrics
+    # Star scenarios must NOT grow fabric keys (report-shape stability).
+    star = run_scenario("leader-crash", seed=7)
+    assert not any(key.startswith("fabric.") for key in star.fault_metrics)
+
+
+def test_rack_power_loss_scenario_crashes_and_rejoins_the_rack():
+    report = run_scenario("rack-power-loss", seed=7)
+    assert report.ok
+    assert report.fault_metrics["fault.rack_power_losses"] == 1
+    assert report.fault_metrics["fault.crashes"] == 4
+    assert report.final_rings == {pid: list(range(8)) for pid in range(8)}
+
+
+def test_fabric_scenario_byte_identical_per_seed():
+    a = run_scenario("reorder-storm", seed=7).to_json()
+    b = run_scenario("reorder-storm", seed=7).to_json()
+    assert a == b
+    assert run_scenario("reorder-storm", seed=8).to_json() != a
+
+
 def test_unknown_scenario_rejected():
     with pytest.raises(FaultError, match="unknown scenario"):
         run_scenario("does-not-exist")

@@ -118,6 +118,31 @@ def test_crash_recover_plan_conforms_in_calm_and_probe_phases():
     assert report.coverage.hit("coverage.recovery.completed") > 0
 
 
+def test_fabric_workload_with_rack_loss_conforms():
+    # The leaf–spine network and a correlated rack failure must not
+    # break the cross-variant equivalence claim.
+    fabric = Workload(
+        rounds=1,
+        burst_size=8,
+        burst_spacing=0.015,
+        probe_burst=4,
+        oversized_index=3,
+        oversized_bytes=1500,
+        fabric_racks=2,
+        impair="reorder",
+    )
+    plan = build_plan(
+        [(10, "rack_power_loss", 1), (100, "recover", 2), (5, "recover", 3)],
+        fabric.num_hosts,
+        racks=2,
+    )
+    report = run_differential(
+        fabric, plan=plan, seed=SEED, variants=("original", "accelerated")
+    )
+    assert report.ok, "\n".join(d.describe() for d in report.divergences)
+    assert all(report.converged.values())
+
+
 def test_harvested_instants_fall_inside_the_traffic_window():
     instants = harvest_instants(SMALL, seed=SEED, max_instants=3)
     assert 0 < len(instants) <= 3

@@ -20,6 +20,26 @@ def test_small_soak_runs_clean():
     assert all(case.violation is None for case in report.cases)
 
 
+def test_small_fabric_soak_runs_clean():
+    report = run_soak(
+        plans=2, num_hosts=8, seed=1, fabric_racks=2, impair="reorder"
+    )
+    assert report.passed, report.to_json()
+    assert report.fabric_racks == 2 and report.impair == "reorder"
+
+
+def test_soak_cli_fabric_flags(tmp_path, capsys):
+    code = main(
+        ["soak", "--plans", "1", "--hosts", "8", "--seed", "1",
+         "--fabric-racks", "2", "--impair", "jitter", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    payload = json.loads((tmp_path / "soak_report.json").read_text())
+    assert payload["passed"] is True
+    assert payload["fabric_racks"] == 2
+    assert payload["impair"] == "jitter"
+
+
 def test_soak_cli_writes_report_artifact(tmp_path, capsys):
     code = main(
         ["soak", "--plans", "2", "--hosts", "4", "--seed", "1",

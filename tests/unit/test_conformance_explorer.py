@@ -74,6 +74,25 @@ def test_greedy_minimize_keeps_a_singleton_cause():
     assert greedy_minimize(["a", "bad", "b"], still_fails) == ["bad"]
 
 
+def test_fabric_workload_widens_actions_and_round_trips():
+    from repro.conformance.explorer import (
+        DEFAULT_ACTIONS,
+        FABRIC_EXPLORE_ACTIONS,
+    )
+
+    assert FABRIC_EXPLORE_ACTIONS == DEFAULT_ACTIONS + ("rack_power_loss",)
+    workload = Workload(num_hosts=4, fabric_racks=2, impair="reorder")
+    clone = Workload.from_dict(workload.to_dict())
+    assert clone.fabric_racks == 2 and clone.impair == "reorder"
+    assert clone == workload
+    # Legacy artifacts without the new keys still load as star workloads.
+    payload = workload.to_dict()
+    payload.pop("fabric_racks")
+    payload.pop("impair")
+    legacy = Workload.from_dict(payload)
+    assert legacy.fabric_racks == 0 and legacy.impair == ""
+
+
 def test_exploration_report_round_trips():
     report = ExplorationReport(
         workload=Workload(num_hosts=4),

@@ -66,3 +66,75 @@ def test_stale_partials_expire():
         frames = fragment_datagram(0, None, PortKind.DATA, 3000, f"m{index}", mtu=1500)
         reasm.accept(frames[0])  # never complete any
     assert reasm.datagrams_expired > 0
+
+
+def test_max_age_requires_clock():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Reassembler(max_age=0.5)
+
+
+def test_orphaned_partial_expires_by_age():
+    # An orphaned partial (dropped fragment) on a quiet link: the count
+    # cap never trips, so only the age timer can reclaim it.
+    clock = {"now": 0.0}
+    reasm = Reassembler(max_age=0.5, clock=lambda: clock["now"])
+    orphan = fragment_datagram(0, None, PortKind.DATA, 3000, "orphan", mtu=1500)
+    assert reasm.accept(orphan[0]) is None  # fragment 1 lost forever
+    assert len(reasm._partial) == 1
+    # A later unrelated fragmented datagram triggers the lazy sweep.
+    clock["now"] = 1.0
+    fresh = fragment_datagram(1, None, PortKind.DATA, 3000, "fresh", mtu=1500)
+    assert reasm.accept(fresh[0]) is None
+    assert reasm.datagrams_expired == 1
+    assert len(reasm._partial) == 1  # only the fresh one remains
+
+
+def test_duplicate_final_fragment_does_not_strand_a_partial():
+    # The duplicate hazard: a duplicated final fragment arriving after
+    # its datagram completed re-creates the partial with every other
+    # fragment already consumed — it can never complete, and no count
+    # cap evicts it on a quiet link.  The age timer must reclaim it.
+    clock = {"now": 0.0}
+    reasm = Reassembler(max_age=0.5, clock=lambda: clock["now"])
+    frames = fragment_datagram(0, None, PortKind.DATA, 3000, "msg", mtu=1500)
+    assert reasm.accept(frames[0]) is None
+    assert reasm.accept(frames[1]) == "msg"
+    # The network delivers a duplicate of the completing fragment.
+    assert reasm.accept(frames[1]) is None
+    assert len(reasm._partial) == 1  # stranded for now
+    clock["now"] = 1.0
+    later = fragment_datagram(1, None, PortKind.DATA, 3000, "later", mtu=1500)
+    assert reasm.accept(later[0]) is None
+    assert reasm.accept(later[1]) == "later"
+    assert len(reasm._partial) == 0
+    assert reasm.datagrams_expired == 1
+
+
+def test_late_fragment_of_expired_datagram_starts_fresh_timer():
+    clock = {"now": 0.0}
+    reasm = Reassembler(max_age=0.5, clock=lambda: clock["now"])
+    frames = fragment_datagram(0, None, PortKind.DATA, 4500, "msg", mtu=1500)
+    assert reasm.accept(frames[0]) is None
+    clock["now"] = 1.0
+    # Fragment 1 arrives after expiry: the old partial is swept first,
+    # so this starts a fresh partial and the datagram never completes
+    # from the survivors alone.
+    assert reasm.accept(frames[1]) is None
+    assert reasm.datagrams_expired == 1
+    assert reasm.accept(frames[2]) is None  # 0 was lost with the old partial
+    assert reasm.datagrams_completed == 0
+
+
+def test_fresh_partials_survive_the_sweep():
+    clock = {"now": 0.0}
+    reasm = Reassembler(max_age=0.5, clock=lambda: clock["now"])
+    a = fragment_datagram(0, None, PortKind.DATA, 3000, "a", mtu=1500)
+    assert reasm.accept(a[0]) is None
+    clock["now"] = 0.4  # younger than max_age
+    b = fragment_datagram(1, None, PortKind.DATA, 3000, "b", mtu=1500)
+    assert reasm.accept(b[0]) is None
+    assert reasm.datagrams_expired == 0
+    assert reasm.accept(a[1]) == "a"
+    assert reasm.accept(b[1]) == "b"

@@ -85,7 +85,7 @@ def test_case_seeds_are_distinct_across_cases_and_soaks():
 def fails_when(predicate):
     """A stand-in for ``check_plan`` driven by a plan predicate."""
 
-    def check(plan, num_hosts, seed):
+    def check(plan, num_hosts, seed, **kwargs):
         return "violation" if predicate(plan) else None
 
     return check
@@ -132,7 +132,7 @@ def test_minimizer_keeps_steps_the_failure_depends_on(monkeypatch):
 def test_run_soak_records_cases_and_counterexamples(monkeypatch):
     calls = []
 
-    def check(plan, num_hosts, seed):
+    def check(plan, num_hosts, seed, **kwargs):
         calls.append(seed)
         # Fail exactly one case, deterministically.
         return "boom" if len(calls) == 3 else None
@@ -159,7 +159,8 @@ def test_run_soak_records_cases_and_counterexamples(monkeypatch):
 
 def test_clean_soak_report_shape(monkeypatch):
     monkeypatch.setattr(
-        "repro.faults.soak.check_plan", lambda plan, num_hosts, seed: None
+        "repro.faults.soak.check_plan",
+        lambda plan, num_hosts, seed, **kwargs: None,
     )
     report = run_soak(plans=3, num_hosts=NUM_HOSTS, seed=1)
     assert report.passed
@@ -188,6 +189,75 @@ def test_counterexample_json_round_trip():
     assert restored == original
     assert restored.plan == original.plan
     assert restored.to_json() == original.to_json()
+
+
+def test_fabric_soak_threads_dimensions_into_report(monkeypatch):
+    seen = []
+
+    def check(plan, num_hosts, seed, fabric_racks=0, impair=None):
+        seen.append((fabric_racks, impair))
+        return "boom"
+
+    monkeypatch.setattr("repro.faults.soak.check_plan", check)
+    report = run_soak(
+        plans=2,
+        num_hosts=NUM_HOSTS,
+        seed=3,
+        minimize=False,
+        fabric_racks=2,
+        impair="reorder",
+    )
+    assert seen == [(2, "reorder")] * 2
+    assert report.fabric_racks == 2 and report.impair == "reorder"
+    payload = report.to_dict()
+    assert payload["fabric_racks"] == 2 and payload["impair"] == "reorder"
+    failing = report.counterexamples[0]
+    assert failing.fabric_racks == 2 and failing.impair == "reorder"
+    restored = Counterexample.from_json(failing.to_json())
+    assert restored == failing
+
+
+def test_fabric_soak_widens_the_action_vocabulary():
+    from repro.faults.generator import FABRIC_ACTIONS
+
+    assert FABRIC_ACTIONS == ACTIONS + ("rack_power_loss",)
+    rng = random.Random(0)
+    drawn = set()
+    for _ in range(200):
+        for _, action, _ in random_steps(
+            rng, 8, max_steps=8, actions=FABRIC_ACTIONS
+        ):
+            drawn.add(action)
+    assert "rack_power_loss" in drawn
+
+
+def test_build_plan_folds_rack_power_loss_only_with_racks():
+    steps = [(10, "rack_power_loss", 1), (80, "recover", 2)]
+    with_racks = build_plan(steps, 4, racks=2)
+    assert [event.kind for event in with_racks] == [
+        "rack_power_loss",
+        "recover",
+    ]
+    assert with_racks.events[0].pids == frozenset({2, 3})
+    # Without racks the action (and the then-invalid recover) fold away.
+    assert len(build_plan(steps, 4)) == 0
+
+
+def test_counterexample_legacy_json_defaults_to_star():
+    # Artifacts written before the fabric dimension must still load.
+    payload = Counterexample(
+        soak_seed=1,
+        index=0,
+        seed=7,
+        num_hosts=NUM_HOSTS,
+        violation="x",
+        steps=[(10, "crash", 1)],
+        minimized_steps=[(10, "crash", 1)],
+    ).to_dict()
+    payload.pop("fabric_racks")
+    payload.pop("impair")
+    restored = Counterexample.from_dict(payload)
+    assert restored.fabric_racks == 0 and restored.impair is None
 
 
 def test_counterexample_plan_rebuilds_from_minimized_steps():

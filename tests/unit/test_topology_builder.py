@@ -76,6 +76,57 @@ def test_validate_rejects_bad_specs():
         ClusterBuilder().rings(2).hosts(2).membership().tap(DeliveryTap()).build()
 
 
+def test_fabric_spec_validation():
+    from repro.net.fabric import FabricTopology, LeafSpineSpec
+    from repro.net.impair import ReorderModel
+
+    # fabric() adopts the fabric's host count.
+    builder = ClusterBuilder().fabric(LeafSpineSpec(racks=2, hosts_per_rack=3))
+    assert builder.spec.hosts_per_ring == 6
+    cluster = builder.membership().build()
+    assert isinstance(cluster.topology, FabricTopology)
+    with pytest.raises(ConfigurationError):
+        # A fabric spec that fails its own validation.
+        TopologySpec(
+            fabric=LeafSpineSpec(racks=0, hosts_per_rack=2), hosts_per_ring=0
+        ).validate()
+    with pytest.raises(ConfigurationError):
+        # Host-count mismatch between fabric and cluster.
+        (
+            ClusterBuilder()
+            .fabric(LeafSpineSpec(racks=2, hosts_per_rack=2))
+            .hosts(5)
+            .build()
+        )
+    with pytest.raises(ConfigurationError):
+        # Fabrics are single-ring for now.
+        (
+            ClusterBuilder()
+            .fabric(LeafSpineSpec(racks=2, hosts_per_rack=2))
+            .rings(2)
+            .membership()
+            .build()
+        )
+    with pytest.raises(ConfigurationError):
+        # Per-host impairments don't span multi-ring clusters.
+        (
+            ClusterBuilder()
+            .rings(2)
+            .hosts(2)
+            .membership()
+            .impair_map({0: ReorderModel(rate=0.1)})
+            .build()
+        )
+
+
+def test_fabric_none_resets_to_star():
+    from repro.net.fabric import LeafSpineSpec
+
+    builder = ClusterBuilder().fabric(LeafSpineSpec(racks=2, hosts_per_rack=2))
+    builder.fabric(None)
+    assert builder.spec.fabric is None
+
+
 def test_builder_threads_network_and_config():
     config = ProtocolConfig(personal_window=11, accelerated_window=11)
     cluster = (
