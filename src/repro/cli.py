@@ -413,6 +413,34 @@ def cmd_conformance(args: argparse.Namespace) -> int:
             print(f"report written to {path}")
         return 0 if explore_report.ok else 1
 
+    if args.mode == "realtime":
+        from repro.conformance.realtime import (
+            RealtimeWorkload,
+            run_realtime_differential,
+        )
+
+        workload = RealtimeWorkload(
+            num_hosts=args.hosts, burst_size=args.burst_size
+        )
+        report = run_realtime_differential(workload=workload, crash=args.crash)
+        if args.json:
+            print(report.to_json())
+        else:
+            status = "PASS" if report.ok else "FAIL"
+            print(
+                f"  {status}  sim vs real  hosts={workload.num_hosts} "
+                f"crash={args.crash} deliveries={report.deliveries} "
+                f"real_wall={report.real_wall_s:.2f}s"
+            )
+            _print_divergences(report.divergences)
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "conformance_realtime.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"report written to {path}")
+        return 0 if report.ok else 1
+
     workload = _conformance_workload(args)
 
     if args.mode == "run":
@@ -737,6 +765,130 @@ def cmd_kv(args: argparse.Namespace) -> int:
     return handlers[args.kv_mode](args)
 
 
+def _fleet_run(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.runtime.fleet import Fleet, run_fleet_workload
+
+    async def run() -> dict:
+        fleet = Fleet(num_daemons=args.daemons, accelerated=not args.original)
+        await fleet.start()
+        try:
+            return await run_fleet_workload(
+                fleet,
+                num_clients=args.clients,
+                duration=args.duration,
+                payload_size=args.payload,
+                pipeline=args.pipeline,
+                crash_pid=(args.daemons - 1) if args.crash else None,
+            )
+        finally:
+            await fleet.drain_and_stop()
+
+    report = asyncio.run(run())
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        ok = report["messages_acked"] == report["messages_sent"]
+        print(
+            f"  {'PASS' if ok else 'FAIL'}  {args.daemons} daemon(s), "
+            f"{args.clients} client(s), {report['duration_s']:.2f}s: "
+            f"{report['msgs_per_sec']:,.0f} msgs/sec closed-loop, "
+            f"p50 {report['latency_p50_ms']:.1f}ms "
+            f"p99 {report['latency_p99_ms']:.1f}ms, "
+            f"{report['reconnects']} reconnect(s)"
+        )
+        counters = report["counters"]
+        print(
+            f"        acked {report['messages_acked']}/"
+            f"{report['messages_sent']}, decode_errors="
+            f"{counters['decode_errors']}, dropped_slow="
+            f"{counters['clients_dropped_slow']}"
+        )
+    return 0 if report["messages_acked"] == report["messages_sent"] else 1
+
+
+def _fleet_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.runtime.bench import (
+        BASELINE_SEED,
+        WALL_TOL,
+        baseline_path,
+        compare_report,
+        run_runtime_bench,
+        to_json,
+    )
+
+    wall_tol = args.wall_tol
+    if wall_tol is None:
+        wall_tol = float(os.environ.get("REPRO_BENCH_WALL_TOL", WALL_TOL))
+
+    if (args.check_baseline or args.update_baseline) and args.seed != BASELINE_SEED:
+        print(
+            f"the committed runtime baseline is recorded at seed "
+            f"{BASELINE_SEED}; gating a seed-{args.seed} run against it "
+            f"would only report legitimate per-seed differences",
+            file=sys.stderr,
+        )
+        return 2
+    case_names = args.cases.split(",") if args.cases else None
+    report = run_runtime_bench(
+        seed=args.seed,
+        case_names=case_names,
+        progress=None if args.json else print,
+    )
+    if args.json:
+        print(to_json(report))
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"runtime_bench_seed{args.seed}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_json(report))
+        if not args.json:
+            print(f"report written to {path}")
+    base_path = baseline_path()
+    if args.update_baseline:
+        if case_names is not None:
+            print("--update-baseline needs the full suite, not --cases")
+            return 2
+        base_path.parent.mkdir(parents=True, exist_ok=True)
+        base_path.write_text(to_json(report))
+        print(f"updated baseline {base_path}")
+        return 0
+    if args.check_baseline:
+        if not base_path.exists():
+            print(f"BASELINE MISSING: {base_path} — run with --update-baseline")
+            return 1
+        reference = json.loads(base_path.read_text())
+        if case_names is not None:
+            # A partial run gates against the matching baseline slice.
+            reference = dict(reference)
+            reference["cases"] = {
+                name: metrics
+                for name, metrics in reference.get("cases", {}).items()
+                if name in set(case_names)
+            }
+        problems = compare_report(report, reference, wall_tol=wall_tol)
+        if problems:
+            print(f"REGRESSIONS vs {base_path}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"within tolerance of baseline {base_path}")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _fleet_run,
+        "bench": _fleet_bench,
+    }
+    return handlers[args.fleet_mode](args)
+
+
 def cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -909,11 +1061,13 @@ def build_parser() -> argparse.ArgumentParser:
             "report",
             "sharded",
             "sharded-explore",
+            "realtime",
         ],
         help="run one differential; explore bounded fault schedules; "
              "replay or pretty-print a saved artifact; compare sharded "
              "multi-ring delivery against single-ring (sharded); sweep "
-             "depth-1 faults per ring under EVS checking (sharded-explore)",
+             "depth-1 faults per ring under EVS checking (sharded-explore); "
+             "diff the simulator against real loopback daemons (realtime)",
     )
     conformance.add_argument(
         "artifact",
@@ -956,6 +1110,9 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=("reorder", "jitter", "duplicate"),
                              help="layer a named impairment preset under "
                                   "every variant run")
+    conformance.add_argument("--crash", action="store_true",
+                             help="realtime mode: crash and restart one "
+                                  "daemon at the scripted barriers")
     conformance.add_argument("--no-minimize", action="store_true",
                              help="explore mode: keep divergent schedules "
                                   "as enumerated (skip shrinking)")
@@ -1068,6 +1225,61 @@ def build_parser() -> argparse.ArgumentParser:
     kv_recover.add_argument("--torn", action="store_true",
                             help="with --demo: append a torn WAL tail")
     kv_recover.set_defaults(func=cmd_kv)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-daemon loopback fleet: closed-loop client workloads "
+             "(run) and the real-runtime regression benches (bench)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_mode", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="start N daemons + M concurrent clients over loopback and "
+             "drive a closed-loop workload",
+    )
+    fleet_run.add_argument("--daemons", type=int, default=3,
+                           help="ring size (one daemon per simulated server)")
+    fleet_run.add_argument("--clients", type=int, default=8,
+                           help="concurrent SpreadClient connections, "
+                                "round-robined across daemons")
+    fleet_run.add_argument("--duration", type=float, default=2.0,
+                           help="workload wall-clock seconds")
+    fleet_run.add_argument("--payload", type=int, default=64,
+                           help="payload bytes per message")
+    fleet_run.add_argument("--pipeline", type=int, default=1,
+                           help="in-flight messages per client")
+    fleet_run.add_argument("--crash", action="store_true",
+                           help="crash and restart the last daemon "
+                                "mid-workload (clients reconnect)")
+    fleet_run.add_argument("--original", action="store_true",
+                           help="run the original Totem Ring protocol")
+    fleet_run.add_argument("--json", action="store_true",
+                           help="print the full workload report as JSON")
+    fleet_run.set_defaults(func=cmd_fleet)
+
+    fleet_bench = fleet_sub.add_parser(
+        "bench",
+        help="real-runtime benches over loopback; gate on "
+             "benchmarks/baselines/BENCH_runtime.json",
+    )
+    fleet_bench.add_argument("--cases", default=None,
+                             help="comma-separated case names (default: all)")
+    fleet_bench.add_argument("--seed", type=int, default=0)
+    fleet_bench.add_argument("--json", action="store_true",
+                             help="print the full report as JSON")
+    fleet_bench.add_argument("--out", default=None, metavar="DIR",
+                             help="write runtime_bench_seed<seed>.json into DIR")
+    fleet_bench.add_argument("--wall-tol", type=float, default=None,
+                             help="ops/sec tolerance fraction (default: "
+                                  "REPRO_BENCH_WALL_TOL or 0.5)")
+    fleet_bench.add_argument("--check-baseline", action="store_true",
+                             help="compare against benchmarks/baselines/"
+                                  "BENCH_runtime.json; exit 1 on regression")
+    fleet_bench.add_argument("--update-baseline", action="store_true",
+                             help="write this run over the committed "
+                                  "runtime baseline")
+    fleet_bench.set_defaults(func=cmd_fleet)
 
     daemon = sub.add_parser("daemon", help="run a real daemon over UDP")
     daemon.add_argument("--pid", type=int, required=True)

@@ -1,0 +1,319 @@
+"""Sans-io transport core shared by the simulator and the real runtime.
+
+Both "implementations" of the protocol — the deterministic simulator
+driver (:class:`repro.sim.driver.ProtocolHost`) and the asyncio/UDP
+runtime node (:class:`repro.runtime.node.RingNode`) — move the same
+traffic: runs of new multicasts coalesced into one datagram
+(``messages_per_datagram``), retransmissions travelling alone, frames
+queued through preallocated rings, and receive/send windows accounted in
+bytes.  This module is the single home for that machinery, with no I/O
+and no clock: the sim prices the plans in simulated CPU seconds, the
+runtime encodes them onto real sockets, and neither keeps a private
+copy of the policy.
+
+Contents:
+
+* :class:`FrameRing` — the preallocated power-of-2 receive/transmit
+  queue (re-exported by :mod:`repro.net.ring` for the simulator's
+  hot-path inlines).
+* :class:`CoalescingAccumulator` — the run-grouping policy for
+  ``MulticastData`` effects; one implementation of "runs of consecutive
+  new sends pack into one datagram, flushed at the first effect of any
+  other kind so the token never overtakes pre-token sends".
+* :func:`batch_wire_size` — the exact wire arithmetic of a coalesced
+  frame (``encode_data_batch``'s format), used by the sim cost model
+  and by anyone sizing real datagrams.
+* :func:`encode_run` / :func:`decode_data_port` — the runtime codec for
+  a coalesced run and the *port-aware* decode of the data port.  On the
+  wire, core type 3 (``TYPE_DATA_BATCH``) collides with membership type
+  3 (``TYPE_JOIN``); the collision is resolved by port class — batches
+  only ever travel on the data port, joins and all other control
+  messages ride the token port — so data-port decoding must use this
+  function, never :func:`repro.membership.codec.decode_any`.
+* :class:`ByteWindow` — bounded-byte admission accounting, the base of
+  the simulator's kernel :class:`~repro.net.host.SocketBuffer` and of
+  the runtime daemons' per-client send windows (backpressure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.codec import (
+    BATCH_FRAME_OVERHEAD,
+    BATCH_ITEM_OVERHEAD,
+    MAGIC,
+    TYPE_DATA,
+    TYPE_DATA_BATCH,
+    decode_data_batch,
+    encode_data,
+    encode_data_batch,
+)
+from repro.core.codec import _decode_data  # one parse path for both consumers
+from repro.core.messages import DataMessage
+from repro.util.errors import CodecError
+
+#: Default initial :class:`FrameRing` capacity (slots).  Steady-state
+#: queue depths are bounded by flow control (global_window=150 frames
+#: system-wide), so rings rarely grow past their initial size; growth is
+#: transient start-up cost, not per-frame cost.
+DEFAULT_CAPACITY = 256
+
+
+class FrameRing:
+    """A power-of-2 ring of slots with head/tail index arithmetic.
+
+    Replaces ``collections.deque`` on every per-frame queue (kernel
+    socket buffers, NIC transmit queues, switch ports, the runtime
+    node's receive queues): a preallocated slot list addressed by
+    monotonically increasing head/tail indices and a bit mask — pushing
+    and popping in steady state touch only existing slots and two
+    integers, allocating nothing.
+
+    Simulator hot paths (``SimHost.receive``,
+    ``ProtocolHost._select_work``, the NIC and switch-port serializers)
+    inline these operations against the ``_slots``/``_mask``/``_head``/
+    ``_tail`` fields directly; the methods here are the reference
+    implementation and the API for non-hot callers.  Any inline must
+    keep the exact semantics (grow when full, slot freed on pop) or the
+    two copies drift.
+
+    Slots hold whatever the owner queues: simulated
+    :class:`~repro.net.packet.Frame` objects or the runtime's raw
+    datagram ``bytes``.
+    """
+
+    __slots__ = ("_slots", "_mask", "_head", "_tail")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        size = 1
+        while size < capacity:
+            size <<= 1
+        self._slots: List[Optional[object]] = [None] * size
+        self._mask = size - 1
+        #: Next index to pop; increases monotonically (never wrapped —
+        #: the mask does the wrapping, and Python ints don't overflow).
+        self._head = 0
+        #: Next index to push.
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def __bool__(self) -> bool:
+        return self._tail != self._head
+
+    def push(self, frame: object) -> None:
+        tail = self._tail
+        if tail - self._head > self._mask:
+            # _grow rebases the indices (head becomes 0): re-read tail.
+            self._grow()
+            tail = self._tail
+        self._slots[tail & self._mask] = frame
+        self._tail = tail + 1
+
+    def pop(self) -> object:
+        head = self._head
+        if head == self._tail:
+            raise IndexError("pop from an empty FrameRing")
+        slots = self._slots
+        index = head & self._mask
+        frame = slots[index]
+        # Free the slot so the ring never pins a frame (pooled frames are
+        # recycled and reused while still referenced by a stale slot
+        # otherwise, which is harmless for correctness but confuses leak
+        # accounting and keeps payload buffers alive).
+        slots[index] = None
+        self._head = head + 1
+        return frame
+
+    def peek(self) -> object:
+        if self._head == self._tail:
+            raise IndexError("peek at an empty FrameRing")
+        return self._slots[self._head & self._mask]
+
+    def clear(self) -> None:
+        slots = self._slots
+        for index in range(len(slots)):
+            slots[index] = None
+        self._head = 0
+        self._tail = 0
+
+    def _grow(self) -> None:
+        """Double the slot array, relinking live frames in order.
+
+        Runs only when the ring is completely full — transient warm-up
+        or a pathological burst — never in steady state.
+        """
+        old = self._slots
+        old_mask = self._mask
+        head = self._head
+        count = self._tail - head
+        size = (old_mask + 1) * 2
+        slots: List[Optional[object]] = [None] * size
+        for offset in range(count):
+            slots[offset] = old[(head + offset) & old_mask]
+        self._slots = slots
+        self._mask = size - 1
+        self._head = 0
+        self._tail = count
+
+
+# ----------------------------------------------------------------------
+# Coalescing (messages_per_datagram)
+# ----------------------------------------------------------------------
+
+
+def batch_wire_size(messages: Sequence[DataMessage], header_bytes: int) -> int:
+    """Wire size of a coalesced frame carrying ``messages``.
+
+    Mirrors :func:`repro.core.codec.encode_data_batch` exactly: one
+    batch header, then per message a length prefix plus a complete
+    single-message encoding (``header_bytes`` of header + the payload).
+    The sim prices coalesced sends with this, so the simulated per-byte
+    cost matches what the runtime actually puts on the wire.
+    """
+    size = BATCH_FRAME_OVERHEAD
+    for message in messages:
+        size += BATCH_ITEM_OVERHEAD + header_bytes + int(message.payload_size)
+    return size
+
+
+class CoalescingAccumulator:
+    """Groups runs of consecutive coalescible multicasts.
+
+    The policy (paper §III-C, implemented identically by the sim driver
+    and the runtime node): with ``messages_per_datagram > 1``, runs of
+    consecutive *new* multicasts pack into one datagram of up to that
+    many messages.  Retransmissions never coalesce — callers send them
+    alone without touching the accumulator.  A run ends at the first
+    effect of any other kind: callers must drain (:meth:`take`) before
+    emitting that effect so datagrams keep effect order — the token
+    must not overtake pre-token sends.
+
+    ``group`` is public: the sim's per-effect hot loop tests it
+    directly (``acc.group is not None``) the same way it inlines
+    :class:`FrameRing` fields; :meth:`push` and :meth:`take` are the
+    reference mutators and the only ones.
+    """
+
+    __slots__ = ("mpd", "group")
+
+    def __init__(self, messages_per_datagram: int) -> None:
+        self.mpd = messages_per_datagram
+        self.group: Optional[List[DataMessage]] = None
+
+    def push(self, message: DataMessage) -> Optional[List[DataMessage]]:
+        """Add one new multicast to the current run.
+
+        Returns the completed run when it reaches
+        ``messages_per_datagram``, else ``None`` (message retained).
+        """
+        group = self.group
+        if group is None:
+            group = [message]
+            if len(group) >= self.mpd:
+                return group
+            self.group = group
+            return None
+        group.append(message)
+        if len(group) >= self.mpd:
+            self.group = None
+            return group
+        return None
+
+    def take(self) -> Optional[List[DataMessage]]:
+        """Drain the partial run (run boundary), or ``None`` if empty."""
+        group = self.group
+        self.group = None
+        return group
+
+
+def encode_run(messages: Sequence[DataMessage]) -> bytes:
+    """Encode one coalesced run for the wire.
+
+    A run of one gains nothing from the batch frame, so it is encoded
+    as a plain single-message datagram — byte-identical to the
+    uncoalesced path — exactly as the sim prices it.
+    """
+    if len(messages) == 1:
+        return encode_data(messages[0])
+    return encode_data_batch(messages)
+
+
+def decode_data_port(data: bytes) -> Union[DataMessage, List[DataMessage]]:
+    """Decode one datagram received on the *data* port.
+
+    The data port carries only single data messages and coalesced
+    batches; tokens and every membership control message ride the token
+    port.  That port split is what makes wire type 3 unambiguous: on
+    the data port it is ``TYPE_DATA_BATCH``, on the token port it is
+    ``TYPE_JOIN`` (decoded by ``decode_any``).  Anything else here is a
+    codec error, counted by the caller like any malformed datagram.
+    """
+    if len(data) < 2:
+        raise CodecError(f"datagram too short: {len(data)} bytes")
+    if data[0] != MAGIC:
+        raise CodecError(f"bad magic byte {data[0]:#x}")
+    msg_type = data[1]
+    if msg_type == TYPE_DATA:
+        return _decode_data(data)
+    if msg_type == TYPE_DATA_BATCH:
+        return decode_data_batch(data)
+    raise CodecError(f"unexpected type {msg_type} on the data port")
+
+
+# ----------------------------------------------------------------------
+# Byte-window accounting
+# ----------------------------------------------------------------------
+
+
+class ByteWindow:
+    """Bounded-byte admission accounting for one queue.
+
+    The policy shared by the simulator's kernel
+    :class:`~repro.net.host.SocketBuffer` (which subclasses this and
+    inlines the arithmetic on its hot receive path) and the runtime
+    daemons' per-client send windows: admission is all-or-nothing
+    against a byte capacity, drops are counted rather than buffered,
+    and the peak committed depth is recorded for observability.
+
+    Subclass hot paths may inline ``_queued_bytes``/``_capacity``
+    updates directly; any inline must mirror :meth:`try_reserve` /
+    :meth:`release` exactly or the copies drift.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self._capacity = capacity_bytes
+        self._queued_bytes = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.peak_queue_bytes = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def try_reserve(self, size: int) -> bool:
+        """Admit ``size`` bytes; False (and a drop count) on overflow."""
+        queued = self._queued_bytes + size
+        if queued > self._capacity:
+            self.frames_dropped += 1
+            return False
+        self._queued_bytes = queued
+        self.frames_received += 1
+        if queued > self.peak_queue_bytes:
+            self.peak_queue_bytes = queued
+        return True
+
+    def release(self, size: int) -> None:
+        """Return ``size`` admitted bytes to the window."""
+        self._queued_bytes -= size
+
+    def reset(self) -> None:
+        """Drop all committed bytes (volatile-state clear)."""
+        self._queued_bytes = 0

@@ -173,6 +173,10 @@ class MembershipController:
         self._rec: Optional[_RecoveryState] = None
         self._final_recovery: Optional[_RecoveryState] = None
         self._old_buffer = None  # previous ring's MessageBuffer, kept to help stragglers
+        #: Straggler-help damping (see _on_status): when the current ring
+        #: was installed, and when each peer was last sent a help reply.
+        self._installed_at: Optional[float] = None
+        self._help_sent: Dict[int, float] = {}
         self._past_rings: Set[int] = set()
         #: Ring ids whose recovery this controller has ever entered.  A
         #: commit token for one of these is a stale echo: ring ids are
@@ -412,6 +416,35 @@ class MembershipController:
             return
         if self.state is MemberState.OPERATIONAL:
             self._enter_gather(effects)
+
+    def on_data_batch(self, messages: Sequence[DataMessage]) -> List[Effect]:
+        """Handle one coalesced datagram's worth of data messages.
+
+        The homogeneous case (every message for the current ring — the
+        only batch a peer on the same ring ever emits) routes through
+        the ordering engine's batch entry point so delivery runs stay
+        batched end to end; anything else (mixed or foreign rings, e.g.
+        a batch straggling across a configuration change) falls back to
+        the per-message path, which already handles stashing, stale
+        rings, and gather triggers.
+        """
+        effects: List[Effect] = []
+        ordering = self.ordering
+        if ordering is not None and all(
+            m.ring_id == ordering.ring_id for m in messages
+        ):
+            core = ordering.on_data_batch(messages)
+            if self.state is MemberState.OPERATIONAL:
+                self._translate(core, effects)
+            else:
+                for effect in core:
+                    if not isinstance(effect, (Deliver, DeliverBatch, Stable)):
+                        effects.append(effect)
+                self._rewind_deliveries(core)
+            return effects
+        for message in messages:
+            self._on_data(message, effects)
+        return effects
 
     def _rewind_deliveries(self, core_effects: Sequence[Effect]) -> None:
         """While not Operational, the ordering engine must not advance its
@@ -822,6 +855,34 @@ class MembershipController:
             and self._final_recovery is not None
             and status.old_ring_id == self._final_recovery.my_old_ring
         ):
+            # Echo control.  An operational member answering a status is a
+            # positive-feedback loop if the answer is itself a status every
+            # other operational member answers: multicast replies made each
+            # status seen by the other N-1 members spawn N-1 more — an
+            # exponential storm (for N > 2) that starved the token on the
+            # shared control port until the token-loss timer split the
+            # ring.  Three dampers make help loop-free while keeping a real
+            # straggler unblocked: the reply goes unicast to the straggler
+            # (operational peers never see it, so never re-answer it), each
+            # peer is helped at most once per status interval (the
+            # straggler's own re-gossip rate, so nothing is lost), and help
+            # stops recovery_timeout after install — by then any straggler
+            # has timed out into a fresh gather and needs a join exchange,
+            # not an old status.
+            now = self._now()
+            if now is not None:
+                if (
+                    self._installed_at is not None
+                    and now - self._installed_at > self.timeouts.recovery_timeout
+                ):
+                    return
+                last = self._help_sent.get(status.sender)
+                if (
+                    last is not None
+                    and now - last < self.timeouts.recovery_status_interval
+                ):
+                    return
+                self._help_sent[status.sender] = now
             final = self._final_recovery
             missing = final.my_have - set(status.have)
             if missing and self._old_buffer is not None:
@@ -829,7 +890,10 @@ class MembershipController:
                     message = self._old_buffer.get(seq)
                     if message is not None:
                         effects.append(
-                            SendControl(RecoveredMessage(final.my_old_ring, message))
+                            SendControl(
+                                RecoveredMessage(final.my_old_ring, message),
+                                destination=status.sender,
+                            )
                         )
             effects.append(
                 SendControl(
@@ -839,7 +903,8 @@ class MembershipController:
                         old_ring_id=final.my_old_ring,
                         have=tuple(sorted(final.my_have)),
                         complete=True,
-                    )
+                    ),
+                    destination=status.sender,
                 )
             )
 
@@ -1083,6 +1148,8 @@ class MembershipController:
                 now=now,
             )
         self._final_recovery = rec
+        self._installed_at = self._now()
+        self._help_sent = {}
         self._rec = None
         effects.append(CancelTimer(TIMER_RECOVERY_STATUS))
         effects.append(CancelTimer(TIMER_RECOVERY))

@@ -13,6 +13,7 @@ from collections import deque
 from heapq import heappush
 from typing import Callable, Deque, Optional, List
 
+from repro.core.transport_core import ByteWindow
 from repro.net.loss import LossModel, NoLoss
 from repro.net.nic import Nic
 from repro.net.packet import Frame, PortKind
@@ -25,39 +26,29 @@ from repro.net.simulator import Simulator
 _DATA = PortKind.DATA
 
 
-class SocketBuffer:
+class SocketBuffer(ByteWindow):
     """A bounded kernel receive buffer for one UDP socket.
 
-    Frames sit in a preallocated :class:`FrameRing` — steady-state
+    Admission accounting (capacity, drop counting, peak depth) comes
+    from the shared :class:`~repro.core.transport_core.ByteWindow`;
+    frames sit in a preallocated :class:`FrameRing` — steady-state
     push/pop touch only ring slots and index integers, no heap churn.
+    ``SimHost.receive`` inlines both against the same field names.
     """
 
     def __init__(self, capacity_bytes: int) -> None:
-        self._capacity = capacity_bytes
+        super().__init__(capacity_bytes)
         self._ring = FrameRing()
-        self._queued_bytes = 0
-        self.frames_received = 0
-        self.frames_dropped = 0
-        self.peak_queue_bytes = 0
 
     def __len__(self) -> int:
         ring = self._ring
         return ring._tail - ring._head
 
-    @property
-    def queued_bytes(self) -> int:
-        return self._queued_bytes
-
     def push(self, frame: Frame) -> bool:
         """Enqueue an arriving frame; False means kernel-buffer overflow."""
-        if self._queued_bytes + frame.size > self._capacity:
-            self.frames_dropped += 1
+        if not self.try_reserve(frame.size):
             return False
         self._ring.push(frame)
-        self._queued_bytes += frame.size
-        self.frames_received += 1
-        if self._queued_bytes > self.peak_queue_bytes:
-            self.peak_queue_bytes = self._queued_bytes
         return True
 
     def pop(self) -> Frame:

@@ -1,111 +1,15 @@
-"""Preallocated frame ring: the zero-allocation receive/transmit queue.
+"""Re-export of :class:`FrameRing` from the shared transport core.
 
-Every per-frame queue in the simulated network (kernel socket buffers,
-NIC transmit queue, switch output ports) holds frames between a producer
-and a single consumer.  A ``collections.deque`` serves that fine, but it
-allocates internal blocks as it grows and shrinks; under a steady-state
-token round that is the last remaining per-frame heap churn in
-``repro.net``.  ``FrameRing`` replaces it with a preallocated power-of-2
-slot list addressed by monotonically increasing head/tail indices and a
-bit mask — pushing and popping in steady state touch only existing slots
-and two integers, allocating nothing.
-
-Hot paths (``SimHost.receive``, ``ProtocolHost._select_work``, the NIC
-and switch-port serializers) inline these operations against the
-``_slots``/``_mask``/``_head``/``_tail`` fields directly, the same way
-they already inline ``SocketBuffer.push``; the methods here are the
-reference implementation and the API for non-hot callers.  Any inline
-must keep the exact semantics (grow when full, slot freed on pop) or the
-two copies drift.
+``FrameRing`` began life here as the simulator's zero-allocation
+receive/transmit queue; it now lives in
+:mod:`repro.core.transport_core`, where the asyncio runtime shares it
+for its datagram receive queues.  This module remains the import path
+used by the simulated network stack (``repro.net.host``,
+``repro.net.nic``, ``repro.net.switch``) and its tests.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from repro.core.transport_core import DEFAULT_CAPACITY, FrameRing
 
-from repro.net.packet import Frame
-
-#: Default initial capacity (slots).  Steady-state queue depths are
-#: bounded by flow control (global_window=150 frames system-wide), so
-#: rings rarely grow past their initial size; growth is transient
-#: start-up cost, not per-frame cost.
-DEFAULT_CAPACITY = 256
-
-
-class FrameRing:
-    """A power-of-2 ring of frame slots with head/tail index arithmetic."""
-
-    __slots__ = ("_slots", "_mask", "_head", "_tail")
-
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
-        size = 1
-        while size < capacity:
-            size <<= 1
-        self._slots: List[Optional[Frame]] = [None] * size
-        self._mask = size - 1
-        #: Next index to pop; increases monotonically (never wrapped —
-        #: the mask does the wrapping, and Python ints don't overflow).
-        self._head = 0
-        #: Next index to push.
-        self._tail = 0
-
-    def __len__(self) -> int:
-        return self._tail - self._head
-
-    def __bool__(self) -> bool:
-        return self._tail != self._head
-
-    def push(self, frame: Frame) -> None:
-        tail = self._tail
-        if tail - self._head > self._mask:
-            # _grow rebases the indices (head becomes 0): re-read tail.
-            self._grow()
-            tail = self._tail
-        self._slots[tail & self._mask] = frame
-        self._tail = tail + 1
-
-    def pop(self) -> Frame:
-        head = self._head
-        if head == self._tail:
-            raise IndexError("pop from an empty FrameRing")
-        slots = self._slots
-        index = head & self._mask
-        frame = slots[index]
-        # Free the slot so the ring never pins a frame (pooled frames are
-        # recycled and reused while still referenced by a stale slot
-        # otherwise, which is harmless for correctness but confuses leak
-        # accounting and keeps payload buffers alive).
-        slots[index] = None
-        self._head = head + 1
-        return frame  # type: ignore[return-value]
-
-    def peek(self) -> Frame:
-        if self._head == self._tail:
-            raise IndexError("peek at an empty FrameRing")
-        return self._slots[self._head & self._mask]  # type: ignore[return-value]
-
-    def clear(self) -> None:
-        slots = self._slots
-        for index in range(len(slots)):
-            slots[index] = None
-        self._head = 0
-        self._tail = 0
-
-    def _grow(self) -> None:
-        """Double the slot array, relinking live frames in order.
-
-        Runs only when the ring is completely full — transient warm-up
-        or a pathological burst — never in steady state.
-        """
-        old = self._slots
-        old_mask = self._mask
-        head = self._head
-        count = self._tail - head
-        size = (old_mask + 1) * 2
-        slots: List[Optional[Frame]] = [None] * size
-        for offset in range(count):
-            slots[offset] = old[(head + offset) & old_mask]
-        self._slots = slots
-        self._mask = size - 1
-        self._head = 0
-        self._tail = count
+__all__ = ["DEFAULT_CAPACITY", "FrameRing"]

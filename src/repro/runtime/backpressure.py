@@ -1,0 +1,153 @@
+"""Bounded per-client send queues: backpressure for daemon fan-out.
+
+A daemon fan-outs every ordered delivery to its connected clients.  A
+naive ``writer.write()`` loop makes the daemon's memory hostage to its
+slowest client: asyncio buffers unboundedly inside the transport, so a
+client that stops reading grows the daemon's heap without limit.  Real
+Spread flow-blocks or disconnects slow clients instead; this module
+implements that policy.
+
+Each client connection gets a :class:`ClientSendQueue`: frames are
+admitted against a byte-bounded window (the shared
+:class:`~repro.core.transport_core.ByteWindow`) and drained by one
+writer task that honours the transport's real flow control
+(``await writer.drain()``).  A client that falls further behind than
+the window allows is *disconnected*, not buffered — the daemon's memory
+stays bounded by ``capacity_bytes × clients`` no matter how slow any
+reader is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.transport_core import ByteWindow
+
+#: Default per-client window: generous for loopback benches, small
+#: enough that a stalled client is cut off long before it matters.
+DEFAULT_CLIENT_WINDOW_BYTES = 1 << 20
+
+
+class ClientSendQueue:
+    """One client's outbound frame queue, byte-bounded and task-drained.
+
+    ``send`` is synchronous (callable from delivery callbacks); the
+    drain task serialises writes and applies genuine transport
+    backpressure via ``drain()``.  Overflow is fail-fast: the client is
+    marked slow and its connection torn down.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        capacity_bytes: int = DEFAULT_CLIENT_WINDOW_BYTES,
+    ) -> None:
+        self.writer = writer
+        self.window = ByteWindow(capacity_bytes)
+        self._frames: Deque[bytes] = deque()
+        self._wakeup = asyncio.Event()
+        self._closing = False
+        self._task: Optional[asyncio.Task] = None
+        #: True once this client was dropped for falling behind.
+        self.dropped_slow = False
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    @property
+    def pending_frames(self) -> List[bytes]:
+        """Accepted-but-unwritten frames, oldest first (a snapshot)."""
+        return list(self._frames)
+
+    def send(self, frame: bytes) -> bool:
+        """Queue ``frame``; False if the client is closing or too slow.
+
+        Overflow disconnects the client (fail-fast): delivering a
+        truncated stream silently would violate the ordered-delivery
+        contract, so the client is told nothing and must reconnect.
+        """
+        if self._closing or self.writer.is_closing():
+            return False
+        if not self.window.try_reserve(len(frame)):
+            self.dropped_slow = True
+            self.abort()
+            return False
+        self._frames.append(frame)
+        self._wakeup.set()
+        return True
+
+    def close(self) -> None:
+        """Begin teardown: flush what is queued, then close the writer."""
+        if self._closing:
+            return
+        self._closing = True
+        self._wakeup.set()
+
+    def abort(self) -> None:
+        """Hard teardown: drop queued frames and kill the transport now.
+
+        Used for slow-client drops — a graceful close would await
+        ``drain()`` on a transport the stalled peer never reads, which
+        blocks forever.  Aborting the transport wakes any in-flight
+        ``drain()`` with a connection error the drain task absorbs.
+        """
+        self._closing = True
+        self._frames.clear()
+        self.window.reset()
+        self._wakeup.set()
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
+    async def drain_and_close(self) -> None:
+        """Graceful drain: flush queued frames, then close the writer."""
+        self._closing = True
+        self._wakeup.set()
+        if self._task is not None:
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+
+    async def aclose(self) -> None:
+        """Immediate teardown: drop queued frames and close the writer."""
+        self.abort()
+        await self.drain_and_close()
+
+    async def _drain(self) -> None:
+        writer = self.writer
+        frames = self._frames
+        window = self.window
+        try:
+            while True:
+                while frames:
+                    frame = frames.popleft()
+                    window.release(len(frame))
+                    writer.write(frame)
+                    # Real flow control: suspend until the transport's
+                    # buffer drains below its high-water mark.  While
+                    # suspended, arriving frames accumulate against the
+                    # byte window — the bound that turns a stalled
+                    # reader into a disconnect instead of heap growth.
+                    await writer.drain()
+                if self._closing:
+                    break
+                self._wakeup.clear()
+                await self._wakeup.wait()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self._closing = True
+            frames.clear()
+            window.reset()
+        finally:
+            self._closing = True
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

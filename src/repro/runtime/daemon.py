@@ -4,17 +4,23 @@ One daemon runs per server; sending clients inject messages over a unix
 socket and receiving clients get every delivered message (paper §IV-A:
 "each of the 8 participating servers ran one daemon, one sending client
 ... and one receiving client").
+
+Client fan-out is byte-bounded: each connection owns a
+:class:`~repro.runtime.backpressure.ClientSendQueue`, so a client that
+stops reading is disconnected when it falls a window behind rather than
+growing the daemon's heap without limit.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.messages import DataMessage
 from repro.evs.configuration import Configuration
 from repro.runtime import ipc
+from repro.runtime.backpressure import DEFAULT_CLIENT_WINDOW_BYTES, ClientSendQueue
 from repro.runtime.node import RingNode
 from repro.runtime.transport import PeerAddress
 from repro.util.errors import CodecError
@@ -34,6 +40,7 @@ class DaemonServer:
         accelerated: bool = True,
         tcp_port: Optional[int] = None,
         observer: Optional["ProtocolObserver"] = None,
+        client_window_bytes: int = DEFAULT_CLIENT_WINDOW_BYTES,
         **node_kwargs,
     ) -> None:
         self.pid = pid
@@ -42,6 +49,10 @@ class DaemonServer:
         #: Spread supports TCP clients but recommends co-locating clients
         #: with daemons on LANs; we offer the same choice.
         self.tcp_port = tcp_port
+        self.client_window_bytes = client_window_bytes
+        # ``clock=`` (and every other RingNode knob) passes through
+        # node_kwargs, so tests can inject a controllable time source
+        # into the daemon's membership timeouts.
         self.node = RingNode(
             pid=pid,
             peers=peers,
@@ -53,8 +64,9 @@ class DaemonServer:
         self.node.on_config = self._config_changed
         self._server: Optional[asyncio.AbstractServer] = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
-        self._clients: Set[asyncio.StreamWriter] = set()
+        self._clients: Dict[asyncio.StreamWriter, ClientSendQueue] = {}
         self.messages_relayed = 0
+        self.clients_dropped_slow = 0
 
     async def start(self) -> None:
         if os.path.exists(self.socket_path):
@@ -69,15 +81,17 @@ class DaemonServer:
             )
 
     async def stop(self) -> None:
+        """Stop serving: drain client queues, then fail-stop the node."""
         for server in (self._server, self._tcp_server):
             if server is not None:
                 server.close()
                 await server.wait_closed()
         self._server = None
         self._tcp_server = None
-        for writer in list(self._clients):
-            writer.close()
+        queues = list(self._clients.values())
         self._clients.clear()
+        for queue in queues:
+            await queue.aclose()
         await self.node.stop()
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
@@ -87,12 +101,14 @@ class DaemonServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self._clients.add(writer)
+        queue = ClientSendQueue(writer, self.client_window_bytes)
+        queue.start()
+        self._clients[writer] = queue
         try:
             while True:
                 try:
                     opcode, body = await ipc.read_frame(reader)
-                except (asyncio.IncompleteReadError, ConnectionResetError):
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
                     break
                 if opcode == ipc.OP_SUBMIT:
                     service, payload = ipc.unpack_submit(body)
@@ -101,15 +117,22 @@ class DaemonServer:
                 else:
                     raise CodecError(f"unexpected client opcode {opcode}")
         finally:
-            self._clients.discard(writer)
-            writer.close()
+            self._clients.pop(writer, None)
+            await queue.drain_and_close()
+            if queue.dropped_slow:
+                self.clients_dropped_slow += 1
 
     def _broadcast(self, frame: bytes) -> None:
-        for writer in list(self._clients):
-            if writer.is_closing():
-                self._clients.discard(writer)
-                continue
-            writer.write(frame)
+        dead = None
+        for writer, queue in self._clients.items():
+            if not queue.send(frame) and queue.closing:
+                if dead is None:
+                    dead = [writer]
+                else:
+                    dead.append(writer)
+        if dead:
+            for writer in dead:
+                self._clients.pop(writer, None)
 
     def _deliver(self, message: DataMessage, config_id: int) -> None:
         self._broadcast(

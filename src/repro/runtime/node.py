@@ -6,17 +6,31 @@ prototype: the process itself injects and receives messages.  It wires a
 the ordering engine) to a :class:`~repro.runtime.transport.UdpTransport`,
 executes timer effects with ``loop.call_later``, and implements the
 token/data priority discipline over two receive queues.
+
+The datagram path is the shared sans-io transport core
+(:mod:`repro.core.transport_core`): received datagrams queue through
+:class:`FrameRing` rings, outbound multicast runs coalesce through the
+same :class:`CoalescingAccumulator` the simulator prices, and the data
+port is decoded with the port-aware :func:`decode_data_port` (batches
+and single data messages only — the token port carries everything else
+via ``decode_any``).  None of that logic lives here; this module only
+binds it to sockets, timers, and the event loop.
 """
 
 from __future__ import annotations
 
 import asyncio
-from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.events import Effect, MulticastData, SendToken
 from repro.core.messages import DataMessage, DeliveryService
+from repro.core.transport_core import (
+    CoalescingAccumulator,
+    FrameRing,
+    decode_data_port,
+    encode_run,
+)
 from repro.evs.configuration import Configuration
 from repro.membership.codec import decode_any, encode_any
 from repro.membership.controller import MembershipController
@@ -48,6 +62,7 @@ RUNTIME_TIMEOUTS = MembershipTimeouts(
 
 DeliverCallback = Callable[[DataMessage, int], None]
 ConfigCallback = Callable[[Configuration], None]
+Clock = Callable[[], float]
 
 
 class RingNode:
@@ -64,13 +79,15 @@ class RingNode:
         loss_seed: int = 0,
         token_loss_rate: float = 0.0,
         observer: Optional["ProtocolObserver"] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.pid = pid
         self.observer = observer
+        config = protocol_config or ProtocolConfig()
         self.controller = MembershipController(
             pid=pid,
             accelerated=accelerated,
-            protocol_config=protocol_config or ProtocolConfig(),
+            protocol_config=config,
             timeouts=timeouts or RUNTIME_TIMEOUTS,
             observer=observer,
         )
@@ -88,21 +105,43 @@ class RingNode:
         self.on_deliver: Optional[DeliverCallback] = None
         self.on_config: Optional[ConfigCallback] = None
 
-        self._data_queue: Deque[bytes] = deque()
-        self._token_queue: Deque[bytes] = deque()
+        #: Injectable monotonic time source.  Defaults to the running
+        #: event loop's clock (bound lazily in :meth:`start`): tests
+        #: inject a controllable clock so membership timeouts can be
+        #: tightened without flaking on slow CI machines, and so message
+        #: timestamps / observer events share one time domain.
+        self._clock: Optional[Clock] = clock
+        #: Shared run-grouping policy — the same accumulator the sim
+        #: driver prices; here completed runs are encoded with
+        #: ``encode_run`` and put on the wire.  Drained before _execute
+        #: returns, so it never holds messages across effect lists.
+        self._coalescer = CoalescingAccumulator(config.messages_per_datagram)
+        self._data_queue = FrameRing()
+        self._token_queue = FrameRing()
         self._wakeup = asyncio.Event()
         self._timers: Dict[str, asyncio.TimerHandle] = {}
         self._loop_task: Optional[asyncio.Task] = None
         self._closed = False
         self.decode_errors = 0
+        #: Coalesced datagrams actually sent (runs of >= 2 messages).
+        self.batches_sent = 0
+        self.batched_messages = 0
 
     # ------------------------------------------------------------------
 
+    def _now(self) -> float:
+        clock = self._clock
+        if clock is not None:
+            return clock()
+        return asyncio.get_running_loop().time()
+
     async def start(self) -> None:
-        # Observer timestamps use the event-loop clock — the same clock
-        # ``submit`` stamps messages with, so delivery latencies subtract
-        # cleanly.
-        self.controller.clock = asyncio.get_running_loop().time
+        # Observer timestamps use the injected clock (default: the event
+        # loop's) — the same clock ``submit`` stamps messages with, so
+        # delivery latencies subtract cleanly.
+        if self._clock is None:
+            self._clock = asyncio.get_running_loop().time
+        self.controller.clock = self._clock
         await self.transport.start()
         self._loop_task = asyncio.get_running_loop().create_task(self._run())
         self._execute(self.controller.start())
@@ -127,8 +166,7 @@ class RingNode:
         payload: bytes = b"",
         service: DeliveryService = DeliveryService.AGREED,
     ) -> None:
-        loop = asyncio.get_running_loop()
-        self.controller.submit(payload=payload, service=service, timestamp=loop.time())
+        self.controller.submit(payload=payload, service=service, timestamp=self._now())
 
     @property
     def members(self) -> tuple:
@@ -137,6 +175,11 @@ class RingNode:
     @property
     def state(self) -> str:
         return self.controller.state.value
+
+    @property
+    def ring_id(self):
+        """Installed ring's config id (None before the first ring forms)."""
+        return self.controller.ring_id
 
     def metrics_snapshot(self):
         """Snapshot of this node's observer metrics (wall-clock domain).
@@ -154,33 +197,47 @@ class RingNode:
     # ------------------------------------------------------------------
 
     def _enqueue_data(self, datagram: bytes) -> None:
-        self._data_queue.append(datagram)
+        self._data_queue.push(datagram)
         self._wakeup.set()
 
     def _enqueue_token(self, datagram: bytes) -> None:
-        self._token_queue.append(datagram)
+        self._token_queue.push(datagram)
         self._wakeup.set()
 
     async def _run(self) -> None:
         """The single-threaded processing loop with §III-D priority."""
+        data_queue = self._data_queue
+        token_queue = self._token_queue
         while not self._closed:
-            if not self._data_queue and not self._token_queue:
+            if not data_queue and not token_queue:
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
-            token_available = bool(self._token_queue)
-            data_available = bool(self._data_queue)
+            token_available = bool(token_queue)
+            data_available = bool(data_queue)
             if token_available and (
                 self.controller.token_has_priority or not data_available
             ):
-                datagram = self._token_queue.popleft()
+                self._handle_token(token_queue.pop())
             else:
-                datagram = self._data_queue.popleft()
-            self._handle(datagram)
+                self._handle_data(data_queue.pop())
             # Yield to the event loop so sends and timers interleave.
             await asyncio.sleep(0)
 
-    def _handle(self, datagram: bytes) -> None:
+    def _handle_data(self, datagram: bytes) -> None:
+        """Decode one data-port datagram: a single message or a batch."""
+        try:
+            decoded = decode_data_port(datagram)
+        except CodecError:
+            self.decode_errors += 1
+            return
+        if type(decoded) is list:
+            self._execute(self.controller.on_data_batch(decoded))
+        else:
+            self._execute(self.controller.on_message(decoded))
+
+    def _handle_token(self, datagram: bytes) -> None:
+        """Decode one token-port datagram (tokens + membership control)."""
         try:
             message = decode_any(datagram)
         except CodecError:
@@ -196,10 +253,31 @@ class RingNode:
 
     # ------------------------------------------------------------------
 
+    def _send_run(self, group: List[DataMessage]) -> None:
+        if len(group) > 1:
+            self.batches_sent += 1
+            self.batched_messages += len(group)
+        self.transport.multicast_data(encode_run(group))
+
     def _execute(self, effects: List[Effect]) -> None:
         loop = asyncio.get_running_loop()
+        # Coalescing mirrors the sim driver exactly: runs of consecutive
+        # new multicasts pack into one datagram, flushed at the first
+        # effect of any other kind (the token must not overtake pre-token
+        # sends) and at the end of the effect list.
+        acc = self._coalescer
+        mpd = acc.mpd
         for effect in effects:
+            if acc.group is not None and not isinstance(effect, MulticastData):
+                self._send_run(acc.take())
             if isinstance(effect, MulticastData):
+                if mpd > 1 and not effect.retransmission:
+                    full = acc.push(effect.message)
+                    if full is not None:
+                        self._send_run(full)
+                    continue
+                if acc.group is not None:
+                    self._send_run(acc.take())
                 self.transport.multicast_data(encode_any(effect.message))
             elif isinstance(effect, SendToken):
                 self.transport.send_token(encode_any(effect.token), effect.destination)
@@ -232,3 +310,6 @@ class RingNode:
                     self.on_config(effect.configuration)
             else:
                 raise TypeError(f"unknown effect {effect!r}")
+        tail = acc.take()
+        if tail is not None:
+            self._send_run(tail)

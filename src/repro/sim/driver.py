@@ -22,7 +22,7 @@ from repro.core.events import (
 from repro.core.messages import DataMessage, DeliveryService
 from repro.core.participant import AcceleratedRingParticipant
 from repro.core.token import RegularToken
-from repro.core.codec import BATCH_FRAME_OVERHEAD, BATCH_ITEM_OVERHEAD
+from repro.core.transport_core import CoalescingAccumulator, batch_wire_size
 from repro.net.fragment import CoalescedDatagram, Reassembler, fragment_datagram
 from repro.net.host import SimHost
 from repro.net.packet import Frame, PortKind
@@ -85,6 +85,11 @@ class ProtocolHost:
         #: Wire coalescing knob: >1 packs runs of consecutive new sends
         #: into one datagram (retransmissions always travel alone).
         self._mpd = participant.config.messages_per_datagram
+        #: Shared run-grouping policy (repro.core.transport_core) — the
+        #: same object type the runtime node batches with; the sim only
+        #: adds CPU pricing on top.  Always drained before _execute
+        #: returns, so it holds no state between effect lists.
+        self._coalescer = CoalescingAccumulator(self._mpd)
         self.coalesced_datagrams = 0
         self.coalesced_messages = 0
         if participant.clock is None:
@@ -257,19 +262,19 @@ class ProtocolHost:
         cpu = self.host.cpu
         append = cpu._queue.append
         queued = False
-        # Coalescing accumulator: runs of consecutive new multicasts are
-        # packed into one datagram task.  Stays None (no list allocated)
-        # on the default messages_per_datagram=1 path.
+        # Coalescing accumulator (shared transport core): runs of
+        # consecutive new multicasts are packed into one datagram task.
+        # Its group stays None (no list allocated) on the default
+        # messages_per_datagram=1 path.
         mpd = self._mpd
-        group: Optional[List[DataMessage]] = None
+        acc = self._coalescer
         for effect in effects:
             kind = type(effect)
             # A run of coalescible multicasts ends at the first effect of
             # any other kind: flush before it so tasks keep effect order
             # (the token must not overtake pre-token sends).
-            if group is not None and kind is not MulticastData:
-                append(self._coalesced_task(group))
-                group = None
+            if acc.group is not None and kind is not MulticastData:
+                append(self._coalesced_task(acc.take()))
             # Deliver dominates (one per delivered message vs one
             # MulticastData per send), so it is tested first.
             if kind is Deliver:
@@ -295,18 +300,13 @@ class ProtocolHost:
                     # Retransmissions precede new sends in effect order,
                     # so accumulating only new messages keeps the wire
                     # order of this effect list intact.
-                    if group is None:
-                        group = [message]
-                    else:
-                        group.append(message)
-                    if len(group) >= mpd:
-                        append(self._coalesced_task(group))
-                        group = None
+                    full = acc.push(message)
+                    if full is not None:
+                        append(self._coalesced_task(full))
                     queued = True
                     continue
-                if group is not None:
-                    append(self._coalesced_task(group))
-                    group = None
+                if acc.group is not None:
+                    append(self._coalesced_task(acc.take()))
                 # profile.send_cost(message.wire_size(header)) inlined —
                 # identical arithmetic shape.
                 append(
@@ -331,8 +331,9 @@ class ProtocolHost:
             else:
                 raise TypeError(f"unknown effect {effect!r}")
             queued = True
-        if group is not None:
-            append(self._coalesced_task(group))
+        tail = acc.take()
+        if tail is not None:
+            append(self._coalesced_task(tail))
         if queued and not cpu._busy:
             cpu._start_next()
 
@@ -350,11 +351,7 @@ class ProtocolHost:
                 self._run_multicast,
                 (message, False),
             )
-        size = BATCH_FRAME_OVERHEAD
-        for message in group:
-            size += (
-                BATCH_ITEM_OVERHEAD + self._header_bytes + int(message.payload_size)
-            )
+        size = batch_wire_size(group, self._header_bytes)
         datagram = CoalescedDatagram(tuple(group), size - self._header_bytes)
         # One send_cpu for the whole datagram — the coalescing win — but
         # every wire byte (batch framing included) still costs

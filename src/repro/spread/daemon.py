@@ -17,6 +17,7 @@ from typing import Dict, Optional, Set
 from repro.core.messages import DataMessage, DeliveryService
 from repro.evs.configuration import Configuration
 from repro.runtime import ipc
+from repro.runtime.backpressure import DEFAULT_CLIENT_WINDOW_BYTES, ClientSendQueue
 from repro.runtime.node import RingNode
 from repro.runtime.transport import PeerAddress
 from repro.spread.fragmentation import Fragmenter, FragmentReassembler
@@ -33,11 +34,17 @@ from repro.util.errors import CodecError
 
 
 class _ClientSession:
-    """One connected client and the groups it joined."""
+    """One connected client, its bounded send queue, and joined groups."""
 
-    def __init__(self, member_name: str, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        member_name: str,
+        writer: asyncio.StreamWriter,
+        window_bytes: int = DEFAULT_CLIENT_WINDOW_BYTES,
+    ) -> None:
         self.member_name = member_name
         self.writer = writer
+        self.queue = ClientSendQueue(writer, window_bytes)
         self.joined: Set[str] = set()
 
 
@@ -52,11 +59,13 @@ class SpreadDaemon:
         accelerated: bool = True,
         pack_budget: int = 1350,
         tcp_port: Optional[int] = None,
+        client_window_bytes: int = DEFAULT_CLIENT_WINDOW_BYTES,
         **node_kwargs,
     ) -> None:
         self.pid = pid
         self.socket_path = socket_path
         self.tcp_port = tcp_port
+        self.client_window_bytes = client_window_bytes
         self.node = RingNode(pid=pid, peers=peers, accelerated=accelerated, **node_kwargs)
         self.node.on_deliver = self._ordered_delivery
         self.node.on_config = self._config_changed
@@ -69,6 +78,7 @@ class SpreadDaemon:
         self._sessions: Dict[str, _ClientSession] = {}
         self._client_counter = 0
         self.messages_delivered_to_clients = 0
+        self.clients_dropped_slow = 0
 
     async def start(self) -> None:
         if os.path.exists(self.socket_path):
@@ -89,9 +99,10 @@ class SpreadDaemon:
                 await server.wait_closed()
         self._server = None
         self._tcp_server = None
-        for session in list(self._sessions.values()):
-            session.writer.close()
+        sessions = list(self._sessions.values())
         self._sessions.clear()
+        for session in sessions:
+            await session.queue.aclose()
         await self.node.stop()
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
@@ -113,15 +124,21 @@ class SpreadDaemon:
             member_name = qualify(private, self.pid)
             if member_name in self._sessions:
                 member_name = qualify(f"{private}.{self._client_counter}", self.pid)
-            session = _ClientSession(member_name, writer)
+            session = _ClientSession(member_name, writer, self.client_window_bytes)
+            session.queue.start()
             self._sessions[member_name] = session
-            writer.write(ipc.pack_welcome(member_name))
+            session.queue.send(ipc.pack_welcome(member_name))
             while True:
                 try:
                     opcode, body = await ipc.read_frame(reader)
-                except (asyncio.IncompleteReadError, ConnectionResetError):
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    # A half-closed or reset connection: the client is
+                    # gone (or was dropped for falling behind); clean up
+                    # the session like a voluntary disconnect.
                     break
                 self._handle_client_frame(session, opcode, body)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # disconnect during the hello handshake
         finally:
             if session is not None:
                 self._sessions.pop(session.member_name, None)
@@ -130,7 +147,11 @@ class SpreadDaemon:
                         GroupLeave(member=session.member_name, group=group).encode(),
                         DeliveryService.AGREED,
                     )
-            writer.close()
+                await session.queue.drain_and_close()
+                if session.queue.dropped_slow:
+                    self.clients_dropped_slow += 1
+            else:
+                writer.close()
 
     def _handle_client_frame(
         self, session: _ClientSession, opcode: int, body: bytes
@@ -207,8 +228,8 @@ class SpreadDaemon:
                 frame = ipc.pack_groupcast(
                     list(envelope.groups), message.service, envelope.payload
                 )
-            session.writer.write(frame)
-            self.messages_delivered_to_clients += 1
+            if session.queue.send(frame):
+                self.messages_delivered_to_clients += 1
 
     def _config_changed(self, configuration: Configuration) -> None:
         if configuration.transitional:
@@ -225,4 +246,4 @@ class SpreadDaemon:
             for member in sorted(set(members)):
                 session = self._sessions.get(member)
                 if session is not None:
-                    session.writer.write(frame)
+                    session.queue.send(frame)

@@ -61,6 +61,54 @@ def fail_on_unseeded_global_random(monkeypatch):
     random.setstate(state)
 
 
+@pytest.fixture(autouse=True)
+def fail_on_hardcoded_ports(monkeypatch):
+    """Fail any test that binds a hard-coded localhost port.
+
+    Fixed port numbers collide across parallel test runs and leak state
+    between tests (a crashed run leaves the port in TIME_WAIT).  Tests
+    must either bind port 0 or reserve ports through
+    :mod:`repro.runtime.ports` (``reserve_udp_port``/``reserve_tcp_port``
+    / ``ephemeral_ring_addresses``), which records its grants in
+    ``GRANTED_PORTS``.  ``socket.bind`` itself is a C slot we cannot
+    patch, so the tripwire guards the asyncio entry points every
+    runtime component goes through.
+    """
+    import asyncio.base_events as base_events
+
+    from repro.runtime.ports import GRANTED_PORTS
+
+    def check(port, where):
+        if port in (None, 0) or port in GRANTED_PORTS:
+            return
+        pytest.fail(
+            f"test bound hard-coded port {port} via {where}; bind port 0 "
+            "or reserve through repro.runtime.ports "
+            "(ephemeral_ring_addresses / reserve_tcp_port)"
+        )
+
+    real_datagram = base_events.BaseEventLoop.create_datagram_endpoint
+    real_server = base_events.BaseEventLoop.create_server
+
+    def guarded_datagram(self, protocol_factory, local_addr=None, **kwargs):
+        if local_addr is not None:
+            check(local_addr[1], "create_datagram_endpoint")
+        return real_datagram(
+            self, protocol_factory, local_addr=local_addr, **kwargs
+        )
+
+    def guarded_server(self, protocol_factory, host=None, port=None, **kwargs):
+        check(port, "create_server")
+        return real_server(self, protocol_factory, host, port, **kwargs)
+
+    monkeypatch.setattr(
+        base_events.BaseEventLoop, "create_datagram_endpoint", guarded_datagram
+    )
+    monkeypatch.setattr(
+        base_events.BaseEventLoop, "create_server", guarded_server
+    )
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

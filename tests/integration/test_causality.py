@@ -10,13 +10,13 @@ import asyncio
 
 from repro.core.messages import DataMessage, DeliveryService
 from repro.runtime.node import RingNode
-from repro.runtime.transport import local_ring_addresses
-from tests.integration.test_runtime import FAST_TIMEOUTS, next_ports, wait_until
+from repro.runtime.ports import ephemeral_ring_addresses
+from tests.integration.test_runtime import FAST_TIMEOUTS, wait_until
 
 
 def test_reply_ordered_after_trigger_everywhere():
     async def scenario():
-        peers = local_ring_addresses(range(3), base_port=next_ports())
+        peers = ephemeral_ring_addresses(range(3))
         nodes = [RingNode(pid, peers, timeouts=FAST_TIMEOUTS) for pid in range(3)]
 
         # Node 1 replies the moment it delivers the trigger.
@@ -53,7 +53,7 @@ def test_fifo_per_sender_over_runtime():
     receiver, even when interleaved with other senders' traffic."""
 
     async def scenario():
-        peers = local_ring_addresses(range(3), base_port=next_ports())
+        peers = ephemeral_ring_addresses(range(3))
         nodes = [RingNode(pid, peers, timeouts=FAST_TIMEOUTS) for pid in range(3)]
         for node in nodes:
             await node.start()

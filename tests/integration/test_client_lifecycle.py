@@ -1,0 +1,204 @@
+"""Client lifecycle edges against real daemons.
+
+Every scenario here is a way a client connection dies (or is reborn)
+at an inconvenient moment: the daemon restarts under a connected
+client, a client vanishes mid-multicast, a connection half-closes
+after the handshake.  The daemon must shed the session cleanly — no
+unhandled exceptions, no stale session entries, and (checked via
+``asyncio.all_tasks()``) no leaked tasks after a full drain.
+"""
+
+import asyncio
+import os
+import tempfile
+
+from repro.runtime import ipc
+from repro.runtime.fleet import Fleet, run_fleet_workload
+from repro.runtime.ports import ephemeral_ring_addresses
+from repro.spread.client_api import SpreadClient
+from repro.spread.daemon import SpreadDaemon
+from tests.integration.test_runtime import FAST_TIMEOUTS, wait_until
+
+
+async def _start_pair(tmp):
+    peers = ephemeral_ring_addresses(range(2))
+    daemons = [
+        SpreadDaemon(
+            pid,
+            peers,
+            os.path.join(tmp, f"d{pid}.sock"),
+            timeouts=FAST_TIMEOUTS,
+        )
+        for pid in range(2)
+    ]
+    for daemon in daemons:
+        await daemon.start()
+    assert await wait_until(
+        lambda: all(len(d.node.members) == 2 for d in daemons)
+    )
+    return peers, daemons
+
+
+def test_reconnect_after_daemon_restart():
+    """A client whose daemon dies reconnects to the restarted daemon
+    and resumes group traffic."""
+
+    async def scenario():
+        with tempfile.TemporaryDirectory() as tmp:
+            peers, daemons = await _start_pair(tmp)
+            try:
+                client = SpreadClient(
+                    daemons[0].socket_path, name="w"
+                )
+                await client.connect()
+                await client.join("g")
+                await client.wait_for_view("g", 1)
+
+                socket_path = daemons[0].socket_path
+                await daemons[0].stop()
+                # The survivor sheds the dead daemon from the ring.
+                assert await wait_until(
+                    lambda: len(daemons[1].node.members) == 1
+                )
+                # The client's connection is dead: the next interaction
+                # with the daemon surfaces a connection error.
+                try:
+                    await asyncio.wait_for(client.receive(), 2.0)
+                    raised = False
+                except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                        asyncio.TimeoutError):
+                    raised = True
+                assert raised
+                await client.close()
+
+                daemons[0] = SpreadDaemon(
+                    0, peers, socket_path, timeouts=FAST_TIMEOUTS
+                )
+                await daemons[0].start()
+                assert await wait_until(
+                    lambda: all(len(d.node.members) == 2 for d in daemons)
+                )
+
+                reborn = SpreadClient(socket_path, name="w2")
+                await reborn.connect()
+                await reborn.join("g")
+                await reborn.wait_for_view("g", 1)
+                reborn.multicast(["g"], b"after-restart")
+                (message,) = await asyncio.wait_for(
+                    reborn.receive_messages(1), 10
+                )
+                assert message.payload == b"after-restart"
+                await reborn.close()
+            finally:
+                for daemon in daemons:
+                    await daemon.stop()
+
+    asyncio.run(scenario())
+
+
+def test_disconnect_mid_multicast():
+    """A client that aborts its connection right after a burst of
+    multicasts must not wedge the daemon; a surviving client still
+    receives whatever the daemon had relayed."""
+
+    async def scenario():
+        with tempfile.TemporaryDirectory() as tmp:
+            peers, daemons = await _start_pair(tmp)
+            try:
+                noisy = SpreadClient(
+                    daemons[0].socket_path, name="noisy"
+                )
+                steady = SpreadClient(
+                    daemons[1].socket_path, name="steady"
+                )
+                await noisy.connect()
+                await steady.connect()
+                await steady.join("g")
+                await steady.wait_for_view("g", 1)
+                for index in range(20):
+                    noisy.multicast(["g"], b"burst:%d" % index)
+                # Abort, don't close: the frames may still sit in the
+                # stream buffers when the connection dies.
+                noisy._writer.transport.abort()
+
+                got = await asyncio.wait_for(steady.receive_messages(20), 15)
+                assert [m.payload for m in got] == [
+                    b"burst:%d" % i for i in range(20)
+                ]
+                # The noisy session was reaped.
+                assert await wait_until(
+                    lambda: not any(
+                        "noisy" in name for name in daemons[0]._sessions
+                    )
+                )
+                await steady.close()
+            finally:
+                for daemon in daemons:
+                    await daemon.stop()
+
+    asyncio.run(scenario())
+
+
+def test_half_closed_connection_is_reaped():
+    """A client that sends its hello then half-closes (EOF, reader kept
+    open) must be cleaned up like any other disconnect."""
+
+    async def scenario():
+        with tempfile.TemporaryDirectory() as tmp:
+            peers, daemons = await _start_pair(tmp)
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    daemons[0].socket_path
+                )
+                writer.write(ipc.pack_hello("half"))
+                opcode, body = await ipc.read_frame(reader)
+                assert opcode == ipc.OP_WELCOME
+                assert await wait_until(
+                    lambda: any(
+                        "half" in name for name in daemons[0]._sessions
+                    )
+                )
+                writer.write_eof()
+                assert await wait_until(
+                    lambda: not any(
+                        "half" in name for name in daemons[0]._sessions
+                    )
+                )
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                for daemon in daemons:
+                    await daemon.stop()
+
+    asyncio.run(scenario())
+
+
+def test_fleet_drain_leaves_no_tasks_behind():
+    """A full fleet lifecycle — start, workload with a crash/restart,
+    drain — returns the loop to its pre-fleet task census."""
+
+    async def scenario():
+        await asyncio.sleep(0)
+        before = len(asyncio.all_tasks())
+        fleet = Fleet(num_daemons=3)
+        await fleet.start()
+        report = await run_fleet_workload(
+            fleet,
+            num_clients=6,
+            duration=1.2,
+            crash_pid=2,
+            crash_after=0.3,
+            restart_after=0.3,
+        )
+        await fleet.drain_and_stop()
+        assert report["messages_acked"] == report["messages_sent"]
+        # Let cancelled/finishing tasks unwind before the census.
+        for _ in range(10):
+            await asyncio.sleep(0.01)
+        after = len(asyncio.all_tasks())
+        assert after == before, (
+            f"leaked {after - before} task(s): "
+            f"{[t.get_name() for t in asyncio.all_tasks()]}"
+        )
+
+    asyncio.run(scenario())

@@ -9,14 +9,14 @@ from repro.core.messages import DeliveryService
 from repro.runtime.client import DaemonClient
 from repro.runtime.daemon import DaemonServer
 from repro.runtime.ipc import Delivery
-from repro.runtime.transport import local_ring_addresses
 from repro.spread.client_api import SpreadClient
 from repro.spread.daemon import SpreadDaemon
-from tests.integration.test_runtime import FAST_TIMEOUTS, next_ports, wait_until
+from repro.runtime.ports import ephemeral_ring_addresses
+from tests.integration.test_runtime import FAST_TIMEOUTS, wait_until
 
 
 async def start_daemons(cls, n, tmpdir, **kwargs):
-    peers = local_ring_addresses(range(n), base_port=next_ports())
+    peers = ephemeral_ring_addresses(range(n))
     daemons = [
         cls(
             pid,

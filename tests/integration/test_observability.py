@@ -18,7 +18,7 @@ from repro.workloads.generators import FixedRateWorkload
 
 from repro.membership.params import MembershipTimeouts
 from repro.runtime.node import RingNode
-from repro.runtime.transport import local_ring_addresses
+from repro.runtime.ports import ephemeral_ring_addresses
 
 FAST_TIMEOUTS = MembershipTimeouts(
     token_loss=0.25,
@@ -33,12 +33,6 @@ FAST_TIMEOUTS = MembershipTimeouts(
 
 #: Distinct from test_runtime's 30000-range counter so parallel test
 #: runs on one machine don't collide.
-_PORT_COUNTER = [33000]
-
-
-def next_ports():
-    _PORT_COUNTER[0] += 40
-    return _PORT_COUNTER[0]
 
 
 async def wait_until(predicate, timeout=8.0, interval=0.02):
@@ -127,7 +121,7 @@ def test_runtime_nodes_produce_metrics_snapshot():
     observer = MetricsObserver()
 
     async def scenario():
-        peers = local_ring_addresses(range(3), base_port=next_ports())
+        peers = ephemeral_ring_addresses(range(3))
         nodes = [
             RingNode(pid, peers, timeouts=FAST_TIMEOUTS, observer=observer)
             for pid in range(3)

@@ -6,7 +6,7 @@ import asyncio
 from repro.core.messages import DeliveryService
 from repro.membership.params import MembershipTimeouts
 from repro.runtime.node import RingNode
-from repro.runtime.transport import local_ring_addresses
+from repro.runtime.ports import ephemeral_ring_addresses
 
 #: Faster wall-clock timeouts so tests stay snappy.
 FAST_TIMEOUTS = MembershipTimeouts(
@@ -20,13 +20,6 @@ FAST_TIMEOUTS = MembershipTimeouts(
     beacon_interval=0.2,
 )
 
-_PORT_COUNTER = [30000]
-
-
-def next_ports():
-    _PORT_COUNTER[0] += 40
-    return _PORT_COUNTER[0]
-
 
 async def wait_until(predicate, timeout=8.0, interval=0.02):
     deadline = asyncio.get_running_loop().time() + timeout
@@ -38,7 +31,7 @@ async def wait_until(predicate, timeout=8.0, interval=0.02):
 
 
 async def start_ring(n, **kwargs):
-    peers = local_ring_addresses(range(n), base_port=next_ports())
+    peers = ephemeral_ring_addresses(range(n))
     nodes = [
         RingNode(pid, peers, timeouts=FAST_TIMEOUTS, **kwargs) for pid in range(n)
     ]
@@ -105,7 +98,7 @@ def test_crash_reforms_ring_and_traffic_continues():
 
 def test_loss_recovered_by_retransmissions():
     async def scenario():
-        peers = local_ring_addresses(range(3), base_port=next_ports())
+        peers = ephemeral_ring_addresses(range(3))
         nodes = [
             RingNode(
                 pid,
@@ -162,7 +155,7 @@ def test_token_loss_recovered_by_membership():
     traffic end to end over real sockets."""
 
     async def scenario():
-        peers = local_ring_addresses(range(3), base_port=next_ports())
+        peers = ephemeral_ring_addresses(range(3))
         nodes = [
             RingNode(
                 pid,

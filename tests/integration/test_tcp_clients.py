@@ -16,15 +16,8 @@ from repro.runtime.client import DaemonClient
 from repro.runtime.daemon import DaemonServer
 from repro.spread.client_api import SpreadClient
 from repro.spread.daemon import SpreadDaemon
-from repro.runtime.transport import local_ring_addresses
-from tests.integration.test_runtime import FAST_TIMEOUTS, next_ports, wait_until
-
-_TCP_PORTS = [46000]
-
-
-def next_tcp_port():
-    _TCP_PORTS[0] += 7
-    return _TCP_PORTS[0]
+from repro.runtime.ports import ephemeral_ring_addresses, reserve_tcp_port
+from tests.integration.test_runtime import FAST_TIMEOUTS, wait_until
 
 
 def test_client_constructor_validation():
@@ -39,8 +32,8 @@ def test_client_constructor_validation():
 def test_tcp_client_sends_and_receives():
     async def scenario():
         with tempfile.TemporaryDirectory() as tmp:
-            peers = local_ring_addresses(range(2), base_port=next_ports())
-            tcp_ports = [next_tcp_port(), next_tcp_port()]
+            peers = ephemeral_ring_addresses(range(2))
+            tcp_ports = [reserve_tcp_port(), reserve_tcp_port()]
             daemons = [
                 DaemonServer(
                     pid,
@@ -78,8 +71,8 @@ def test_tcp_client_sends_and_receives():
 def test_tcp_spread_client_full_group_flow():
     async def scenario():
         with tempfile.TemporaryDirectory() as tmp:
-            peers = local_ring_addresses(range(2), base_port=next_ports())
-            tcp_port = next_tcp_port()
+            peers = ephemeral_ring_addresses(range(2))
+            tcp_port = reserve_tcp_port()
             daemons = [
                 SpreadDaemon(
                     pid,

@@ -1,0 +1,119 @@
+"""Unit tests for the bounded per-client send queue."""
+
+import asyncio
+
+from repro.runtime.backpressure import ClientSendQueue
+
+
+class _PipeServer:
+    """A real loopback stream pair so drain() exercises real transports."""
+
+    def __init__(self):
+        self.reader = None
+        self._server = None
+        self._path = None
+
+    async def open(self, tmp_path):
+        connected = asyncio.Event()
+
+        def on_client(reader, writer):
+            self.reader = reader
+            self._client_writer = writer
+            connected.set()
+
+        self._path = str(tmp_path / "pipe.sock")
+        self._server = await asyncio.start_unix_server(on_client, path=self._path)
+        reader, writer = await asyncio.open_unix_connection(self._path)
+        await connected.wait()
+        return reader, writer
+
+    async def close(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+def test_send_enqueues_and_drain_task_writes(tmp_path):
+    async def scenario():
+        pipe = _PipeServer()
+        _, writer = await pipe.open(tmp_path)
+        queue = ClientSendQueue(writer, capacity_bytes=1024)
+        queue.start()
+        assert queue.send(b"hello")
+        assert queue.send(b"world")
+        data = await asyncio.wait_for(pipe.reader.readexactly(10), 5)
+        assert data == b"helloworld"
+        assert queue.window.queued_bytes == 0
+        await queue.aclose()
+        await pipe.close()
+
+    asyncio.run(scenario())
+
+
+def test_overflow_marks_slow_and_aborts(tmp_path):
+    async def scenario():
+        pipe = _PipeServer()
+        _, writer = await pipe.open(tmp_path)
+        queue = ClientSendQueue(writer, capacity_bytes=16)
+        # No drain task started: nothing empties the window, so the
+        # third frame overflows deterministically.
+        assert queue.send(b"x" * 8)
+        assert queue.send(b"y" * 8)
+        assert not queue.send(b"z")
+        assert queue.dropped_slow
+        assert queue.closing
+        # Every send after the drop is refused.
+        assert not queue.send(b"a")
+        await queue.drain_and_close()
+        await pipe.close()
+
+    asyncio.run(scenario())
+
+
+def test_sends_after_close_are_refused(tmp_path):
+    async def scenario():
+        pipe = _PipeServer()
+        _, writer = await pipe.open(tmp_path)
+        queue = ClientSendQueue(writer, capacity_bytes=1024)
+        queue.start()
+        await queue.aclose()
+        assert not queue.send(b"late")
+        assert not queue.dropped_slow  # refusal, not an overflow drop
+        await pipe.close()
+
+    asyncio.run(scenario())
+
+
+def test_aclose_is_idempotent_and_leaves_no_task(tmp_path):
+    async def scenario():
+        pipe = _PipeServer()
+        _, writer = await pipe.open(tmp_path)
+        queue = ClientSendQueue(writer, capacity_bytes=1024)
+        queue.start()
+        queue.send(b"frame")
+        before = len(asyncio.all_tasks())
+        await queue.aclose()
+        await queue.aclose()
+        await asyncio.sleep(0.01)
+        assert len(asyncio.all_tasks()) <= before
+        await pipe.close()
+
+    asyncio.run(scenario())
+
+
+def test_peer_disconnect_ends_drain_quietly(tmp_path):
+    async def scenario():
+        pipe = _PipeServer()
+        _, writer = await pipe.open(tmp_path)
+        queue = ClientSendQueue(writer, capacity_bytes=1024)
+        queue.start()
+        # The peer vanishes; subsequent writes surface a connection
+        # error inside the drain task, which must absorb it.
+        pipe._client_writer.transport.abort()
+        await asyncio.sleep(0.01)
+        for _ in range(4):
+            queue.send(b"into-the-void")
+            await asyncio.sleep(0.005)
+        await queue.drain_and_close()
+        await pipe.close()
+
+    asyncio.run(scenario())

@@ -92,3 +92,26 @@ def test_conformance_run_and_report_round_trip(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "differential" in out
     assert "coverage.deliver.messages" in out
+
+
+def test_fleet_parser_defaults():
+    args = build_parser().parse_args(["fleet", "run"])
+    assert args.fleet_mode == "run"
+    assert args.daemons == 3
+    assert args.clients == 8
+    assert not args.crash
+    args = build_parser().parse_args(["fleet", "bench"])
+    assert args.fleet_mode == "bench"
+    assert args.seed == 0
+    assert args.wall_tol is None
+
+
+def test_conformance_realtime_parses():
+    args = build_parser().parse_args(["conformance", "realtime", "--crash"])
+    assert args.mode == "realtime"
+    assert args.crash
+
+
+def test_fleet_bench_refuses_offseed_gating(capsys):
+    assert main(["fleet", "bench", "--seed", "3", "--check-baseline"]) == 2
+    assert "seed" in capsys.readouterr().err

@@ -1,8 +1,11 @@
-"""Self-test for the unseeded-global-random guard in conftest.py."""
+"""Self-tests for the tripwires in conftest.py."""
 
+import asyncio
 import random
 
 import pytest
+
+from repro.runtime.ports import reserve_tcp_port, reserve_udp_port
 
 
 def test_unseeded_global_draw_trips_the_guard():
@@ -34,3 +37,59 @@ def test_guard_restores_global_state_between_tests():
     # test, so a seeded test cannot leak state into the next one.
     random.seed(0)
     random.random()  # perturb; the fixture must undo this afterwards
+
+
+class TestHardcodedPortTripwire:
+    def test_hardcoded_udp_bind_trips(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, local_addr=("127.0.0.1", 54321)
+            )
+
+        with pytest.raises(pytest.fail.Exception, match="hard-coded port"):
+            asyncio.run(scenario())
+
+    def test_hardcoded_tcp_listen_trips(self):
+        async def scenario():
+            await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=54322
+            )
+
+        with pytest.raises(pytest.fail.Exception, match="hard-coded port"):
+            asyncio.run(scenario())
+
+    def test_port_zero_is_allowed(self):
+        async def scenario():
+            transport, _ = await asyncio.get_running_loop().create_datagram_endpoint(
+                asyncio.DatagramProtocol, local_addr=("127.0.0.1", 0)
+            )
+            transport.close()
+
+        asyncio.run(scenario())
+
+    def test_reserved_ports_are_allowed(self):
+        async def scenario():
+            udp = reserve_udp_port()
+            transport, _ = await asyncio.get_running_loop().create_datagram_endpoint(
+                asyncio.DatagramProtocol, local_addr=("127.0.0.1", udp)
+            )
+            transport.close()
+            tcp = reserve_tcp_port()
+            server = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=tcp
+            )
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_unix_servers_are_unaffected(self, tmp_path):
+        async def scenario():
+            server = await asyncio.start_unix_server(
+                lambda r, w: None, path=str(tmp_path / "guard.sock")
+            )
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())

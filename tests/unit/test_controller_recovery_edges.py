@@ -22,9 +22,9 @@ from repro.membership.ring_id import encode_ring_id
 from tests.conftest import data_message
 
 
-def two_member_controller(pid=0):
+def two_member_controller(pid=0, clock=None):
     """A controller driven to an operational {0, 1} ring by hand."""
-    controller = MembershipController(pid=pid)
+    controller = MembershipController(pid=pid, clock=clock)
     controller.start()
     peer = 1 - pid
     controller.on_message(
@@ -90,6 +90,56 @@ def test_straggler_status_for_current_ring_answered():
         if isinstance(e, SendControl) and isinstance(e.message, RecoveryStatus)
     ]
     assert replies and replies[0].complete
+
+
+def _straggler_status(controller):
+    final = controller._final_recovery
+    return RecoveryStatus(
+        sender=1,
+        new_ring_id=controller.ring_id,
+        old_ring_id=final.my_old_ring,
+        have=(),
+        complete=False,
+    )
+
+
+def _help_replies(effects):
+    return [
+        e
+        for e in effects
+        if isinstance(e, SendControl) and isinstance(e.message, RecoveryStatus)
+    ]
+
+
+def test_straggler_help_reply_is_unicast_to_the_straggler():
+    # Regression: multicast help replies fed back into every other
+    # operational member's help path, an exponential status storm for
+    # rings of three or more that starved the token until the loss timer
+    # split the ring (found by the sim<->real oracle at hosts=4).
+    controller = two_member_controller()
+    replies = _help_replies(controller.on_message(_straggler_status(controller)))
+    assert replies and replies[0].destination == 1
+
+
+def test_straggler_help_rate_limited_per_sender():
+    now = [0.0]
+    controller = two_member_controller(clock=lambda: now[0])
+    status = _straggler_status(controller)
+    assert _help_replies(controller.on_message(status))
+    # Re-gossip inside the status interval: already answered, stay quiet.
+    now[0] += controller.timeouts.recovery_status_interval / 2
+    assert not _help_replies(controller.on_message(status))
+    # The straggler's next scheduled gossip gets a fresh answer.
+    now[0] += controller.timeouts.recovery_status_interval
+    assert _help_replies(controller.on_message(status))
+
+
+def test_straggler_help_stops_after_recovery_timeout():
+    now = [0.0]
+    controller = two_member_controller(clock=lambda: now[0])
+    status = _straggler_status(controller)
+    now[0] = controller._installed_at + controller.timeouts.recovery_timeout + 1e-3
+    assert not _help_replies(controller.on_message(status))
 
 
 def test_duplicate_commit_token_while_operational_ignored():

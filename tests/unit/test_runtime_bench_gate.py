@@ -1,0 +1,89 @@
+"""The runtime bench baseline gate: exact deterministic, loose wall."""
+
+from repro.runtime.bench import (
+    CASES,
+    SMOKE_CASES,
+    WALL_TOL,
+    baseline_path,
+    compare_report,
+)
+
+
+def _report(digest="abc", ops_per_sec=1000.0, seed=0):
+    return {
+        "suite": "runtime",
+        "seed": seed,
+        "cases": {
+            "ring_serialized": {
+                "deterministic": {
+                    "messages": 200,
+                    "order_identity": True,
+                    "order_digest": digest,
+                    "decode_errors": 0,
+                },
+                "wall": {"wall_time_s": 0.1, "ops_per_sec": ops_per_sec},
+            }
+        },
+    }
+
+
+def test_identical_reports_pass():
+    assert compare_report(_report(), _report()) == []
+
+
+def test_order_digest_drift_fails():
+    problems = compare_report(_report(digest="xyz"), _report(digest="abc"))
+    assert len(problems) == 1
+    assert "order_digest" in problems[0]
+
+
+def test_health_counter_drift_fails():
+    current = _report()
+    current["cases"]["ring_serialized"]["deterministic"]["decode_errors"] = 3
+    problems = compare_report(current, _report())
+    assert any("decode_errors" in p for p in problems)
+
+
+def test_wall_drop_beyond_tolerance_fails():
+    floor = 1000.0 * (1.0 - WALL_TOL)
+    assert compare_report(_report(ops_per_sec=floor + 1), _report()) == []
+    problems = compare_report(_report(ops_per_sec=floor - 1), _report())
+    assert len(problems) == 1
+    assert "ops_per_sec" in problems[0]
+
+
+def test_wall_speedup_passes():
+    assert compare_report(_report(ops_per_sec=99999.0), _report()) == []
+
+
+def test_missing_case_fails():
+    current = _report()
+    del current["cases"]["ring_serialized"]
+    problems = compare_report(current, _report())
+    assert problems == ["ring_serialized: missing from current run"]
+
+
+def test_seed_mismatch_fails_without_metric_noise():
+    problems = compare_report(_report(seed=3), _report(seed=0))
+    assert len(problems) == 1
+    assert "seed" in problems[0]
+
+
+def test_custom_wall_tol_honoured():
+    # A looser CI tolerance lets a bigger drop through.
+    assert (
+        compare_report(_report(ops_per_sec=400.0), _report(), wall_tol=0.7)
+        == []
+    )
+    assert compare_report(_report(ops_per_sec=400.0), _report(), wall_tol=0.5)
+
+
+def test_baseline_path(tmp_path):
+    assert (
+        baseline_path(tmp_path)
+        == tmp_path / "benchmarks" / "baselines" / "BENCH_runtime.json"
+    )
+
+
+def test_smoke_cases_are_a_subset_of_the_suite():
+    assert set(SMOKE_CASES) <= set(CASES)

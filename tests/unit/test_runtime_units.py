@@ -5,6 +5,7 @@ import asyncio
 import pytest
 
 from repro.runtime.node import RUNTIME_TIMEOUTS, RingNode
+from repro.runtime.ports import ephemeral_ring_addresses
 from repro.runtime.transport import UdpTransport, local_ring_addresses
 
 
@@ -70,7 +71,7 @@ class TestRuntimeTimeouts:
 class TestNodeDecodeErrors:
     def test_garbage_datagrams_counted_not_fatal(self):
         async def scenario():
-            peers = local_ring_addresses([0], base_port=40200)
+            peers = ephemeral_ring_addresses([0])
             node = RingNode(0, peers)
             await node.start()
             try:

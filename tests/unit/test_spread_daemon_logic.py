@@ -14,17 +14,23 @@ from repro.spread.wire import AppData, GroupJoin, GroupLeave, Packed
 
 class _StubWriter:
     def __init__(self):
-        self.frames = []
         self._closing = False
-
-    def write(self, data):
-        self.frames.append(data)
 
     def is_closing(self):
         return self._closing
 
     def close(self):
         self._closing = True
+
+
+def frames(session):
+    """Frames the daemon enqueued for this client.
+
+    Sessions route writes through their ClientSendQueue; with no drain
+    task running (no event loop in these unit tests) accepted frames
+    stay pending, which is exactly what the fan-out logic produced.
+    """
+    return session.queue.pending_frames
 
 
 def make_daemon(pid=0):
@@ -53,8 +59,8 @@ class TestOrderedDeliveryPipeline:
         bystander = attach_member(daemon, "b#0")  # not in the group
         envelope = AppData("sender#1", ("g",), b"payload").encode()
         daemon._ordered_delivery(ordered(envelope), config_id=1)
-        assert len(local.writer.frames) == 1
-        assert bystander.writer.frames == []
+        assert len(frames(local)) == 1
+        assert frames(bystander) == []
         assert daemon.messages_delivered_to_clients == 1
 
     def test_member_in_two_target_groups_gets_one_copy(self):
@@ -62,7 +68,7 @@ class TestOrderedDeliveryPipeline:
         both = attach_member(daemon, "a#0", groups=["g1", "g2"])
         envelope = AppData("s#1", ("g1", "g2"), b"x").encode()
         daemon._ordered_delivery(ordered(envelope), config_id=1)
-        assert len(both.writer.frames) == 1
+        assert len(frames(both)) == 1
 
     def test_packed_envelopes_processed_in_order(self):
         daemon = make_daemon()
@@ -71,7 +77,7 @@ class TestOrderedDeliveryPipeline:
         second = AppData("s#1", ("g",), b"2").encode()
         payload = Packed((first, second)).encode()
         daemon._ordered_delivery(ordered(payload), config_id=1)
-        assert len(member.writer.frames) == 2
+        assert len(frames(member)) == 2
 
     def test_ordered_join_updates_directory_and_notifies(self):
         daemon = make_daemon()
@@ -80,7 +86,7 @@ class TestOrderedDeliveryPipeline:
             ordered(GroupJoin("a#0", "g").encode()), config_id=1
         )
         assert daemon.directory.is_member("a#0", "g")
-        assert len(member.writer.frames) == 1  # the group view
+        assert len(frames(member)) == 1  # the group view
 
     def test_ordered_leave_clears_membership(self):
         daemon = make_daemon()
@@ -98,7 +104,7 @@ class TestOrderedDeliveryPipeline:
         assert len(pieces) > 1
         for index, piece in enumerate(pieces):
             daemon._ordered_delivery(ordered(piece, seq=index + 1), config_id=1)
-        assert len(member.writer.frames) == 1
+        assert len(frames(member)) == 1
 
     def test_view_notification_goes_to_members_only(self):
         daemon = make_daemon()
@@ -109,8 +115,8 @@ class TestOrderedDeliveryPipeline:
             ordered(GroupJoin("late#0", "g").encode()), config_id=1
         )
         # 'late' has no session (stub only), 'in' gets the view
-        assert len(inside.writer.frames) == 1
-        assert outside.writer.frames == []
+        assert len(frames(inside)) == 1
+        assert frames(outside) == []
 
 
 class TestSubmissionPipeline:
